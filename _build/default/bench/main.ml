@@ -1,0 +1,351 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6) and use cases (Section 7), printing
+   the same rows/series the paper reports next to the paper's values,
+   then runs a Bechamel micro-benchmark suite over the substrate
+   operations each figure leans on.
+
+     dune exec bench/main.exe            medium scale (~1 minute)
+     dune exec bench/main.exe -- quick   CI scale (seconds)
+     dune exec bench/main.exe -- full    paper scale (several minutes)
+*)
+
+module E = Lightvm.Experiment
+module Series = Lightvm_metrics.Series
+module Table = Lightvm_metrics.Table
+
+type scale = Quick | Medium | Full
+
+let scale =
+  match Array.to_list Sys.argv with
+  | _ :: "quick" :: _ -> Quick
+  | _ :: "full" :: _ -> Full
+  | _ -> Medium
+
+let scale_name =
+  match scale with Quick -> "quick" | Medium -> "medium" | Full -> "full"
+
+let pick ~quick ~medium ~full =
+  match scale with Quick -> quick | Medium -> medium | Full -> full
+
+let t_start = Unix.gettimeofday ()
+
+let section title paper_note =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  if paper_note <> "" then Printf.printf "paper: %s\n" paper_note;
+  Printf.printf "[%.1fs elapsed]\n%!" (Unix.gettimeofday () -. t_start)
+
+(* Print a family of series side by side, sampled to ~10 rows. *)
+let print_series ?(x_label = "N") (series : E.labelled list) =
+  match series with
+  | [] -> ()
+  | first :: _ ->
+      let xs = List.map fst (Series.points first.E.series) in
+      let n = List.length xs in
+      let step = max 1 (n / 10) in
+      let sampled_idx =
+        List.filteri (fun i _ -> i mod step = 0 || i = n - 1) xs
+      in
+      let header =
+        Printf.sprintf "%8s" x_label
+        :: List.map (fun l -> Printf.sprintf "%24s" l.E.label) series
+      in
+      print_endline (String.concat "" header);
+      List.iter
+        (fun x ->
+          let cells =
+            List.map
+              (fun l ->
+                match Series.y_at l.E.series ~x with
+                | Some y -> Printf.sprintf "%24.2f" y
+                | None -> Printf.sprintf "%24s" "-")
+              series
+          in
+          Printf.printf "%8g%s\n" x (String.concat "" cells))
+        sampled_idx
+
+let print_table table = Format.printf "%a@." Table.pp table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "LightVM reproduction bench (scale: %s)\n" scale_name
+
+let () =
+  section "Fig 1: syscall API growth"
+    "~200 syscalls in 2002 growing to ~400 by 2017";
+  let table, slope = E.fig1_syscall_growth () in
+  print_table table;
+  Printf.printf "growth: %.1f syscalls/year\n" slope
+
+let () =
+  section "Fig 2: boot time vs VM image size"
+    "linear, ~1 ms per MB (ramdisk-backed images)";
+  let series = E.fig2_boot_vs_image_size () in
+  Printf.printf "%10s %12s\n" "image MB" "boot ms";
+  List.iter
+    (fun (x, y) -> Printf.printf "%10.1f %12.1f\n" x y)
+    (Series.points series)
+
+let () =
+  let n = pick ~quick:60 ~medium:400 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 4: instantiation + boot, %d guests (xl)" n)
+    "Debian 500ms create/1.5s boot; Tinyx 360/180ms; unikernel 80/3ms; \
+     Docker ~200ms; process 3.5ms";
+  print_series (E.fig4_instantiation ~n ())
+
+let () =
+  let n = pick ~quick:60 ~medium:400 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 5: creation-time breakdown, %d Debian guests (xl)"
+       n)
+    "XenStore and device creation dominate; XenStore grows superlinearly";
+  print_series (E.fig5_breakdown ~n ~sample:(max 1 (n / 10)) ())
+
+let () =
+  let n = pick ~quick:80 ~medium:400 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 9: daytime unikernel creation, %d guests" n)
+    "xl 100ms->1s; chaos[XS] 15->80ms; +split max ~25ms; noxs 8-15ms; \
+     all: 4->4.1ms";
+  print_series (E.fig9_create_times ~n ())
+
+let () =
+  let vms = pick ~quick:300 ~medium:3000 ~full:8000 in
+  let containers = pick ~quick:300 ~medium:3000 ~full:3500 in
+  section
+    (Printf.sprintf "Fig 10: density on the 64-core AMD box (%d VMs)" vms)
+    "LightVM scales to 8000 guests; Docker ~150ms->1s and wedges ~3000";
+  print_series (E.fig10_density ~vms ~containers ())
+
+let () =
+  let n = pick ~quick:60 ~medium:400 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 11: boot times over LightVM vs Docker (%d)" n)
+    "unikernel ~4ms; Tinyx close to Docker (~150-250ms)";
+  print_series (E.fig11_boot_compare ~n ())
+
+let () =
+  let n = pick ~quick:40 ~medium:200 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 12: save/restore with %d running guests" n)
+    "LightVM: save 30ms, restore 20ms, flat; xl: 128ms and 550ms";
+  let save, restore = E.fig12_checkpoint ~n () in
+  Printf.printf "-- save --\n";
+  print_series save;
+  Printf.printf "-- restore --\n";
+  print_series restore
+
+let () =
+  let n = pick ~quick:40 ~medium:200 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 13: migration with %d running guests" n)
+    "LightVM ~60ms regardless of load; xl grows into seconds";
+  print_series (E.fig13_migration ~n ())
+
+let () =
+  let n = pick ~quick:100 ~medium:400 ~full:1000 in
+  section (Printf.sprintf "Fig 14: memory usage, %d instances" n)
+    "at 1000: Debian ~114GB, Tinyx ~27GB, Docker ~5GB, Minipython \
+     a bit above Docker";
+  print_series (E.fig14_memory ~n ~sample:(max 1 (n / 10)) ())
+
+let () =
+  let n = pick ~quick:60 ~medium:200 ~full:1000 in
+  section (Printf.sprintf "Fig 15: idle CPU utilisation, %d instances" n)
+    "at 1000: Debian ~25%, Tinyx ~1%, unikernel/Docker near zero";
+  print_series
+    (E.fig15_cpu_usage ~n ~sample:(max 1 (n / 4)) ())
+
+let () =
+  section "Fig 16a: personal firewalls"
+    "linear to 2.5Gbps @250 users; 4Gbps/4Mbps each @1000; RTT ~60ms";
+  print_table (E.fig16a_firewall ())
+
+let () =
+  let clients = pick ~quick:60 ~medium:250 ~full:1000 in
+  section
+    (Printf.sprintf "Fig 16b: JIT service instantiation (%d clients)"
+       clients)
+    "median 13ms / p90 20ms at 25ms arrivals; long timeout tail at 10ms";
+  List.iter
+    (fun (l : E.labelled) ->
+      let cdf = l.E.series in
+      let q frac =
+        let pts = Series.points cdf in
+        match List.find_opt (fun (_, f) -> f >= frac) pts with
+        | Some (x, _) -> x
+        | None -> nan
+      in
+      Printf.printf
+        "  arrivals %-7s median %8.1f ms   p90 %8.1f ms   p99 %10.1f ms\n"
+        l.E.label (q 0.5) (q 0.9) (q 0.99))
+    (E.fig16b_jit ~clients ())
+
+let () =
+  section "Fig 16c: TLS termination throughput"
+    "bare metal and Tinyx saturate ~1.4 Kreq/s; unikernel ~1/5 (lwip)";
+  print_series ~x_label:"instances" (E.fig16c_tls ())
+
+let () =
+  let requests = pick ~quick:100 ~medium:400 ~full:1000 in
+  section
+    (Printf.sprintf "Figs 17/18: lambda compute service (%d requests)"
+       requests)
+    "overloaded host: XenStore path backs up more than noxs";
+  let service, concurrency = E.fig17_18_lambda ~requests () in
+  Printf.printf "-- Fig 17: service time of the nth request (s) --\n";
+  print_series ~x_label:"request" service;
+  Printf.printf "-- Fig 18: concurrent VMs over time --\n";
+  print_series ~x_label:"t (s)" concurrency
+
+let () =
+  let n = pick ~quick:60 ~medium:300 ~full:1000 in
+  section
+    (Printf.sprintf "Ablation: XenStore implementation (%d guests)" n)
+    "cxenstored much slower than oxenstored; disabling logging removes \
+     the spikes but not the growth";
+  print_series (E.ablation_xenstore ~n ())
+
+let () =
+  section "Migration over a 1 Gbps / 10 ms link"
+    "ClickOS guest in ~150 ms";
+  print_table (E.wan_migration ())
+
+let () =
+  section "Pause/unpause (Section 2 requirement)"
+    "must match container freeze/thaw";
+  print_table (E.pause_unpause ())
+
+let () =
+  section "Headline numbers" "";
+  print_table (E.headline_numbers ());
+  print_table (E.tinyx_table ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the real (wall-clock) cost of the
+   substrate operations each figure leans on. One Test.make per
+   figure/table. *)
+
+open Bechamel
+open Toolkit
+
+let xs_store_ops () =
+  (* Fig 5/9's substrate: real store writes + reads. *)
+  let store = Lightvm_xenstore.Xs_store.create () in
+  let path = Lightvm_xenstore.Xs_path.of_string "/local/domain/1/name" in
+  Staged.stage (fun () ->
+      ignore (Lightvm_xenstore.Xs_store.write store ~caller:0 path "guest");
+      ignore (Lightvm_xenstore.Xs_store.read store ~caller:0 path))
+
+let xs_wire_roundtrip () =
+  (* The message protocol behind Fig 5's xenstore category. *)
+  Staged.stage (fun () ->
+      let buf =
+        Lightvm_xenstore.Xs_wire.pack Lightvm_xenstore.Xs_wire.Write
+          ~req_id:1l ~tx_id:0l
+          [ "/local/domain/1/name"; "guest-1" ]
+      in
+      ignore (Lightvm_xenstore.Xs_wire.unpack buf))
+
+let xs_transaction () =
+  (* Fig 17's conflict machinery. *)
+  let store = Lightvm_xenstore.Xs_store.create () in
+  let path = Lightvm_xenstore.Xs_path.of_string "/t/a" in
+  Staged.stage (fun () ->
+      let tx = Lightvm_xenstore.Xs_transaction.start store ~id:1 in
+      ignore (Lightvm_xenstore.Xs_transaction.write tx ~caller:0 path "v");
+      ignore (Lightvm_xenstore.Xs_transaction.commit tx ~into:store))
+
+let event_heap () =
+  (* The simulation engine behind every figure. *)
+  let heap = Lightvm_sim.Heap.create () in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      ignore (Lightvm_sim.Heap.push heap ~time:(float_of_int !i) ());
+      if !i mod 2 = 0 then ignore (Lightvm_sim.Heap.pop heap))
+
+let minipy_run () =
+  (* Fig 17/18's per-request program. *)
+  Staged.stage (fun () ->
+      ignore
+        (Lightvm_minipy.Interp.run
+           "total = 0\nfor i in range(50):\n    total += i\n"))
+
+let firewall_eval () =
+  (* Fig 16a's per-packet work. *)
+  let rs = Lightvm_workloads.Firewall.personal_ruleset ~user_id:7 in
+  let pkt =
+    { Lightvm_workloads.Firewall.src_ip = 0x0a000007;
+      dst_ip = 0x08080808; pkt_proto = `Tcp; pkt_dport = 443 }
+  in
+  Staged.stage (fun () ->
+      ignore (Lightvm_workloads.Firewall.eval rs pkt))
+
+let vmconfig_parse () =
+  (* Fig 8/9's phase 6. *)
+  let text =
+    "name = \"g\"\nkernel = \"daytime\"\nmemory = 4\nvcpus = 1\n\
+     vif = ['bridge=xenbr0']\n"
+  in
+  Staged.stage (fun () -> ignore (Lightvm_toolstack.Vmconfig.parse text))
+
+let kconfig_prune () =
+  (* Tinyx's kernel-minimisation loop (Section 3.2). *)
+  Staged.stage (fun () ->
+      let base =
+        Lightvm_tinyx.Kconfig.for_platform Lightvm_tinyx.Kconfig_types.Xen_pv
+      in
+      ignore
+        (Lightvm_tinyx.Kconfig.prune
+           ~platform:Lightvm_tinyx.Kconfig_types.Xen_pv ~app:"nginx" base))
+
+let tls_handshake () =
+  (* Fig 16c's protocol state machine. *)
+  Staged.stage (fun () ->
+      ignore
+        (List.fold_left
+           (fun state msg ->
+             match Lightvm_net.Tls.step state msg with
+             | Ok s -> s
+             | Error _ -> state)
+           Lightvm_net.Tls.initial Lightvm_net.Tls.handshake_messages))
+
+let micro_tests =
+  [
+    Test.make ~name:"fig5/fig9: xenstore write+read" (xs_store_ops ());
+    Test.make ~name:"fig5: xs wire pack/unpack" (xs_wire_roundtrip ());
+    Test.make ~name:"fig17: xenstore transaction" (xs_transaction ());
+    Test.make ~name:"all figs: event heap push/pop" (event_heap ());
+    Test.make ~name:"fig17/18: minipy program" (minipy_run ());
+    Test.make ~name:"fig16a: firewall rule eval" (firewall_eval ());
+    Test.make ~name:"fig8/9: vm config parse" (vmconfig_parse ());
+    Test.make ~name:"tinyx: kconfig prune loop" (kconfig_prune ());
+    Test.make ~name:"fig16c: TLS handshake steps" (tls_handshake ());
+  ]
+
+let () =
+  section "Bechamel micro-benchmarks (real time per op)" "";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) ->
+              Printf.printf "  %-40s %12.1f ns/op\n" name est
+          | Some [] | None ->
+              Printf.printf "  %-40s (no estimate)\n" name)
+        analyzed)
+    micro_tests;
+  Printf.printf "\nbench complete in %.1f s\n"
+    (Unix.gettimeofday () -. t_start)

@@ -1,0 +1,298 @@
+(* Command-line front end.
+
+     lightvm_cli figure fig9 -n 500      reproduce one figure
+     lightvm_cli list                    figures available
+     lightvm_cli headline                abstract's numbers
+     lightvm_cli tinyx --app nginx       run the Tinyx build system
+     lightvm_cli minipy -e 'print(1+2)'  run the mini-Python interpreter
+     lightvm_cli boot --image daytime --mode lightvm
+*)
+
+module E = Lightvm.Experiment
+module Series = Lightvm_metrics.Series
+module Table = Lightvm_metrics.Table
+module Image = Lightvm_guest.Image
+module Mode = Lightvm_toolstack.Mode
+module Create = Lightvm_toolstack.Create
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared printing *)
+
+let print_labelled (series : E.labelled list) =
+  List.iter
+    (fun l ->
+      Printf.printf "# %s\n" l.E.label;
+      List.iter
+        (fun (x, y) -> Printf.printf "%g\t%.3f\n" x y)
+        (Series.points l.E.series);
+      print_newline ())
+    series
+
+let print_table t = Format.printf "%a@." Table.pp t
+
+(* ------------------------------------------------------------------ *)
+(* figure *)
+
+let figures =
+  [ "fig1"; "fig2"; "fig4"; "fig5"; "fig9"; "fig10"; "fig11"; "fig12";
+    "fig13"; "fig14"; "fig15"; "fig16a"; "fig16b"; "fig16c"; "fig17";
+    "fig18" ]
+
+let run_figure id n =
+  match id with
+  | "fig1" ->
+      let table, slope = E.fig1_syscall_growth () in
+      print_table table;
+      Printf.printf "growth: %.1f syscalls/year\n" slope
+  | "fig2" ->
+      let s = E.fig2_boot_vs_image_size () in
+      List.iter
+        (fun (x, y) -> Printf.printf "%g\t%.2f\n" x y)
+        (Series.points s)
+  | "fig4" -> print_labelled (E.fig4_instantiation ~n ())
+  | "fig5" -> print_labelled (E.fig5_breakdown ~n ())
+  | "fig9" -> print_labelled (E.fig9_create_times ~n ())
+  | "fig10" -> print_labelled (E.fig10_density ~vms:n ~containers:n ())
+  | "fig11" -> print_labelled (E.fig11_boot_compare ~n ())
+  | "fig12" ->
+      let save, restore = E.fig12_checkpoint ~n () in
+      Printf.printf "## save\n";
+      print_labelled save;
+      Printf.printf "## restore\n";
+      print_labelled restore
+  | "fig13" -> print_labelled (E.fig13_migration ~n ())
+  | "fig14" -> print_labelled (E.fig14_memory ~n ())
+  | "fig15" -> print_labelled (E.fig15_cpu_usage ~n ())
+  | "fig16a" -> print_table (E.fig16a_firewall ())
+  | "fig16b" -> print_labelled (E.fig16b_jit ~clients:n ())
+  | "fig16c" -> print_labelled (E.fig16c_tls ())
+  | "fig17" -> print_labelled (fst (E.fig17_18_lambda ~requests:n ()))
+  | "fig18" -> print_labelled (snd (E.fig17_18_lambda ~requests:n ()))
+  | other ->
+      Printf.eprintf "unknown figure %S; try: %s\n" other
+        (String.concat " " figures);
+      exit 1
+
+let figure_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FIGURE" ~doc:"Figure id, e.g. fig9.")
+  in
+  let n =
+    Arg.(value & opt int 200
+         & info [ "n" ] ~docv:"N"
+             ~doc:"Scale (guests/clients/requests, figure-dependent).")
+  in
+  let doc = "Reproduce one of the paper's figures." in
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const run_figure $ id $ n)
+
+let list_cmd =
+  let doc = "List the reproducible figures." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(const (fun () -> List.iter print_endline figures) $ const ())
+
+let headline_cmd =
+  let doc = "Print the abstract's headline numbers, paper vs measured." in
+  Cmd.v (Cmd.info "headline" ~doc)
+    Term.(
+      const (fun () ->
+          print_table (E.headline_numbers ());
+          print_table (E.tinyx_table ()))
+      $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* tinyx *)
+
+let run_tinyx app no_prune =
+  match
+    Lightvm_tinyx.Build.build
+      (Lightvm_tinyx.Build.spec ~app ~prune_kernel:(not no_prune) ())
+  with
+  | Error msg ->
+      Printf.eprintf "build failed: %s\n" msg;
+      exit 1
+  | Ok r ->
+      Printf.printf "packages: %s\n"
+        (String.concat ", " r.Lightvm_tinyx.Build.packages);
+      Printf.printf "blacklisted: %s\n"
+        (String.concat ", " r.Lightvm_tinyx.Build.blacklisted);
+      Printf.printf "distribution: %d KB\n"
+        r.Lightvm_tinyx.Build.distribution_kb;
+      Printf.printf "kernel: %d KB (debian: %d KB), runtime %d KB\n"
+        r.Lightvm_tinyx.Build.kernel_kb
+        r.Lightvm_tinyx.Build.debian_kernel_kb
+        r.Lightvm_tinyx.Build.kernel_runtime_kb;
+      Printf.printf "image: %.1f MB disk, %.1f MB memory\n"
+        r.Lightvm_tinyx.Build.image.Image.disk_mb
+        r.Lightvm_tinyx.Build.image.Image.mem_mb
+
+let tinyx_cmd =
+  let app_arg =
+    Arg.(value & opt string "nginx"
+         & info [ "app" ] ~docv:"APP" ~doc:"Application package.")
+  in
+  let no_prune =
+    Arg.(value & flag
+         & info [ "no-prune" ] ~doc:"Skip the kernel-pruning loop.")
+  in
+  let doc = "Build a Tinyx image (Section 3.2)." in
+  Cmd.v (Cmd.info "tinyx" ~doc)
+    Term.(const run_tinyx $ app_arg $ no_prune)
+
+(* ------------------------------------------------------------------ *)
+(* minipy *)
+
+let run_minipy expr file =
+  let source =
+    match (expr, file) with
+    | Some e, _ -> e
+    | None, Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | None, None ->
+        Printf.eprintf "need -e PROGRAM or a file argument\n";
+        exit 1
+  in
+  match Lightvm_minipy.Interp.run source with
+  | Ok outcome ->
+      List.iter print_endline outcome.Lightvm_minipy.Interp.stdout;
+      Printf.eprintf "(%d steps)\n" outcome.Lightvm_minipy.Interp.steps
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let minipy_cmd =
+  let expr =
+    Arg.(value & opt (some string) None
+         & info [ "e" ] ~docv:"PROGRAM" ~doc:"Program text.")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let doc = "Run a program through the Minipython interpreter." in
+  Cmd.v (Cmd.info "minipy" ~doc) Term.(const run_minipy $ expr $ file)
+
+(* ------------------------------------------------------------------ *)
+(* boot *)
+
+let mode_of_string = function
+  | "xl" -> Some Mode.xl
+  | "chaos-xs" -> Some Mode.chaos_xs
+  | "chaos-xs-split" -> Some Mode.chaos_xs_split
+  | "chaos-noxs" -> Some Mode.chaos_noxs
+  | "lightvm" -> Some Mode.lightvm
+  | _ -> None
+
+let run_boot image_name mode_name count =
+  let image =
+    match Image.find image_name with
+    | Some i -> i
+    | None ->
+        Printf.eprintf "unknown image %S; known: %s\n" image_name
+          (String.concat ", "
+             (List.map (fun i -> i.Image.name) Image.all));
+        exit 1
+  in
+  let mode =
+    match mode_of_string mode_name with
+    | Some m -> m
+    | None ->
+        Printf.eprintf
+          "unknown mode %S (xl, chaos-xs, chaos-xs-split, chaos-noxs, \
+           lightvm)\n"
+          mode_name;
+        exit 1
+  in
+  ignore
+    (Lightvm_sim.Engine.run (fun () ->
+         let host = Lightvm.Host.create ~mode () in
+         if mode.Mode.split then
+           Lightvm.Host.prefill_pool_for host image ~nics:1 ~disks:0;
+         for i = 1 to count do
+           let vm, c, b = Lightvm.Host.create_and_boot_time host image in
+           Printf.printf
+             "vm %3d %-14s domid %4d  create %8.2f ms  boot %8.2f ms\n" i
+             vm.Create.vm_name vm.Create.domid (c *. 1e3) (b *. 1e3)
+         done;
+         Lightvm_sim.Engine.stop ()))
+
+let boot_cmd =
+  let image =
+    Arg.(value & opt string "daytime"
+         & info [ "image" ] ~docv:"IMAGE" ~doc:"Guest image name.")
+  in
+  let mode =
+    Arg.(value & opt string "lightvm"
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Toolstack mode.")
+  in
+  let count =
+    Arg.(value & opt int 3
+         & info [ "count" ] ~docv:"N" ~doc:"How many VMs to boot.")
+  in
+  let doc = "Boot VMs on a simulated host and print timings." in
+  Cmd.v (Cmd.info "boot" ~doc)
+    Term.(const run_boot $ image $ mode $ count)
+
+(* ------------------------------------------------------------------ *)
+(* xenstore: boot guests on the classic path and dump the store *)
+
+let run_xenstore count =
+  ignore
+    (Lightvm_sim.Engine.run (fun () ->
+         let host = Lightvm.Host.create ~mode:Mode.chaos_xs () in
+         for _ = 1 to count do
+           ignore (Lightvm.Host.boot_vm host Image.daytime)
+         done;
+         let server =
+           Lightvm_toolstack.Toolstack.xs_server
+             (Lightvm.Host.toolstack host)
+         in
+         let store = Lightvm_xenstore.Xs_server.store server in
+         Printf.printf
+           "XenStore after creating %d guest(s) (%d nodes, generation \
+            %d):\n"
+           count
+           (Lightvm_xenstore.Xs_store.node_count store)
+           (Lightvm_xenstore.Xs_store.generation store);
+         Lightvm_xenstore.Xs_store.iter store
+           (fun ~path ~value ~perms ->
+             Printf.printf "%-52s = %-14S  (%s)\n"
+               (Lightvm_xenstore.Xs_path.to_string path)
+               value
+               (Lightvm_xenstore.Xs_perms.to_string perms));
+         let counters = Lightvm_xenstore.Xs_server.counters server in
+         Printf.printf
+           "\ndaemon: %d ops, %d watch events, %d commits, %d conflicts, \
+            %.2f ms busy\n"
+           counters.Lightvm_xenstore.Xs_server.ops
+           counters.Lightvm_xenstore.Xs_server.watch_events
+           counters.Lightvm_xenstore.Xs_server.tx_commits
+           counters.Lightvm_xenstore.Xs_server.tx_conflicts
+           (counters.Lightvm_xenstore.Xs_server.busy_time *. 1e3);
+         Lightvm_sim.Engine.stop ()))
+
+let xenstore_cmd =
+  let count =
+    Arg.(value & opt int 2
+         & info [ "count" ] ~docv:"N" ~doc:"Guests to create first.")
+  in
+  let doc = "Dump the XenStore contents after creating guests." in
+  Cmd.v (Cmd.info "xenstore" ~doc) Term.(const run_xenstore $ count)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "LightVM (SOSP'17) reproduction toolkit" in
+  let info = Cmd.info "lightvm_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ figure_cmd; list_cmd; headline_cmd; tinyx_cmd; minipy_cmd;
+            boot_cmd; xenstore_cmd ]))

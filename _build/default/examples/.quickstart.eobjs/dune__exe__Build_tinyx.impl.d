@@ -1,0 +1,1 @@
+examples/build_tinyx.ml: Lightvm Lightvm_guest Lightvm_sim Lightvm_tinyx Lightvm_toolstack List Printf String

@@ -1,0 +1,1 @@
+examples/edge_firewalls.ml: Lightvm_workloads List Printf

@@ -1,0 +1,1 @@
+examples/lambda_service.ml: Float Lightvm_minipy Lightvm_toolstack Lightvm_workloads List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lightvm Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_toolstack List Printf

@@ -1,0 +1,1 @@
+lib/container/docker.ml: Hashtbl Layers Lightvm_hv Lightvm_sim List Machine

@@ -1,0 +1,1 @@
+lib/container/docker.mli: Layers Machine

@@ -1,0 +1,1 @@
+lib/container/machine.ml: Fun Lightvm_hv Lightvm_sim List

@@ -1,0 +1,1 @@
+lib/container/machine.mli: Lightvm_hv Lightvm_sim

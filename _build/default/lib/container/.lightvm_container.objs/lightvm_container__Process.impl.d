@@ -1,0 +1,1 @@
+lib/container/process.ml: Hashtbl Lightvm_hv Lightvm_sim Machine

@@ -1,0 +1,1 @@
+lib/container/process.mli: Lightvm_sim Machine

@@ -1,0 +1,57 @@
+type layer = {
+  digest : string;
+  size_kb : int;
+}
+
+type image = {
+  image_name : string;
+  layers : layer list;
+}
+
+type store = { known : (string, layer) Hashtbl.t }
+
+let create_store () = { known = Hashtbl.create 16 }
+
+let pull store image =
+  List.fold_left
+    (fun acc layer ->
+      if Hashtbl.mem store.known layer.digest then acc
+      else begin
+        Hashtbl.replace store.known layer.digest layer;
+        acc + layer.size_kb
+      end)
+    0 image.layers
+
+let stored_kb store =
+  Hashtbl.fold (fun _ l acc -> acc + l.size_kb) store.known 0
+
+let layer_count store = Hashtbl.length store.known
+
+let image_size_kb image =
+  List.fold_left (fun acc l -> acc + l.size_kb) 0 image.layers
+
+let alpine_base = { digest = "sha256:alpine-base"; size_kb = 4_900 }
+
+let micropython_image =
+  {
+    image_name = "micropython";
+    layers =
+      [ alpine_base; { digest = "sha256:mpy-bin"; size_kb = 760 } ];
+  }
+
+let alpine_noop =
+  {
+    image_name = "alpine-noop";
+    layers = [ alpine_base; { digest = "sha256:noop"; size_kb = 12 } ];
+  }
+
+let nginx_image =
+  {
+    image_name = "nginx";
+    layers =
+      [
+        { digest = "sha256:debian-slim"; size_kb = 31_000 };
+        { digest = "sha256:nginx-bin"; size_kb = 17_500 };
+        { digest = "sha256:nginx-conf"; size_kb = 40 };
+      ];
+  }

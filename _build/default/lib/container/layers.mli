@@ -1,0 +1,36 @@
+(** Container images as stacks of content-addressed layers.
+
+    Layers are shared: pulling two images with a common base stores the
+    base once; running many containers from one image shares all its
+    read-only layers and gives each container only a writable upper
+    layer. *)
+
+type layer = {
+  digest : string;
+  size_kb : int;
+}
+
+type image = {
+  image_name : string;
+  layers : layer list;  (** base first *)
+}
+
+type store
+
+val create_store : unit -> store
+
+val pull : store -> image -> int
+(** Register an image; returns the KiB actually added (shared layers
+    are free). *)
+
+val stored_kb : store -> int
+
+val layer_count : store -> int
+
+val image_size_kb : image -> int
+
+val micropython_image : image
+
+val alpine_noop : image
+
+val nginx_image : image

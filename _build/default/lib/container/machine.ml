@@ -1,0 +1,46 @@
+module Params = Lightvm_hv.Params
+module Frames = Lightvm_hv.Frames
+module Cpu = Lightvm_sim.Cpu
+
+type t = {
+  platform : Params.platform;
+  cpu : Cpu.t;
+  mem : Frames.t;
+  mutable rr : int;
+}
+
+let kernel_owner = -1
+
+let kernel_mem_kb = 600 * 1024 (* host kernel + base system *)
+
+let create ?(platform = Params.xeon_e5_1630) () =
+  let mem = Frames.create ~total_kb:(platform.Params.ram_mb * 1024) in
+  (match Frames.alloc mem ~owner:kernel_owner ~kb:kernel_mem_kb with
+  | Ok () -> ()
+  | Error Frames.ENOMEM -> invalid_arg "Machine.create: host too small");
+  {
+    platform;
+    cpu =
+      Cpu.create ~speed:platform.Params.speed ~ncores:platform.Params.cores
+        ();
+    mem;
+    rr = 0;
+  }
+
+let platform t = t.platform
+let cpu t = t.cpu
+let mem t = t.mem
+
+let consume t ~core work = Cpu.consume t.cpu ~core work
+
+let consume_any t work =
+  let cores = List.init t.platform.Params.cores Fun.id in
+  Cpu.consume t.cpu ~core:(Cpu.pick_least_loaded t.cpu ~cores) work
+
+let pick_core t =
+  let core = t.rr mod t.platform.Params.cores in
+  t.rr <- t.rr + 1;
+  core
+
+let free_mem_kb t = Frames.free_kb t.mem
+let used_mem_kb t = Frames.used_kb t.mem

@@ -1,0 +1,29 @@
+(** A bare-metal Linux host (no hypervisor) for the container and
+    process baselines: the same physical CPU/memory model as the Xen
+    hosts, so comparisons are apples-to-apples. *)
+
+type t
+
+val create : ?platform:Lightvm_hv.Params.platform -> unit -> t
+(** Reserves the kernel's own memory slice. *)
+
+val platform : t -> Lightvm_hv.Params.platform
+
+val cpu : t -> Lightvm_sim.Cpu.t
+
+val mem : t -> Lightvm_hv.Frames.t
+
+val kernel_owner : int
+(** Owner id used for kernel/base-system memory. *)
+
+val consume : t -> core:int -> float -> unit
+
+val consume_any : t -> float -> unit
+(** Run work on the least-loaded core. *)
+
+val pick_core : t -> int
+(** Round-robin core assignment for new workloads. *)
+
+val free_mem_kb : t -> int
+
+val used_mem_kb : t -> int

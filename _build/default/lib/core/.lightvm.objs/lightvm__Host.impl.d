@@ -1,0 +1,1 @@
+lib/core/host.ml: Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_toolstack List Printf

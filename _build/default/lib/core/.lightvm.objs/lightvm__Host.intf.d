@@ -1,0 +1,1 @@
+lib/core/host.mli: Lightvm_guest Lightvm_hv Lightvm_toolstack Lightvm_xenstore

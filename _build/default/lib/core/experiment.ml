@@ -1,0 +1,730 @@
+module Engine = Lightvm_sim.Engine
+module Rng = Lightvm_sim.Rng
+module Cpu = Lightvm_sim.Cpu
+module Series = Lightvm_metrics.Series
+module Table = Lightvm_metrics.Table
+module Params = Lightvm_hv.Params
+module Xen = Lightvm_hv.Xen
+module Image = Lightvm_guest.Image
+module Guest = Lightvm_guest.Guest
+module Mode = Lightvm_toolstack.Mode
+module Create = Lightvm_toolstack.Create
+module Toolstack = Lightvm_toolstack.Toolstack
+module Checkpoint = Lightvm_toolstack.Checkpoint
+module Migrate = Lightvm_toolstack.Migrate
+module Machine = Lightvm_container.Machine
+module Docker = Lightvm_container.Docker
+module Process = Lightvm_container.Process
+module Layers = Lightvm_container.Layers
+module Syscalls = Lightvm_workloads.Syscalls
+module Firewall = Lightvm_workloads.Firewall
+module Jit = Lightvm_workloads.Jit
+module Tls_term = Lightvm_workloads.Tls_term
+module Lambda = Lightvm_workloads.Lambda
+
+type labelled = {
+  label : string;
+  series : Series.t;
+}
+
+(* Run a self-contained simulation and return its result; guests with
+   periodic background load would keep the event loop alive forever,
+   so the simulation is stopped once the experiment body returns. *)
+let run_sim f =
+  let result = ref None in
+  ignore
+    (Engine.run (fun () ->
+         result := Some (f ());
+         Engine.stop ()));
+  match !result with
+  | Some r -> r
+  | None -> failwith "simulation did not complete"
+
+let ms x = x *. 1e3
+
+let mk label unit_label = Series.create ~unit_label ~name:label ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig 1 *)
+
+let fig1_syscall_growth () =
+  let table =
+    Table.create ~title:"Fig 1: Linux syscall API growth (x86_32)"
+      ~columns:[ "year"; "release"; "syscalls" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [ string_of_int p.Syscalls.year; p.Syscalls.version;
+          string_of_int p.Syscalls.syscalls ])
+    Syscalls.data;
+  (table, Syscalls.growth_per_year ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 2 *)
+
+let fig2_boot_vs_image_size
+    ?(sizes_mb = [ 0.; 50.; 100.; 200.; 400.; 600.; 800.; 1000. ]) () =
+  let series = mk "fig2-boot-vs-image-size" "ms" in
+  run_sim (fun () ->
+      let host = Host.create ~mode:Mode.lightvm () in
+      List.iter
+        (fun extra ->
+          let image = Image.with_inflated_image Image.daytime ~extra_mb:extra in
+          let vm, t_create, t_boot =
+            Host.create_and_boot_time host image
+          in
+          Series.add series ~x:(Image.daytime.Image.disk_mb +. extra)
+            ~y:(ms (t_create +. t_boot));
+          Host.destroy_vm host vm)
+        sizes_mb);
+  series
+
+(* ------------------------------------------------------------------ *)
+(* Fig 4 *)
+
+let vm_instantiation_series ~mode ~image ~nics ~disks ~n ~label_prefix =
+  let create_series = mk (label_prefix ^ " create") "ms" in
+  let boot_series = mk (label_prefix ^ " boot") "ms" in
+  run_sim (fun () ->
+      let host = Host.create ~mode () in
+      if mode.Mode.split then Host.prefill_pool_for host image ~nics ~disks;
+      for i = 1 to n do
+        let _vm, t_create, t_boot =
+          Host.create_and_boot_time host ~nics ~disks image
+        in
+        Series.add create_series ~x:(float_of_int i) ~y:(ms t_create);
+        Series.add boot_series ~x:(float_of_int i) ~y:(ms t_boot)
+      done);
+  [
+    { label = label_prefix ^ " Create"; series = create_series };
+    { label = label_prefix ^ " Boot"; series = boot_series };
+  ]
+
+let docker_series ~platform ~image ~n ~label =
+  let series = mk (label ^ " run") "ms" in
+  run_sim (fun () ->
+      let machine = Machine.create ~platform () in
+      let engine = Docker.create machine in
+      (try
+         for i = 1 to n do
+           let t0 = Engine.now () in
+           match
+             Docker.run engine ~image ~name:(Printf.sprintf "c%d" i) ()
+           with
+           | Ok _ ->
+               Series.add series ~x:(float_of_int i)
+                 ~y:(ms (Engine.now () -. t0))
+           | Error _ -> raise Exit
+         done
+       with Exit -> ()));
+  { label; series }
+
+let process_series ~n =
+  let series = mk "process create" "ms" in
+  run_sim (fun () ->
+      let machine = Machine.create () in
+      let procs = Process.create machine ~rng:(Rng.create 7L) in
+      for i = 1 to n do
+        let t0 = Engine.now () in
+        ignore (Process.fork_exec procs ~name:(Printf.sprintf "p%d" i) ());
+        Series.add series ~x:(float_of_int i)
+          ~y:(ms (Engine.now () -. t0))
+      done);
+  { label = "Process Create"; series }
+
+let fig4_instantiation ?(n = 200) () =
+  vm_instantiation_series ~mode:Mode.xl ~image:Image.debian ~nics:1
+    ~disks:1 ~n ~label_prefix:"Debian"
+  @ vm_instantiation_series ~mode:Mode.xl ~image:Image.tinyx ~nics:1
+      ~disks:0 ~n ~label_prefix:"Tinyx"
+  @ vm_instantiation_series ~mode:Mode.xl ~image:Image.daytime ~nics:1
+      ~disks:0 ~n ~label_prefix:"MiniOS"
+  @ [
+      docker_series ~platform:Params.xeon_e5_1630
+        ~image:Layers.micropython_image ~n ~label:"Docker Run";
+      process_series ~n;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5 *)
+
+let fig5_breakdown ?(n = 200) ?(sample = 10) () =
+  let series_for =
+    List.map
+      (fun cat -> (cat, mk ("fig5 " ^ Create.category_name cat) "ms"))
+      Create.categories
+  in
+  run_sim (fun () ->
+      let host = Host.create ~mode:Mode.xl () in
+      for i = 1 to n do
+        let vm, _, _ =
+          Host.create_and_boot_time host ~nics:1 ~disks:1 Image.debian
+        in
+        if i mod sample = 0 || i = 1 then
+          List.iter
+            (fun (cat, series) ->
+              Series.add series ~x:(float_of_int i)
+                ~y:(ms (Create.breakdown_get vm.Create.breakdown cat)))
+            series_for
+      done);
+  List.map
+    (fun (cat, series) -> { label = Create.category_name cat; series })
+    series_for
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9 *)
+
+let fig9_create_times ?(n = 200) () =
+  List.concat_map
+    (fun mode ->
+      let label = Mode.name mode in
+      let series = mk ("fig9 " ^ label) "ms" in
+      run_sim (fun () ->
+          let host = Host.create ~mode () in
+          if mode.Mode.split then
+            Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+          for i = 1 to n do
+            let _vm, t_create, t_boot =
+              Host.create_and_boot_time host ~nics:1 Image.daytime
+            in
+            Series.add series ~x:(float_of_int i)
+              ~y:(ms (t_create +. t_boot))
+          done);
+      [ { label; series } ])
+    Mode.all_modes
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10 *)
+
+let fig10_density ?(vms = 4000) ?(containers = 4000) () =
+  let lightvm_series = mk "fig10 LightVM" "ms" in
+  run_sim (fun () ->
+      let host =
+        Host.create ~platform:Params.amd_opteron_6376 ~mode:Mode.lightvm ()
+      in
+      Host.prefill_pool_for host Image.noop_unikernel ~nics:0 ~disks:0;
+      try
+        for i = 1 to vms do
+          let _vm, t_create, t_boot =
+            Host.create_and_boot_time host ~nics:0 Image.noop_unikernel
+          in
+          Series.add lightvm_series ~x:(float_of_int i)
+            ~y:(ms (t_create +. t_boot))
+        done
+      with Create.Create_failed _ -> ());
+  let docker =
+    docker_series ~platform:Params.amd_opteron_6376
+      ~image:Layers.alpine_noop ~n:containers ~label:"Docker"
+  in
+  [ { label = "LightVM"; series = lightvm_series }; docker ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11 *)
+
+let fig11_boot_compare ?(n = 200) () =
+  let unikernel =
+    vm_instantiation_series ~mode:Mode.lightvm ~image:Image.daytime
+      ~nics:1 ~disks:0 ~n ~label_prefix:"Unikernel over LightVM"
+  in
+  let tinyx =
+    vm_instantiation_series ~mode:Mode.lightvm ~image:Image.tinyx ~nics:1
+      ~disks:0 ~n ~label_prefix:"Tinyx over LightVM"
+  in
+  let total label parts =
+    (* create+boot combined, as the paper plots boot-to-usable. *)
+    let combined = mk (label ^ " total") "ms" in
+    (match parts with
+    | [ { series = create; _ }; { series = boot; _ } ] ->
+        List.iter2
+          (fun (x, c) (_, b) -> Series.add combined ~x ~y:(c +. b))
+          (Series.points create) (Series.points boot)
+    | _ -> ());
+    { label; series = combined }
+  in
+  [
+    total "Unikernel over LightVM" unikernel;
+    total "Tinyx over LightVM" tinyx;
+    docker_series ~platform:Params.xeon_e5_1630
+      ~image:Layers.micropython_image ~n ~label:"Docker";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figs 12 and 13 *)
+
+let checkpoint_modes = [ Mode.xl; Mode.chaos_xs; Mode.chaos_noxs; Mode.lightvm ]
+
+let fig12_checkpoint ?(n = 200) ?(batch = 10) () =
+  let per_mode =
+    List.map
+      (fun mode ->
+        let label = Mode.name mode in
+        let save_series = mk ("fig12a " ^ label) "ms" in
+        let restore_series = mk ("fig12b " ^ label) "ms" in
+        run_sim (fun () ->
+            let host = Host.create ~mode () in
+            if mode.Mode.split then
+              Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+            let ts = Host.toolstack host in
+            let rng = Rng.create 33L in
+            let rounds = n / batch in
+            for round = 1 to rounds do
+              (* Bring the population up to round*batch guests. *)
+              while Host.vm_count host < round * batch do
+                ignore (Host.boot_vm host Image.daytime)
+              done;
+              (* Checkpoint [batch] randomly chosen guests. *)
+              let victims = Array.of_list (Toolstack.vms ts) in
+              Rng.shuffle rng victims;
+              let victims =
+                Array.to_list (Array.sub victims 0 batch)
+              in
+              let t0 = Engine.now () in
+              let saved = List.map (Checkpoint.save ts) victims in
+              let t_save =
+                (Engine.now () -. t0) /. float_of_int batch
+              in
+              let t1 = Engine.now () in
+              let restored = List.map (Checkpoint.restore ts) saved in
+              List.iter
+                (fun vm -> Guest.wait_ready vm.Create.guest)
+                restored;
+              let t_restore =
+                (Engine.now () -. t1) /. float_of_int batch
+              in
+              let x = float_of_int (round * batch) in
+              Series.add save_series ~x ~y:(ms t_save);
+              Series.add restore_series ~x ~y:(ms t_restore)
+            done);
+        ( { label; series = save_series },
+          { label; series = restore_series } ))
+      checkpoint_modes
+  in
+  (List.map fst per_mode, List.map snd per_mode)
+
+let fig13_migration ?(n = 200) ?(batch = 10) () =
+  List.map
+    (fun mode ->
+      let label = Mode.name mode in
+      let series = mk ("fig13 " ^ label) "ms" in
+      run_sim (fun () ->
+          let src = Host.create ~mode () in
+          let dst = Host.create ~mode () in
+          if mode.Mode.split then
+            Host.prefill_pool_for src Image.daytime ~nics:1 ~disks:0;
+          let rng = Rng.create 44L in
+          let rounds = n / batch in
+          for round = 1 to rounds do
+            while Host.vm_count src < round * batch do
+              ignore (Host.boot_vm src Image.daytime)
+            done;
+            let victims = Array.of_list (Toolstack.vms (Host.toolstack src)) in
+            Rng.shuffle rng victims;
+            let victims = Array.to_list (Array.sub victims 0 batch) in
+            let t0 = Engine.now () in
+            List.iter
+              (fun vm ->
+                let resumed, _stats =
+                  Migrate.migrate ~src:(Host.toolstack src)
+                    ~dst:(Host.toolstack dst) vm
+                in
+                Guest.wait_ready resumed.Create.guest)
+              victims;
+            let avg = (Engine.now () -. t0) /. float_of_int batch in
+            Series.add series ~x:(float_of_int (round * batch)) ~y:(ms avg)
+            (* The outer while-loop replaces the migrated guests on the
+               source host before the next round, as in the paper. *)
+          done);
+      { label; series })
+    checkpoint_modes
+
+(* ------------------------------------------------------------------ *)
+(* Fig 14 *)
+
+let fig14_memory ?(n = 400) ?(sample = 20) () =
+  let vm_memory ~image ~label =
+    let series = mk ("fig14 " ^ label) "MB" in
+    run_sim (fun () ->
+        let host = Host.create ~mode:Mode.lightvm () in
+        for i = 1 to n do
+          ignore (Host.boot_vm host ~nics:1 image);
+          if i mod sample = 0 || i = 1 then
+            Series.add series ~x:(float_of_int i)
+              ~y:(float_of_int (Host.guest_mem_kb host) /. 1024.)
+        done);
+    { label; series }
+  in
+  let docker_memory =
+    let series = mk "fig14 Docker" "MB" in
+    run_sim (fun () ->
+        let machine = Machine.create () in
+        let engine = Docker.create machine in
+        for i = 1 to n do
+          (match
+             Docker.run engine ~image:Layers.micropython_image
+               ~name:(Printf.sprintf "c%d" i) ()
+           with
+          | Ok _ -> ()
+          | Error _ -> ());
+          if i mod sample = 0 || i = 1 then
+            Series.add series ~x:(float_of_int i)
+              ~y:(float_of_int (Docker.rss_kb engine) /. 1024.)
+        done);
+    { label = "Docker Micropython"; series }
+  in
+  let process_memory =
+    let series = mk "fig14 process" "MB" in
+    run_sim (fun () ->
+        let machine = Machine.create () in
+        let procs = Process.create machine ~rng:(Rng.create 5L) in
+        for i = 1 to n do
+          ignore
+            (Process.fork_exec procs ~rss_kb:1_600
+               ~name:(Printf.sprintf "mpy%d" i) ());
+          if i mod sample = 0 || i = 1 then
+            Series.add series ~x:(float_of_int i)
+              ~y:(float_of_int (Process.rss_kb procs) /. 1024.)
+        done);
+    { label = "Micropython Process"; series }
+  in
+  [
+    vm_memory ~image:Image.debian ~label:"Debian";
+    vm_memory ~image:Image.tinyx_micropython ~label:"Tinyx";
+    docker_memory;
+    vm_memory ~image:Image.minipython ~label:"Minipython";
+    process_memory;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 15 *)
+
+let fig15_cpu_usage ?(n = 200) ?(sample = 50) ?(window = 10.) () =
+  let vm_usage ~image ~label =
+    let series = mk ("fig15 " ^ label) "%" in
+    run_sim (fun () ->
+        let host = Host.create ~mode:Mode.lightvm () in
+        let cpu = Xen.cpu (Host.xen host) in
+        for i = 1 to n do
+          ignore (Host.boot_vm host ~nics:1 image);
+          if i mod sample = 0 || i = 1 then begin
+            Cpu.reset_stats cpu;
+            let t0 = Engine.now () in
+            Engine.sleep window;
+            Series.add series ~x:(float_of_int i)
+              ~y:(100. *. Cpu.utilization cpu ~since:t0)
+          end
+        done);
+    { label; series }
+  in
+  let docker_usage =
+    let series = mk "fig15 Docker" "%" in
+    run_sim (fun () ->
+        let machine = Machine.create () in
+        let engine = Docker.create machine in
+        let cpu = Machine.cpu machine in
+        for i = 1 to n do
+          (match
+             Docker.run engine ~image:Layers.alpine_noop
+               ~name:(Printf.sprintf "c%d" i) ()
+           with
+          | Ok _ -> ()
+          | Error _ -> ());
+          if i mod sample = 0 || i = 1 then begin
+            Cpu.reset_stats cpu;
+            let t0 = Engine.now () in
+            Engine.sleep window;
+            Series.add series ~x:(float_of_int i)
+              ~y:(100. *. Cpu.utilization cpu ~since:t0)
+          end
+        done);
+    { label = "Docker"; series }
+  in
+  [
+    vm_usage ~image:Image.debian ~label:"Debian";
+    vm_usage ~image:Image.tinyx ~label:"Tinyx";
+    vm_usage ~image:Image.noop_unikernel ~label:"Unikernel";
+    docker_usage;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 7: use cases *)
+
+let fig16a_firewall ?(users = [ 1; 100; 250; 500; 750; 1000 ]) () =
+  let table =
+    Table.create
+      ~title:"Fig 16a: personal firewalls (ClickOS, 10 Mbps/user)"
+      ~columns:[ "users"; "total Gbps"; "per-user Mbps"; "RTT ms" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          string_of_int p.Firewall.active_users;
+          Printf.sprintf "%.2f" p.Firewall.total_gbps;
+          Printf.sprintf "%.1f" p.Firewall.per_user_mbps;
+          Printf.sprintf "%.1f" p.Firewall.rtt_ms;
+        ])
+    (Firewall.capacity ~users ());
+  table
+
+let fig16b_jit ?(arrivals = [ 0.010; 0.025; 0.050; 0.100 ])
+    ?(clients = 250) () =
+  List.map
+    (fun interval ->
+      let label = Printf.sprintf "%.0f ms" (interval *. 1e3) in
+      let result =
+        Jit.run
+          { Jit.default_config with
+            Jit.arrival_interval = interval;
+            clients }
+      in
+      let series = mk ("fig16b " ^ label) "cdf" in
+      List.iter
+        (fun (rtt, frac) -> Series.add series ~x:(ms rtt) ~y:frac)
+        (Lightvm_metrics.Cdf.points result.Jit.cdf);
+      { label; series })
+    arrivals
+
+let fig16c_tls ?(instances = [ 1; 5; 10; 14; 50; 100; 250; 500; 750; 1000 ])
+    () =
+  List.map
+    (fun backend ->
+      let label = Tls_term.backend_name backend in
+      let series = mk ("fig16c " ^ label) "Kreq/s" in
+      List.iter
+        (fun (n, tput) ->
+          Series.add series ~x:(float_of_int n) ~y:(tput /. 1e3))
+        (Tls_term.sweep backend ~instances);
+      { label; series })
+    [ Tls_term.Bare_metal; Tls_term.Tinyx_vm; Tls_term.Unikernel ]
+
+let fig17_18_lambda ?(requests = 400) () =
+  let run_mode mode =
+    Lambda.run { (Lambda.default_config mode) with Lambda.requests }
+  in
+  let xs = run_mode Mode.chaos_xs in
+  let lightvm = run_mode Mode.lightvm in
+  let service label (result : Lambda.result) =
+    let series = mk ("fig17 " ^ label) "s" in
+    List.iter
+      (fun (i, t) -> Series.add series ~x:(float_of_int i) ~y:t)
+      result.Lambda.service_times;
+    { label; series }
+  in
+  let concurrency label (result : Lambda.result) =
+    let series = mk ("fig18 " ^ label) "VMs" in
+    List.iter
+      (fun (t, c) ->
+        (* Samplers start at slightly different offsets per mode; round
+           to whole seconds so the series share an x grid. *)
+        Series.add series ~x:(Float.round t) ~y:(float_of_int c))
+      result.Lambda.concurrency;
+    { label; series }
+  in
+  assert (xs.Lambda.outputs_ok && lightvm.Lambda.outputs_ok);
+  ( [ service "chaos [XS]" xs; service "LightVM" lightvm ],
+    [ concurrency "chaos [XS]" xs; concurrency "LightVM" lightvm ] )
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+(* The design choices DESIGN.md calls out, isolated:
+   - oxenstored vs cxenstored (the paper's footnote: "results with
+     cxenstored show much higher overheads");
+   - access logging on/off ("disabling this logging would remove the
+     spikes, but it would not help in improving the overall creation
+     times"). *)
+let ablation_xenstore ?(n = 300) () =
+  let variant label profile =
+    let series = mk ("ablation " ^ label) "ms" in
+    run_sim (fun () ->
+        let host =
+          Host.create ~mode:Mode.chaos_xs ~xs_profile:profile ()
+        in
+        for i = 1 to n do
+          let _vm, t_create, t_boot =
+            Host.create_and_boot_time host ~nics:1 Image.daytime
+          in
+          Series.add series ~x:(float_of_int i) ~y:(ms (t_create +. t_boot))
+        done);
+    { label; series }
+  in
+  [
+    variant "oxenstored" Lightvm_xenstore.Xs_costs.oxenstored;
+    variant "cxenstored" Lightvm_xenstore.Xs_costs.cxenstored;
+    variant "oxenstored, logging off"
+      { Lightvm_xenstore.Xs_costs.oxenstored with
+        Lightvm_xenstore.Xs_costs.logging_enabled = false };
+  ]
+
+(* Section 2's third requirement: pause/unpause as fast as container
+   freeze/thaw (Amazon Lambda "freezes" and "thaws" its containers). *)
+let pause_unpause () =
+  let table =
+    Table.create
+      ~title:"Pause/unpause latency (Section 2 requirement)"
+      ~columns:[ "system"; "pause ms"; "unpause ms" ]
+  in
+  let vm_times =
+    run_sim (fun () ->
+        let host = Host.create ~mode:Mode.lightvm () in
+        let vm = Host.boot_vm host Image.daytime in
+        let xen = Host.xen host in
+        let t0 = Engine.now () in
+        (match Xen.pause xen ~domid:vm.Create.domid with
+        | Ok () -> ()
+        | Error _ -> failwith "pause failed");
+        let t_pause = Engine.now () -. t0 in
+        let t1 = Engine.now () in
+        (match Xen.unpause xen ~domid:vm.Create.domid with
+        | Ok () -> ()
+        | Error _ -> failwith "unpause failed");
+        (t_pause, Engine.now () -. t1))
+  in
+  let container_times =
+    run_sim (fun () ->
+        let machine = Machine.create () in
+        let engine = Docker.create machine in
+        match Docker.run engine ~image:Layers.alpine_noop ~name:"c" () with
+        | Error _ -> failwith "docker run failed"
+        | Ok c ->
+            let t0 = Engine.now () in
+            Docker.pause engine c;
+            let t_pause = Engine.now () -. t0 in
+            let t1 = Engine.now () in
+            Docker.unpause engine c;
+            (t_pause, Engine.now () -. t1))
+  in
+  let row name (p, u) =
+    Table.add_row table
+      [ name; Printf.sprintf "%.3f" (ms p); Printf.sprintf "%.3f" (ms u) ]
+  in
+  row "LightVM guest (hypercall)" vm_times;
+  row "Docker container (freezer cgroup)" container_times;
+  table
+
+let wan_migration () =
+  let table =
+    Table.create
+      ~title:
+        "Migration over a 1 Gbps / 10 ms RTT link (Section 7.1: \
+         ClickOS in ~150 ms)"
+      ~columns:[ "guest"; "RAM MB"; "migration ms" ]
+  in
+  List.iter
+    (fun image ->
+      let total =
+        run_sim (fun () ->
+            let mk_host () =
+              let xen = Xen.boot () in
+              Toolstack.make ~xen ~mode:Mode.lightvm
+                ~costs:Lightvm_toolstack.Costs.wan ()
+            in
+            let src = mk_host () and dst = mk_host () in
+            let cfg =
+              Lightvm_toolstack.Vmconfig.for_image ~name:"wan-guest" image
+            in
+            let created = Toolstack.create_vm_exn src cfg in
+            Guest.wait_ready created.Create.guest;
+            let _resumed, stats = Migrate.migrate ~src ~dst created in
+            stats.Migrate.total)
+      in
+      Table.add_row table
+        [
+          image.Image.name;
+          Printf.sprintf "%.1f" image.Image.mem_mb;
+          Printf.sprintf "%.0f" (ms total);
+        ])
+    [ Image.daytime; Image.clickos_firewall; Image.minipython ];
+  table
+
+(* ------------------------------------------------------------------ *)
+(* Headline numbers *)
+
+let headline_numbers () =
+  let table =
+    Table.create ~title:"Headline numbers: paper vs this reproduction"
+      ~columns:[ "metric"; "paper"; "measured" ]
+  in
+  (* Boot of the no-device noop unikernel with every optimization. *)
+  let noop_boot =
+    run_sim (fun () ->
+        let host = Host.create ~mode:Mode.lightvm () in
+        Host.prefill_pool_for host Image.noop_unikernel ~nics:0 ~disks:0;
+        let _vm, t_create, t_boot =
+          Host.create_and_boot_time host ~nics:0 Image.noop_unikernel
+        in
+        t_create +. t_boot)
+  in
+  let daytime_boot =
+    run_sim (fun () ->
+        let host = Host.create ~mode:Mode.lightvm () in
+        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+        let _vm, t_create, t_boot =
+          Host.create_and_boot_time host ~nics:1 Image.daytime
+        in
+        t_create +. t_boot)
+  in
+  let save_t, restore_t =
+    run_sim (fun () ->
+        let host = Host.create ~mode:Mode.lightvm () in
+        let vm = Host.boot_vm host Image.daytime in
+        let ts = Host.toolstack host in
+        let t0 = Engine.now () in
+        let saved = Checkpoint.save ts vm in
+        let t_save = Engine.now () -. t0 in
+        let t1 = Engine.now () in
+        let restored = Checkpoint.restore ts saved in
+        Guest.wait_ready restored.Create.guest;
+        (t_save, Engine.now () -. t1))
+  in
+  let migrate_t =
+    run_sim (fun () ->
+        let src = Host.create ~mode:Mode.lightvm () in
+        let dst = Host.create ~mode:Mode.lightvm () in
+        let vm = Host.boot_vm src Image.daytime in
+        let _resumed, stats =
+          Migrate.migrate ~src:(Host.toolstack src)
+            ~dst:(Host.toolstack dst) vm
+        in
+        stats.Migrate.total)
+  in
+  let row metric paper measured =
+    Table.add_row table [ metric; paper; measured ]
+  in
+  row "noop unikernel boot" "2.3 ms" (Printf.sprintf "%.1f ms" (ms noop_boot));
+  row "daytime create+boot (all opts)" "4 ms"
+    (Printf.sprintf "%.1f ms" (ms daytime_boot));
+  row "daytime image on disk" "480 KB"
+    (Printf.sprintf "%.0f KB" (Image.daytime.Image.disk_mb *. 1024.));
+  row "daytime running memory" "3.6 MB"
+    (Printf.sprintf "%.1f MB" Image.daytime.Image.mem_mb);
+  row "save (LightVM)" "30 ms" (Printf.sprintf "%.0f ms" (ms save_t));
+  row "restore (LightVM)" "20 ms" (Printf.sprintf "%.0f ms" (ms restore_t));
+  row "migrate (LightVM)" "60 ms" (Printf.sprintf "%.0f ms" (ms migrate_t));
+  table
+
+let tinyx_table () =
+  let table =
+    Table.create ~title:"Tinyx build system (Section 3.2)"
+      ~columns:
+        [ "app"; "packages"; "image MB"; "mem MB"; "kernel KB";
+          "debian kernel KB" ]
+  in
+  List.iter
+    (fun app ->
+      match Lightvm_tinyx.Build.build (Lightvm_tinyx.Build.spec ~app ()) with
+      | Error msg -> Table.add_row table [ app; "error: " ^ msg; ""; ""; ""; "" ]
+      | Ok r ->
+          Table.add_row table
+            [
+              app;
+              string_of_int (List.length r.Lightvm_tinyx.Build.packages);
+              Printf.sprintf "%.1f"
+                r.Lightvm_tinyx.Build.image.Image.disk_mb;
+              Printf.sprintf "%.1f" r.Lightvm_tinyx.Build.image.Image.mem_mb;
+              string_of_int r.Lightvm_tinyx.Build.kernel_kb;
+              string_of_int r.Lightvm_tinyx.Build.debian_kernel_kb;
+            ])
+    [ "nginx"; "micropython"; "redis-server"; "haproxy" ];
+  table

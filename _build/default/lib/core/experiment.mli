@@ -1,0 +1,96 @@
+(** Reproductions of every figure in the paper's evaluation (Section 6)
+    and use cases (Section 7). Each function runs one or more complete
+    simulations and returns the figure's data as labelled series or a
+    table; sizes default to laptop-friendly scales and accept the
+    paper's full parameters (see the [?n]-style arguments).
+
+    The per-experiment index lives in DESIGN.md; paper-vs-measured
+    numbers in EXPERIMENTS.md. *)
+
+module Series = Lightvm_metrics.Series
+module Table = Lightvm_metrics.Table
+
+type labelled = {
+  label : string;
+  series : Series.t;
+}
+
+val fig1_syscall_growth : unit -> Table.t * float
+(** The Linux syscall-count table and its per-year growth slope. *)
+
+val fig2_boot_vs_image_size : ?sizes_mb:float list -> unit -> Series.t
+(** Boot time (ms) of the daytime unikernel vs image size (MB),
+    images inflated with binary objects, stored on a ramdisk. *)
+
+val fig4_instantiation : ?n:int -> unit -> labelled list
+(** Creation and boot time series (x = number of running guests,
+    y = ms) for Debian/Tinyx/unikernel under xl, Docker containers and
+    processes. Paper scale: [n = 1000]. *)
+
+val fig5_breakdown : ?n:int -> ?sample:int -> unit -> labelled list
+(** xl + Debian creation-time breakdown: one series per category
+    (xenstore, devices, toolstack, load, hypervisor, config). *)
+
+val fig9_create_times : ?n:int -> unit -> labelled list
+(** Creation+boot of the daytime unikernel under all five toolstack
+    combinations. *)
+
+val fig10_density :
+  ?vms:int -> ?containers:int -> unit -> labelled list
+(** LightVM (noop unikernel, no devices) vs Docker on the 64-core AMD
+    machine. Paper scale: [vms = 8000]; Docker wedges around 3000. *)
+
+val fig11_boot_compare : ?n:int -> unit -> labelled list
+(** Unikernel and Tinyx guests over LightVM vs Docker containers. *)
+
+val fig12_checkpoint :
+  ?n:int -> ?batch:int -> unit -> labelled list * labelled list
+(** (save series, restore series) per toolstack mode; each round adds
+    [batch] guests and checkpoints [batch] random ones. *)
+
+val fig13_migration : ?n:int -> ?batch:int -> unit -> labelled list
+
+val fig14_memory : ?n:int -> ?sample:int -> unit -> labelled list
+(** Total memory usage (MB) vs instance count for Debian, Tinyx,
+    Minipython unikernel, Docker and processes. *)
+
+val fig15_cpu_usage :
+  ?n:int -> ?sample:int -> ?window:float -> unit -> labelled list
+(** Idle CPU utilisation (%% of the whole machine) vs guest count. *)
+
+val fig16a_firewall : ?users:int list -> unit -> Table.t
+(** Aggregate throughput and ping RTT for up to 1000 ClickOS firewalls. *)
+
+val fig16b_jit :
+  ?arrivals:float list -> ?clients:int -> unit -> labelled list
+(** Ping-RTT CDFs for several client inter-arrival times. *)
+
+val fig16c_tls : ?instances:int list -> unit -> labelled list
+(** TLS termination throughput vs instance count for bare metal, Tinyx
+    and the axtls unikernel. *)
+
+val fig17_18_lambda :
+  ?requests:int -> unit -> labelled list * labelled list
+(** (Fig 17 service-time series, Fig 18 concurrency-over-time series)
+    for chaos [XS] vs LightVM on the overloaded host. *)
+
+val ablation_xenstore : ?n:int -> unit -> labelled list
+(** Design-choice ablation: chaos [XS] creation times under oxenstored,
+    cxenstored (the paper's "much higher overheads" footnote), and
+    oxenstored with access logging disabled (removes the rotation
+    spikes but not the growth). *)
+
+val pause_unpause : unit -> Table.t
+(** Section 2's third requirement: pausing/unpausing a guest must be as
+    quick as freezing/thawing a container. *)
+
+val wan_migration : unit -> Table.t
+(** Migration over a 1 Gbps / 10 ms RTT link (Section 7.1 reports
+    ~150 ms for a ClickOS guest). *)
+
+val headline_numbers : unit -> Table.t
+(** The abstract's numbers: 2.3 ms boot, save/restore/migrate times,
+    image sizes and footprints — paper vs this reproduction. *)
+
+val tinyx_table : unit -> Table.t
+(** Section 3.2 build-system numbers for several applications. *)

@@ -1,0 +1,75 @@
+module Engine = Lightvm_sim.Engine
+module Params = Lightvm_hv.Params
+module Xen = Lightvm_hv.Xen
+module Frames = Lightvm_hv.Frames
+module Image = Lightvm_guest.Image
+module Guest = Lightvm_guest.Guest
+module Mode = Lightvm_toolstack.Mode
+module Vmconfig = Lightvm_toolstack.Vmconfig
+module Toolstack = Lightvm_toolstack.Toolstack
+module Create = Lightvm_toolstack.Create
+
+type t = {
+  xen : Xen.t;
+  ts : Toolstack.t;
+  mutable counter : int;
+}
+
+let create ?(platform = Params.xeon_e5_1630) ?(mode = Mode.lightvm)
+    ?xs_profile ?pool_target () =
+  let xen = Xen.boot ~platform () in
+  let ts = Toolstack.make ~xen ~mode ?xs_profile ?pool_target () in
+  { xen; ts; counter = 0 }
+
+let xen t = t.xen
+let toolstack t = t.ts
+let mode t = Toolstack.mode t.ts
+let platform t = Xen.platform t.xen
+
+let fresh_name t image =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s-%d" image.Image.name t.counter
+
+let config_for t ?name ?(nics = 1) ?(disks = 0) image =
+  let name = match name with Some n -> n | None -> fresh_name t image in
+  Vmconfig.for_image ~nics ~disks ~name image
+
+let override_for image =
+  (* Images built on the fly (inflated or Tinyx-custom) are not in the
+     static registry; hand them to the pipeline directly. *)
+  if Image.find image.Image.name = Some image then None else Some image
+
+let boot_vm t ?name ?nics ?disks image =
+  let cfg = config_for t ?name ?nics ?disks image in
+  let created =
+    Toolstack.create_vm_exn t.ts ?image_override:(override_for image) cfg
+  in
+  Guest.wait_ready created.Create.guest;
+  created
+
+let create_and_boot_time t ?name ?nics ?disks image =
+  let cfg = config_for t ?name ?nics ?disks image in
+  let t0 = Engine.now () in
+  let created =
+    Toolstack.create_vm_exn t.ts ?image_override:(override_for image) cfg
+  in
+  let t_create = Engine.now () -. t0 in
+  Guest.wait_ready created.Create.guest;
+  let t_boot = Engine.now () -. t0 -. t_create in
+  (created, t_create, t_boot)
+
+let destroy_vm t created = Toolstack.destroy_vm t.ts created
+
+let vm_count t = Toolstack.vm_count t.ts
+
+let guest_mem_kb t =
+  List.fold_left
+    (fun acc dom ->
+      let domid = Lightvm_hv.Domain.domid dom in
+      if domid = 0 then acc else acc + Xen.domain_mem_kb t.xen ~domid)
+    0
+    (Xen.domains t.xen)
+
+let prefill_pool_for t image ~nics ~disks =
+  Toolstack.prefill_pool t.ts (config_for t ~name:"pool-template" ~nics
+                                 ~disks image)

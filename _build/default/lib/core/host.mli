@@ -1,0 +1,53 @@
+(** A complete LightVM host: hypervisor + XenStore + Dom0 backends +
+    toolstack, assembled for one of the paper's testbeds and toolstack
+    modes. This is the main entry point of the library. *)
+
+type t
+
+val create :
+  ?platform:Lightvm_hv.Params.platform ->
+  ?mode:Lightvm_toolstack.Mode.t ->
+  ?xs_profile:Lightvm_xenstore.Xs_costs.profile ->
+  ?pool_target:int ->
+  unit ->
+  t
+(** Boot a host inside a running simulation. Defaults: the paper's
+    4-core Xeon, full LightVM mode (chaos + noxs + split toolstack,
+    xendevd, min-memory patch), oxenstored cost profile. *)
+
+val xen : t -> Lightvm_hv.Xen.t
+
+val toolstack : t -> Lightvm_toolstack.Toolstack.t
+
+val mode : t -> Lightvm_toolstack.Mode.t
+
+val platform : t -> Lightvm_hv.Params.platform
+
+val boot_vm :
+  t ->
+  ?name:string ->
+  ?nics:int ->
+  ?disks:int ->
+  Lightvm_guest.Image.t ->
+  Lightvm_toolstack.Create.created
+(** Create a VM from an image and block until it is up. Raises
+    {!Lightvm_toolstack.Create.Create_failed} on error. *)
+
+val create_and_boot_time :
+  t ->
+  ?name:string ->
+  ?nics:int ->
+  ?disks:int ->
+  Lightvm_guest.Image.t ->
+  Lightvm_toolstack.Create.created * float * float
+(** [(vm, create_seconds, boot_seconds)]. *)
+
+val destroy_vm : t -> Lightvm_toolstack.Create.created -> unit
+
+val vm_count : t -> int
+
+val guest_mem_kb : t -> int
+(** Memory held by guests (excluding Dom0/Xen), for the Fig 14
+    accounting. *)
+
+val prefill_pool_for : t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> unit

@@ -1,0 +1,1 @@
+lib/guest/ctrl.ml: Hashtbl Lightvm_sim

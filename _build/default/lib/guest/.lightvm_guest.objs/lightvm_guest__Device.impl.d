@@ -1,0 +1,1 @@
+lib/guest/device.ml: Format Lightvm_hv Printf

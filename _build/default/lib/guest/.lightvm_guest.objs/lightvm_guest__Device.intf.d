@@ -1,0 +1,1 @@
+lib/guest/device.mli: Format Lightvm_hv

@@ -1,0 +1,1 @@
+lib/guest/guest.ml: Ctrl Device Image Lightvm_hv Lightvm_sim Lightvm_xenstore List Noxs_front Printf Xenbus_front

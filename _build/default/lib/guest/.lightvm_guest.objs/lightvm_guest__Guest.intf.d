@@ -1,0 +1,1 @@
+lib/guest/guest.mli: Ctrl Device Image Lightvm_hv Lightvm_xenstore

@@ -1,0 +1,1 @@
+lib/guest/image.ml: List Printf

@@ -1,0 +1,1 @@
+lib/guest/noxs_front.ml: Ctrl Device Lightvm_hv Printf

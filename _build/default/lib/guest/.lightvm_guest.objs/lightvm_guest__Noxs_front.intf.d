@@ -1,0 +1,1 @@
+lib/guest/noxs_front.mli: Ctrl Device Lightvm_hv

@@ -1,0 +1,1 @@
+lib/guest/xenbus_front.ml: Device Lightvm_hv Lightvm_sim Lightvm_xenstore Printf

@@ -1,0 +1,1 @@
+lib/guest/xenbus_front.mli: Device Lightvm_hv Lightvm_xenstore

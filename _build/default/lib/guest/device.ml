@@ -1,0 +1,41 @@
+type kind = Vif | Vbd | Sysctl
+
+type config = {
+  kind : kind;
+  devid : int;
+  backend_domid : int;
+  detail : string;
+}
+
+let vif ?(backend_domid = 0) ?(bridge = "xenbr0") ~devid () =
+  { kind = Vif; devid; backend_domid; detail = "bridge=" ^ bridge }
+
+let vbd ?(backend_domid = 0) ?(target = "ramdisk") ~devid () =
+  { kind = Vbd; devid; backend_domid; detail = "target=" ^ target }
+
+let sysctl ?(backend_domid = 0) () =
+  { kind = Sysctl; devid = 0; backend_domid; detail = "power" }
+
+let kind_to_string = function
+  | Vif -> "vif"
+  | Vbd -> "vbd"
+  | Sysctl -> "sysctl"
+
+let devpage_kind = function
+  | Vif -> Lightvm_hv.Devpage.Vif
+  | Vbd -> Lightvm_hv.Devpage.Vbd
+  | Sysctl -> Lightvm_hv.Devpage.Sysctl
+
+let frontend_dir ~domid c =
+  Printf.sprintf "/local/domain/%d/device/%s/%d" domid
+    (kind_to_string c.kind) c.devid
+
+let backend_dir ~domid c =
+  Printf.sprintf "/local/domain/%d/backend/%s/%d/%d" c.backend_domid
+    (kind_to_string c.kind) domid c.devid
+
+let equal a b = a = b
+
+let pp fmt c =
+  Format.fprintf fmt "%s%d(be=%d,%s)" (kind_to_string c.kind) c.devid
+    c.backend_domid c.detail

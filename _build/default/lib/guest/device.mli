@@ -1,0 +1,33 @@
+(** Virtual device configurations shared by toolstack and guests. *)
+
+type kind = Vif | Vbd | Sysctl
+
+type config = {
+  kind : kind;
+  devid : int;
+  backend_domid : int;  (** Dom0 in all paper experiments *)
+  detail : string;  (** e.g. ["bridge=xenbr0"] or a disk spec *)
+}
+
+val vif : ?backend_domid:int -> ?bridge:string -> devid:int -> unit -> config
+
+val vbd : ?backend_domid:int -> ?target:string -> devid:int -> unit -> config
+
+val sysctl : ?backend_domid:int -> unit -> config
+(** The noxs power-management pseudo-device (Section 5.1): its shared
+    page and event channel carry suspend/shutdown requests. *)
+
+val kind_to_string : kind -> string
+
+val devpage_kind : kind -> Lightvm_hv.Devpage.kind
+
+val frontend_dir : domid:int -> config -> string
+(** XenStore frontend directory, e.g.
+    [/local/domain/5/device/vif/0]. *)
+
+val backend_dir : domid:int -> config -> string
+(** XenStore backend directory, e.g. [/local/domain/0/backend/vif/5/0]. *)
+
+val equal : config -> config -> bool
+
+val pp : Format.formatter -> config -> unit

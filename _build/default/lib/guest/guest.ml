@@ -1,0 +1,132 @@
+module Engine = Lightvm_sim.Engine
+module Xen = Lightvm_hv.Xen
+module Domain = Lightvm_hv.Domain
+
+type registry =
+  | Xenbus of Lightvm_xenstore.Xs_client.t
+  | Noxs of Ctrl.t
+
+type t = {
+  xen : Xen.t;
+  registry : registry;
+  domid : int;
+  image : Image.t;
+  devices : Device.config list;
+  ready : unit Engine.Ivar.t;
+  started_at : float;
+  mutable ready_at : float option;
+  mutable up : bool;
+  (* Bumped on every shutdown/resume so a stale idle loop (asleep
+     across a suspend/resume cycle) exits instead of doubling the
+     background load. *)
+  mutable idle_gen : int;
+}
+
+let domid t = t.domid
+let image t = t.image
+let devices t = t.devices
+let booted t = Engine.Ivar.is_full t.ready
+let wait_ready t = Engine.Ivar.read t.ready
+let is_up t = t.up
+
+let boot_time t =
+  match t.ready_at with
+  | Some at -> at -. t.started_at
+  | None -> invalid_arg "Guest.boot_time: guest not booted yet"
+
+(* Quiescing over the classic path means a XenStore control/shutdown
+   handshake (watch + acknowledgement writes); under noxs the sysctl
+   pseudo-device is a shared-page flip. *)
+let suspend_work_xenbus = 2.5e-3
+let suspend_work_noxs = 0.15e-3
+
+let suspend_work = suspend_work_xenbus
+
+(* Idle background load: Tinyx and Debian run periodic kernel/service
+   work even when idle; unikernels do not (Image.idle_tick_period =
+   infinity). *)
+let rec idle_loop t gen =
+  if t.up && t.idle_gen = gen then begin
+    let period = t.image.Image.idle_tick_period in
+    if period <> infinity then begin
+      Engine.sleep period;
+      if t.up && t.idle_gen = gen then begin
+        (match Xen.domain t.xen ~domid:t.domid with
+        | Some dom when Domain.is_running dom ->
+            Xen.consume_guest t.xen ~domid:t.domid
+              t.image.Image.idle_tick_work
+        | Some _ | None -> ());
+        idle_loop t gen
+      end
+    end
+  end
+
+let connect_devices t =
+  match t.registry with
+  | Xenbus xs ->
+      List.iter
+        (fun dev -> Xenbus_front.connect ~xs ~xen:t.xen ~domid:t.domid dev)
+        t.devices
+  | Noxs ctrl ->
+      if t.devices <> [] then begin
+        ignore (Noxs_front.map_device_page ~xen:t.xen ~domid:t.domid);
+        List.iter
+          (fun dev ->
+            Noxs_front.connect ~xen:t.xen ~ctrl ~domid:t.domid dev)
+          t.devices
+      end
+
+let boot_process t ~on_ready () =
+  Xen.consume_guest t.xen ~domid:t.domid t.image.Image.kernel_init_work;
+  connect_devices t;
+  Xen.consume_guest t.xen ~domid:t.domid t.image.Image.app_init_work;
+  t.ready_at <- Some (Engine.now ());
+  t.up <- true;
+  Engine.Ivar.fill t.ready ();
+  on_ready ();
+  idle_loop t t.idle_gen
+
+let start ~xen ~registry ~domid ~image ~devices ?(on_ready = fun () -> ())
+    () =
+  let t =
+    {
+      xen;
+      registry;
+      domid;
+      image;
+      devices;
+      ready = Engine.Ivar.create ();
+      started_at = Engine.now ();
+      ready_at = None;
+      up = false;
+      idle_gen = 0;
+    }
+  in
+  Engine.spawn ~name:(Printf.sprintf "guest-%d" domid) (boot_process t ~on_ready);
+  t
+
+let shutdown t =
+  if t.up then begin
+    t.up <- false;
+    t.idle_gen <- t.idle_gen + 1;
+    (* Guest-side quiesce: save internal state, unbind event channels
+       and device pages. *)
+    let work =
+      match t.registry with
+      | Xenbus _ -> suspend_work_xenbus
+      | Noxs _ -> suspend_work_noxs
+    in
+    match Xen.domain t.xen ~domid:t.domid with
+    | Some dom when Domain.is_running dom ->
+        Xen.consume_guest t.xen ~domid:t.domid work
+    | Some _ | None -> ()
+  end
+
+let resume t =
+  if not t.up then begin
+    t.up <- true;
+    t.idle_gen <- t.idle_gen + 1;
+    let gen = t.idle_gen in
+    Engine.spawn ~name:(Printf.sprintf "guest-%d-idle" t.domid) (fun () ->
+        idle_loop t gen)
+  end

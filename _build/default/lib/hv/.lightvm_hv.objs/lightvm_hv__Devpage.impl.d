@@ -1,0 +1,1 @@
+lib/hv/devpage.ml: Hashtbl List

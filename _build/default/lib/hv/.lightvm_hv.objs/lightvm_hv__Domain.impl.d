@@ -1,0 +1,1 @@
+lib/hv/domain.ml: Format Lightvm_sim

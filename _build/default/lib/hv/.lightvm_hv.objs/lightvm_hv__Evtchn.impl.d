@@ -1,0 +1,1 @@
+lib/hv/evtchn.ml: Hashtbl Lightvm_sim List Option

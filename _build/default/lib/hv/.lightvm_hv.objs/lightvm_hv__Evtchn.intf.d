@@ -1,0 +1,1 @@
+lib/hv/evtchn.mli:

@@ -1,0 +1,1 @@
+lib/hv/frames.ml: Hashtbl List Option

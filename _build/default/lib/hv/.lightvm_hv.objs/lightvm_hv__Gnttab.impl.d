@@ -1,0 +1,1 @@
+lib/hv/gnttab.ml: Hashtbl Option

@@ -1,0 +1,1 @@
+lib/hv/xen.ml: Devpage Domain Evtchn Frames Fun Gnttab Hashtbl Lightvm_sim List Option Params

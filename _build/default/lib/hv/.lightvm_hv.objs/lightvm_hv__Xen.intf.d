@@ -1,0 +1,1 @@
+lib/hv/xen.mli: Devpage Domain Evtchn Gnttab Lightvm_sim Params

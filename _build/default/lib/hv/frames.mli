@@ -1,0 +1,34 @@
+(** Physical memory frame allocator.
+
+    Tracks 4 KiB frames per owning domain. Allocation is bump-style
+    accounting (the simulation never touches frame contents); the point
+    is exact memory-footprint bookkeeping for the density and memory
+    experiments (Figs 10 and 14): when the allocator is out of frames,
+    VM creation fails with ENOMEM just like the real host. *)
+
+type t
+
+type error = ENOMEM
+
+val create : total_kb:int -> t
+
+val total_kb : t -> int
+
+val used_kb : t -> int
+
+val free_kb : t -> int
+
+val alloc : t -> owner:int -> kb:int -> (unit, error) result
+(** Rounded up to whole frames. *)
+
+val free : t -> owner:int -> kb:int -> unit
+(** Releases up to the owner's current holding; raises
+    [Invalid_argument] when the owner does not hold that much. *)
+
+val free_all : t -> owner:int -> int
+(** Release everything held by [owner]; returns the KiB released. *)
+
+val owned_kb : t -> owner:int -> int
+
+val owners : t -> (int * int) list
+(** [(owner, kb)] pairs, sorted by owner. *)

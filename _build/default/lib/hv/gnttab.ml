@@ -1,0 +1,65 @@
+type gref = int
+
+type error = Invalid_ref | Wrong_domain | Still_mapped | Not_mapped
+
+type entry = {
+  grantee : int;
+  frame : int;
+  mutable mapped : int; (* mapping refcount *)
+}
+
+type t = {
+  table : (int * gref, entry) Hashtbl.t; (* (owner, gref) -> entry *)
+  next_ref : (int, int) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 64; next_ref = Hashtbl.create 16 }
+
+let grant_access t ~owner ~grantee ~frame =
+  let gref =
+    Option.value ~default:8 (Hashtbl.find_opt t.next_ref owner)
+  in
+  Hashtbl.replace t.next_ref owner (gref + 1);
+  Hashtbl.replace t.table (owner, gref) { grantee; frame; mapped = 0 };
+  gref
+
+let map t ~grantee ~owner gref =
+  match Hashtbl.find_opt t.table (owner, gref) with
+  | None -> Error Invalid_ref
+  | Some entry ->
+      if entry.grantee <> grantee then Error Wrong_domain
+      else begin
+        entry.mapped <- entry.mapped + 1;
+        Ok entry.frame
+      end
+
+let unmap t ~grantee ~owner gref =
+  match Hashtbl.find_opt t.table (owner, gref) with
+  | None -> Error Invalid_ref
+  | Some entry ->
+      if entry.grantee <> grantee then Error Wrong_domain
+      else if entry.mapped = 0 then Error Not_mapped
+      else begin
+        entry.mapped <- entry.mapped - 1;
+        Ok ()
+      end
+
+let end_access t ~owner gref =
+  match Hashtbl.find_opt t.table (owner, gref) with
+  | None -> Error Invalid_ref
+  | Some entry ->
+      if entry.mapped > 0 then Error Still_mapped
+      else begin
+        Hashtbl.remove t.table (owner, gref);
+        Ok ()
+      end
+
+let active_grants t ~owner =
+  Hashtbl.fold
+    (fun (o, _) _ acc -> if o = owner then acc + 1 else acc)
+    t.table 0
+
+let mapped_count t ~owner gref =
+  match Hashtbl.find_opt t.table (owner, gref) with
+  | None -> 0
+  | Some entry -> entry.mapped

@@ -1,0 +1,28 @@
+(** Grant tables: the page-sharing mechanism behind split drivers.
+
+    A domain grants a peer access to one of its frames and hands over
+    the grant reference (via XenStore or a noxs device page); the peer
+    maps it. References cannot be revoked while mapped. *)
+
+type t
+
+type gref = int
+
+type error = Invalid_ref | Wrong_domain | Still_mapped | Not_mapped
+
+val create : unit -> t
+
+val grant_access : t -> owner:int -> grantee:int -> frame:int -> gref
+(** Returns the grant reference (scoped to [owner]'s table). *)
+
+val map : t -> grantee:int -> owner:int -> gref -> (int, error) result
+(** Map the granted frame; returns the frame number. *)
+
+val unmap : t -> grantee:int -> owner:int -> gref -> (unit, error) result
+
+val end_access : t -> owner:int -> gref -> (unit, error) result
+(** Fails with [Still_mapped] while the grantee holds a mapping. *)
+
+val active_grants : t -> owner:int -> int
+
+val mapped_count : t -> owner:int -> gref -> int

@@ -1,0 +1,71 @@
+(* Testbed descriptions and hypervisor cost constants.
+
+   The paper uses three machines; speeds are relative to the 3.7 GHz
+   Xeon E5-1630 v3 on which most microbenchmarks ran. *)
+
+type platform = {
+  name : string;
+  cores : int; (* total physical cores *)
+  dom0_cores : int; (* reserved for Dom0 *)
+  speed : float; (* relative single-core speed *)
+  ram_mb : int;
+}
+
+(* 4-core Intel Xeon E5-1630 v3 @ 3.7 GHz, 128 GiB DDR4 (Section 4.2,
+   most of Section 6). Dom0 gets one core, guests share the other 3. *)
+let xeon_e5_1630 =
+  { name = "xeon-e5-1630v3"; cores = 4; dom0_cores = 1; speed = 1.0;
+    ram_mb = 131_072 }
+
+(* 4x AMD Opteron 6376 @ 2.3 GHz (64 cores), 128 GB DDR3 (Fig 10).
+   Dom0 gets 4 cores, guests the other 60. *)
+let amd_opteron_6376 =
+  { name = "amd-opteron-6376"; cores = 64; dom0_cores = 4; speed = 0.62;
+    ram_mb = 131_072 }
+
+(* 14-core Intel Xeon E5-2690 v4 @ 2.6 GHz, 64 GB (Section 7 use cases). *)
+let xeon_e5_2690 =
+  { name = "xeon-e5-2690v4"; cores = 14; dom0_cores = 1; speed = 0.85;
+    ram_mb = 65_536 }
+
+let guest_cores p = p.cores - p.dom0_cores
+
+type costs = {
+  hypercall_base : float; (* privilege-level switch, in and out *)
+  domctl_create : float; (* allocate and wire up struct domain *)
+  domctl_destroy : float;
+  vcpu_init : float; (* per vCPU *)
+  per_page_populate : float; (* populate-physmap, per 4 KiB page *)
+  per_page_copy : float; (* copying data into guest pages *)
+  evtchn_op : float;
+  gnttab_op : float;
+  devpage_op : float; (* noxs device-page read/write hypercall *)
+  page_size_kb : int;
+  (* Hypervisor per-domain memory overhead: struct domain, p2m, shadow
+     tables. *)
+  domain_fixed_overhead_kb : int;
+  domain_mem_overhead_fraction : float;
+}
+
+let default_costs =
+  {
+    hypercall_base = 1.0e-6;
+    domctl_create = 120.0e-6;
+    domctl_destroy = 150.0e-6;
+    vcpu_init = 25.0e-6;
+    per_page_populate = 0.45e-6;
+    (* Calibrated to Fig 2: boot time grows ~1 ms per MB of image
+       (256 pages/MB -> ~3.9 us/page). *)
+    per_page_copy = 3.9e-6;
+    evtchn_op = 4.0e-6;
+    gnttab_op = 3.0e-6;
+    devpage_op = 2.0e-6;
+    page_size_kb = 4;
+    domain_fixed_overhead_kb = 256;
+    domain_mem_overhead_fraction = 0.0075;
+  }
+
+let pages_of_mb costs mb = mb * 1024 / costs.page_size_kb
+
+let pages_of_mb_f costs mb =
+  int_of_float (Float.ceil (mb *. 1024. /. float_of_int costs.page_size_kb))

@@ -1,0 +1,207 @@
+module Engine = Lightvm_sim.Engine
+module Cpu = Lightvm_sim.Cpu
+
+type error = ENOMEM | ENOENT | EINVAL
+
+type t = {
+  platform : Params.platform;
+  costs : Params.costs;
+  frames : Frames.t;
+  evtchn : Evtchn.t;
+  gnttab : Gnttab.t;
+  devpage : Devpage.t;
+  cpu : Cpu.t;
+  domains : (int, Domain.t) Hashtbl.t;
+  (* Guest RAM is tracked separately from hypervisor overhead so
+     populate/depopulate and the Fig 14 accounting stay exact. *)
+  ram_kb : (int, int) Hashtbl.t; (* domid -> populated guest RAM *)
+  pending_mem_kb : (int, int) Hashtbl.t; (* requested but not populated *)
+  mutable next_domid : int;
+  mutable rr_next : int; (* round-robin index into guest cores *)
+  mutable hypercalls : int;
+}
+
+(* The hypervisor itself occupies a fixed slice of host memory. *)
+let xen_own_mem_kb = 128 * 1024
+
+let xen_owner = -1
+
+let platform t = t.platform
+let costs t = t.costs
+let cpu t = t.cpu
+let evtchn t = t.evtchn
+let gnttab t = t.gnttab
+let devpage t = t.devpage
+let hypercalls t = t.hypercalls
+
+let dom0_cores t = List.init t.platform.Params.dom0_cores Fun.id
+
+let guest_cores t =
+  List.init
+    (Params.guest_cores t.platform)
+    (fun i -> t.platform.Params.dom0_cores + i)
+
+let hypercall t ~cost =
+  t.hypercalls <- t.hypercalls + 1;
+  Engine.sleep (t.costs.Params.hypercall_base +. cost)
+
+let boot ?(platform = Params.xeon_e5_1630) ?(costs = Params.default_costs)
+    ?(dom0_mem_mb = 4096) () =
+  let frames = Frames.create ~total_kb:(platform.Params.ram_mb * 1024) in
+  (match Frames.alloc frames ~owner:xen_owner ~kb:xen_own_mem_kb with
+  | Ok () -> ()
+  | Error Frames.ENOMEM -> invalid_arg "Xen.boot: host too small");
+  (match Frames.alloc frames ~owner:0 ~kb:(dom0_mem_mb * 1024) with
+  | Ok () -> ()
+  | Error Frames.ENOMEM -> invalid_arg "Xen.boot: host too small for Dom0");
+  let cpu =
+    Cpu.create ~speed:platform.Params.speed ~ncores:platform.Params.cores ()
+  in
+  let domains = Hashtbl.create 64 in
+  let dom0 =
+    Domain.make ~domid:0 ~name:"Domain-0"
+      ~vcpus:platform.Params.dom0_cores
+      ~max_mem_kb:(dom0_mem_mb * 1024) ~core:0
+  in
+  Domain.set_state dom0 Domain.Running;
+  Hashtbl.replace domains 0 dom0;
+  {
+    platform;
+    costs;
+    frames;
+    evtchn = Evtchn.create ();
+    gnttab = Gnttab.create ();
+    devpage = Devpage.create ();
+    cpu;
+    domains;
+    ram_kb = Hashtbl.create 64;
+    pending_mem_kb = Hashtbl.create 64;
+    next_domid = 1;
+    rr_next = 0;
+    hypercalls = 0;
+  }
+
+let domain t ~domid = Hashtbl.find_opt t.domains domid
+
+let domains t =
+  List.sort
+    (fun a b -> compare (Domain.domid a) (Domain.domid b))
+    (Hashtbl.fold (fun _ d acc -> d :: acc) t.domains [])
+
+let guest_count t = Hashtbl.length t.domains - 1
+
+let overhead_kb t ~mem_kb =
+  t.costs.Params.domain_fixed_overhead_kb
+  + int_of_float
+      (t.costs.Params.domain_mem_overhead_fraction *. float_of_int mem_kb)
+
+let create_domain t ~name ~vcpus ~mem_mb =
+  let c = t.costs in
+  hypercall t
+    ~cost:
+      (c.Params.domctl_create
+      +. (float_of_int vcpus *. c.Params.vcpu_init));
+  let mem_kb = int_of_float (mem_mb *. 1024.) in
+  let overhead = overhead_kb t ~mem_kb in
+  let domid = t.next_domid in
+  match Frames.alloc t.frames ~owner:domid ~kb:overhead with
+  | Error Frames.ENOMEM -> Error ENOMEM
+  | Ok () ->
+      t.next_domid <- t.next_domid + 1;
+      let cores = guest_cores t in
+      let core =
+        match cores with
+        | [] -> 0
+        | _ ->
+            let core = List.nth cores (t.rr_next mod List.length cores) in
+            t.rr_next <- t.rr_next + 1;
+            core
+      in
+      let dom = Domain.make ~domid ~name ~vcpus ~max_mem_kb:mem_kb ~core in
+      Hashtbl.replace t.domains domid dom;
+      Hashtbl.replace t.pending_mem_kb domid mem_kb;
+      Devpage.setup t.devpage ~domid;
+      Ok dom
+
+let with_domain t ~domid f =
+  match domain t ~domid with
+  | None -> Error ENOENT
+  | Some dom -> f dom
+
+let populate_memory t ~domid =
+  with_domain t ~domid (fun dom ->
+      let mem_kb =
+        match Hashtbl.find_opt t.pending_mem_kb domid with
+        | Some kb -> kb
+        | None -> Domain.max_mem_kb dom
+      in
+      let pages = mem_kb / t.costs.Params.page_size_kb in
+      hypercall t
+        ~cost:(float_of_int pages *. t.costs.Params.per_page_populate);
+      match Frames.alloc t.frames ~owner:domid ~kb:mem_kb with
+      | Error Frames.ENOMEM -> Error ENOMEM
+      | Ok () ->
+          Hashtbl.remove t.pending_mem_kb domid;
+          Hashtbl.replace t.ram_kb domid mem_kb;
+          Ok ())
+
+let load_image t ~domid ~size_mb =
+  with_domain t ~domid (fun _dom ->
+      let pages = Params.pages_of_mb_f t.costs size_mb in
+      hypercall t
+        ~cost:(float_of_int pages *. t.costs.Params.per_page_copy);
+      Ok ())
+
+let unpause t ~domid =
+  with_domain t ~domid (fun dom ->
+      hypercall t ~cost:5.0e-6;
+      match Domain.state dom with
+      | Domain.Paused | Domain.Running ->
+          Domain.set_state dom Domain.Running;
+          Ok ()
+      | Domain.Shutdown _ | Domain.Dying -> Error EINVAL)
+
+let pause t ~domid =
+  with_domain t ~domid (fun dom ->
+      hypercall t ~cost:5.0e-6;
+      match Domain.state dom with
+      | Domain.Running | Domain.Paused ->
+          Domain.set_state dom Domain.Paused;
+          Ok ()
+      | Domain.Shutdown _ | Domain.Dying -> Error EINVAL)
+
+let shutdown t ~domid ~reason =
+  with_domain t ~domid (fun dom ->
+      hypercall t ~cost:10.0e-6;
+      Domain.set_state dom (Domain.Shutdown reason);
+      Ok ())
+
+let destroy t ~domid =
+  if domid = 0 then Error EINVAL
+  else
+    with_domain t ~domid (fun dom ->
+        Domain.set_state dom Domain.Dying;
+        hypercall t ~cost:t.costs.Params.domctl_destroy;
+        ignore (Evtchn.close_all t.evtchn ~domid);
+        Devpage.teardown t.devpage ~domid;
+        ignore (Frames.free_all t.frames ~owner:domid);
+        Hashtbl.remove t.ram_kb domid;
+        Hashtbl.remove t.pending_mem_kb domid;
+        Hashtbl.remove t.domains domid;
+        Ok ())
+
+let consume_guest t ~domid work =
+  match domain t ~domid with
+  | None -> invalid_arg "Xen.consume_guest: no such domain"
+  | Some dom -> Cpu.consume t.cpu ~core:(Domain.core dom) work
+
+let consume_dom0 t work =
+  let core = Cpu.pick_least_loaded t.cpu ~cores:(dom0_cores t) in
+  Cpu.consume t.cpu ~core work
+
+let core_of t ~domid = Option.map Domain.core (domain t ~domid)
+
+let free_mem_kb t = Frames.free_kb t.frames
+let used_mem_kb t = Frames.used_kb t.frames
+let total_mem_kb t = Frames.total_kb t.frames
+let domain_mem_kb t ~domid = Frames.owned_kb t.frames ~owner:domid

@@ -1,0 +1,103 @@
+(** The hypervisor: domains, memory, CPUs, event channels, grant tables
+    and noxs device pages behind a hypercall-shaped interface.
+
+    Every entry point charges simulated time (privilege switch plus the
+    operation's work) and bumps the hypercall counter, so toolstacks can
+    attribute creation time to the "hypervisor" category exactly the way
+    the paper's Figure 5 instrumentation does. *)
+
+type t
+
+type error =
+  | ENOMEM
+  | ENOENT  (** no such domain *)
+  | EINVAL
+
+val boot :
+  ?platform:Params.platform ->
+  ?costs:Params.costs ->
+  ?dom0_mem_mb:int ->
+  unit ->
+  t
+(** Boot the host (must run inside a simulation). Creates Dom0 pinned to
+    the platform's reserved cores and accounts its memory. Default
+    platform: the paper's 4-core Xeon. *)
+
+val platform : t -> Params.platform
+
+val costs : t -> Params.costs
+
+val cpu : t -> Lightvm_sim.Cpu.t
+
+val evtchn : t -> Evtchn.t
+
+val gnttab : t -> Gnttab.t
+
+val devpage : t -> Devpage.t
+
+val hypercalls : t -> int
+(** Total hypercalls performed so far. *)
+
+val hypercall : t -> cost:float -> unit
+(** Charge one generic hypercall of the given extra cost. *)
+
+(** {1 Domain control} *)
+
+val create_domain :
+  t -> name:string -> vcpus:int -> mem_mb:float -> (Domain.t, error) result
+(** DOMCTL_createdomain: allocates the domid and hypervisor-side
+    structures (charging their memory overhead), assigns the vCPU to a
+    guest core round-robin. Guest RAM itself is not yet populated. *)
+
+val populate_memory : t -> domid:int -> (unit, error) result
+(** Populate the domain's RAM ([mem_mb] from creation); fails with
+    ENOMEM when the host is out of frames. *)
+
+val load_image : t -> domid:int -> size_mb:float -> (unit, error) result
+(** Copy a kernel image into guest memory: cost linear in image size
+    (the Figure 2 effect). *)
+
+val unpause : t -> domid:int -> (unit, error) result
+
+val pause : t -> domid:int -> (unit, error) result
+
+val shutdown :
+  t -> domid:int -> reason:Domain.shutdown_reason -> (unit, error) result
+
+val destroy : t -> domid:int -> (unit, error) result
+(** Tears down event channels, grants, the device page, frees all
+    memory, and retires the domid. *)
+
+val domain : t -> domid:int -> Domain.t option
+
+val domains : t -> Domain.t list
+(** All live domains (including Dom0), by ascending domid. *)
+
+val guest_count : t -> int
+(** Live domains excluding Dom0. *)
+
+(** {1 CPU} *)
+
+val consume_guest : t -> domid:int -> float -> unit
+(** Run [work] seconds of reference CPU on the domain's core (shares
+    the core with whatever else runs there). *)
+
+val consume_dom0 : t -> float -> unit
+(** Run work on the least-loaded Dom0 core. *)
+
+val dom0_cores : t -> int list
+
+val guest_cores : t -> int list
+
+val core_of : t -> domid:int -> int option
+
+(** {1 Memory accounting} *)
+
+val free_mem_kb : t -> int
+
+val used_mem_kb : t -> int
+
+val total_mem_kb : t -> int
+
+val domain_mem_kb : t -> domid:int -> int
+(** Frames held on behalf of the domain (RAM + hypervisor overhead). *)

@@ -1,0 +1,1 @@
+lib/metrics/cdf.ml: Array Format List Stats

@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Array Format List Printf String

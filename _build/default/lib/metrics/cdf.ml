@@ -1,0 +1,35 @@
+type t = { sorted : float array }
+
+let of_samples samples =
+  match samples with
+  | [] -> invalid_arg "Cdf.of_samples: empty sample list"
+  | _ ->
+      let sorted = Array.of_list samples in
+      Array.sort compare sorted;
+      { sorted }
+
+let count t = Array.length t.sorted
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Cdf.quantile: q outside [0, 1]";
+  Stats.percentile (Array.to_list t.sorted) (q *. 100.)
+
+let at t x =
+  (* Count of samples <= x by binary search for the rightmost. *)
+  let n = Array.length t.sorted in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.sorted.(mid) <= x then go (mid + 1) hi else go lo mid
+    end
+  in
+  float_of_int (go 0 n) /. float_of_int n
+
+let points t =
+  let n = Array.length t.sorted in
+  List.init n (fun i ->
+      (t.sorted.(i), float_of_int (i + 1) /. float_of_int n))
+
+let pp fmt t =
+  List.iter (fun (x, f) -> Format.fprintf fmt "%g %g@\n" x f) (points t)

@@ -1,0 +1,19 @@
+(** Empirical cumulative distribution functions (paper Fig. 16b). *)
+
+type t
+
+val of_samples : float list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0,1]. *)
+
+val at : t -> float -> float
+(** Fraction of samples [<= x]. *)
+
+val points : t -> (float * float) list
+(** Sorted [(value, cumulative fraction)] pairs, one per sample. *)
+
+val pp : Format.formatter -> t -> unit

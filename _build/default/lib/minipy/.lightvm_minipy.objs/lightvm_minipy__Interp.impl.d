@@ -1,0 +1,1 @@
+lib/minipy/interp.ml: Array Ast Float Hashtbl Lexer List Parser Printf String Value

@@ -1,0 +1,1 @@
+lib/minipy/lexer.ml: Buffer List Printf String

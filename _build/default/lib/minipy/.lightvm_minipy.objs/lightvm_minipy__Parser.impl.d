@@ -1,0 +1,1 @@
+lib/minipy/parser.ml: Ast Lexer List Option Printf

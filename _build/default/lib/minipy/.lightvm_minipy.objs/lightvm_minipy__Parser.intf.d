@@ -1,0 +1,1 @@
+lib/minipy/parser.mli: Ast

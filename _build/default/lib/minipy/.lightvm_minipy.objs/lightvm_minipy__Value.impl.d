@@ -1,0 +1,1 @@
+lib/minipy/value.ml: Array Ast Float Printf String

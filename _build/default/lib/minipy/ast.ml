@@ -1,0 +1,59 @@
+(* Abstract syntax for the MicroPython-like subset. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div (* true division *)
+  | Floordiv
+  | Mod
+  | Pow
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | None_lit
+  | Name of string
+  | List_lit of expr list
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Compare of expr * cmpop * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Call of string * expr list
+  | Method_call of expr * string * expr list
+  | Index of expr * expr
+
+type target =
+  | Target_name of string
+  | Target_index of expr * expr
+
+type stmt =
+  | Expr_stmt of expr
+  | Assign of target * expr
+  | Aug_assign of target * binop * expr
+  | If of (expr * stmt list) list * stmt list
+      (* (condition, body) per if/elif branch; final else body *)
+  | While of expr * stmt list
+  | For of string * expr * stmt list
+  | Def of string * string list * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Pass
+
+type program = stmt list
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Floordiv -> "//"
+  | Mod -> "%"
+  | Pow -> "**"

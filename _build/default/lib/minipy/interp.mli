@@ -1,0 +1,23 @@
+(** Tree-walking evaluator with step accounting.
+
+    Steps count every expression node evaluated and statement executed,
+    so callers (the Lambda compute service) can convert interpreter
+    work into simulated CPU time. *)
+
+exception Runtime_error of string
+
+exception Step_limit_exceeded
+
+type outcome = {
+  stdout : string list;  (** lines printed, in order *)
+  result : Value.t;  (** value of the last expression statement *)
+  steps : int;
+}
+
+val run : ?max_steps:int -> string -> (outcome, string) result
+(** Parse + evaluate a program. All errors (lex, parse, runtime, step
+    limit) are rendered into the [Error] string. *)
+
+val run_exn : ?max_steps:int -> string -> outcome
+
+val builtin_names : string list

@@ -1,0 +1,180 @@
+type token =
+  | NAME of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KEYWORD of string
+  | OP of string
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+exception Lex_error of int * string
+
+let keywords =
+  [ "def"; "return"; "if"; "elif"; "else"; "while"; "for"; "in"; "break";
+    "continue"; "pass"; "and"; "or"; "not"; "True"; "False"; "None" ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c
+
+(* Multi-character operators, longest first. *)
+let operators =
+  [ "**"; "//"; "<="; ">="; "=="; "!="; "+="; "-="; "*="; "/="; "+"; "-";
+    "*"; "/"; "%"; "<"; ">"; "="; "("; ")"; "["; "]"; ","; ":"; "." ]
+
+let tokenize source =
+  let lines = String.split_on_char '\n' source in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let indent_stack = ref [ 0 ] in
+  let lineno = ref 0 in
+  let lex_line line =
+    let n = String.length line in
+    (* Indentation. *)
+    let rec indent_width i =
+      if i < n && line.[i] = ' ' then indent_width (i + 1)
+      else if i < n && line.[i] = '\t' then
+        raise (Lex_error (!lineno, "tabs are not allowed for indentation"))
+      else i
+    in
+    let start = indent_width 0 in
+    (* Blank or comment-only lines produce nothing. *)
+    let is_blank =
+      start >= n || line.[start] = '#' || String.trim line = ""
+    in
+    if not is_blank then begin
+      let current = List.hd !indent_stack in
+      if start > current then begin
+        indent_stack := start :: !indent_stack;
+        emit INDENT
+      end
+      else if start < current then begin
+        let rec pop () =
+          match !indent_stack with
+          | top :: rest when top > start ->
+              indent_stack := rest;
+              emit DEDENT;
+              pop ()
+          | top :: _ when top <> start ->
+              raise (Lex_error (!lineno, "inconsistent dedent"))
+          | _ -> ()
+        in
+        pop ()
+      end;
+      (* Tokens on the line. *)
+      let i = ref start in
+      let rec loop () =
+        if !i >= n then ()
+        else begin
+          let c = line.[!i] in
+          if c = ' ' then begin
+            incr i;
+            loop ()
+          end
+          else if c = '#' then () (* comment to end of line *)
+          else if is_digit c then begin
+            let j = ref !i in
+            while !j < n && (is_digit line.[!j] || line.[!j] = '.') do
+              incr j
+            done;
+            let text = String.sub line !i (!j - !i) in
+            (if String.contains text '.' then
+               match float_of_string_opt text with
+               | Some f -> emit (FLOAT f)
+               | None -> raise (Lex_error (!lineno, "bad number: " ^ text))
+             else
+               match int_of_string_opt text with
+               | Some k -> emit (INT k)
+               | None -> raise (Lex_error (!lineno, "bad number: " ^ text)));
+            i := !j;
+            loop ()
+          end
+          else if is_name_start c then begin
+            let j = ref !i in
+            while !j < n && is_name_char line.[!j] do
+              incr j
+            done;
+            let text = String.sub line !i (!j - !i) in
+            if List.mem text keywords then emit (KEYWORD text)
+            else emit (NAME text);
+            i := !j;
+            loop ()
+          end
+          else if c = '"' || c = '\'' then begin
+            let quote = c in
+            let buf = Buffer.create 16 in
+            let j = ref (!i + 1) in
+            let rec scan () =
+              if !j >= n then
+                raise (Lex_error (!lineno, "unterminated string"))
+              else if line.[!j] = '\\' && !j + 1 < n then begin
+                (match line.[!j + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | c -> Buffer.add_char buf c);
+                j := !j + 2;
+                scan ()
+              end
+              else if line.[!j] = quote then incr j
+              else begin
+                Buffer.add_char buf line.[!j];
+                incr j;
+                scan ()
+              end
+            in
+            scan ();
+            emit (STRING (Buffer.contents buf));
+            i := !j;
+            loop ()
+          end
+          else begin
+            match
+              List.find_opt
+                (fun op ->
+                  let l = String.length op in
+                  !i + l <= n && String.sub line !i l = op)
+                operators
+            with
+            | Some op ->
+                emit (OP op);
+                i := !i + String.length op;
+                loop ()
+            | None ->
+                raise
+                  (Lex_error (!lineno, Printf.sprintf "bad character %C" c))
+          end
+        end
+      in
+      loop ();
+      emit NEWLINE
+    end
+  in
+  List.iter
+    (fun line ->
+      incr lineno;
+      lex_line line)
+    lines;
+  (* Close any open indentation. *)
+  List.iter
+    (fun level -> if level > 0 then emit DEDENT)
+    !indent_stack;
+  emit EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | NAME s -> "NAME(" ^ s ^ ")"
+  | INT k -> "INT(" ^ string_of_int k ^ ")"
+  | FLOAT f -> Printf.sprintf "FLOAT(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | KEYWORD s -> "KW(" ^ s ^ ")"
+  | OP s -> "OP(" ^ s ^ ")"
+  | NEWLINE -> "NEWLINE"
+  | INDENT -> "INDENT"
+  | DEDENT -> "DEDENT"
+  | EOF -> "EOF"

@@ -1,0 +1,25 @@
+(** Tokenizer with Python-style significant indentation: emits INDENT
+    and DEDENT tokens from an indentation stack, NEWLINE at logical
+    line ends, and skips blank lines and [#] comments. *)
+
+type token =
+  | NAME of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KEYWORD of string
+      (** def return if elif else while for in break continue pass
+          and or not True False None *)
+  | OP of string
+      (** + - * / // % ** < <= > >= == != = += -= *= /= ( ) [ ] , : . *)
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+exception Lex_error of int * string
+(** line number, message *)
+
+val tokenize : string -> token list
+
+val token_to_string : token -> string

@@ -1,0 +1,9 @@
+(** Recursive-descent parser with precedence climbing for expressions
+    and the indentation-based block structure for statements. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_result : string -> (Ast.program, string) result

@@ -1,0 +1,71 @@
+(* Runtime values. Lists are mutable (Python semantics for append and
+   index assignment). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | None_v
+  | List of t array ref
+  | Func of func
+
+and func = {
+  fname : string;
+  params : string list;
+  body : Ast.stmt list;
+}
+
+let rec to_string = function
+  | Int k -> string_of_int k
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e16 then
+        Printf.sprintf "%.1f" f
+      else Printf.sprintf "%.12g" f
+  | Str s -> s
+  | Bool true -> "True"
+  | Bool false -> "False"
+  | None_v -> "None"
+  | List items ->
+      "["
+      ^ String.concat ", " (Array.to_list (Array.map repr !items))
+      ^ "]"
+  | Func f -> Printf.sprintf "<function %s>" f.fname
+
+and repr = function
+  | Str s -> "'" ^ s ^ "'"
+  | v -> to_string v
+
+let truthy = function
+  | Bool b -> b
+  | Int k -> k <> 0
+  | Float f -> f <> 0.
+  | Str s -> s <> ""
+  | None_v -> false
+  | List items -> Array.length !items > 0
+  | Func _ -> true
+
+let type_name = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | Bool _ -> "bool"
+  | None_v -> "NoneType"
+  | List _ -> "list"
+  | Func _ -> "function"
+
+(* Structural equality with Python's int/float mixing. *)
+let rec equal a b =
+  match (a, b) with
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Bool x, Int y | Int y, Bool x -> (if x then 1 else 0) = y
+  | List xs, List ys ->
+      Array.length !xs = Array.length !ys
+      && begin
+           let ok = ref true in
+           Array.iteri
+             (fun i x -> if not (equal x !ys.(i)) then ok := false)
+             !xs;
+           !ok
+         end
+  | _ -> a = b

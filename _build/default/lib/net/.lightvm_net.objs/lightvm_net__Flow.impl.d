@@ -1,0 +1,1 @@
+lib/net/flow.ml: Float Hashtbl List Option

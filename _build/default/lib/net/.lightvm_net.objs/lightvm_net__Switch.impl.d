@@ -1,0 +1,1 @@
+lib/net/switch.ml: Float Hashtbl Lightvm_sim Packet

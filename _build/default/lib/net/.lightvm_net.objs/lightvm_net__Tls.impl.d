@@ -1,0 +1,1 @@
+lib/net/tls.ml: Printf Stack

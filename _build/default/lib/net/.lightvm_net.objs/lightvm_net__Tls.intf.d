@@ -1,0 +1,1 @@
+lib/net/tls.mli: Stack

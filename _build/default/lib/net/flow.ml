@@ -1,0 +1,69 @@
+type demand = {
+  flow_id : int;
+  offered_bps : float;
+  cpu_per_bit : float;
+  core : int;
+}
+
+type allocation = {
+  alloc_flow_id : int;
+  achieved_bps : float;
+}
+
+(* Max-min fair allocation of one core's CPU among its flows: satisfy
+   the smallest demands first, then split what remains equally. *)
+let allocate_core ~capacity demands =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (a.offered_bps *. a.cpu_per_bit)
+          (b.offered_bps *. b.cpu_per_bit))
+      demands
+  in
+  let n = List.length sorted in
+  let results = Hashtbl.create (max 1 n) in
+  let rec fill remaining_capacity remaining_flows = function
+    | [] -> ()
+    | d :: rest ->
+        let cpu_need = d.offered_bps *. d.cpu_per_bit in
+        let fair_share = remaining_capacity /. float_of_int remaining_flows in
+        let granted_cpu = Float.min cpu_need fair_share in
+        let achieved =
+          if d.cpu_per_bit <= 0. then d.offered_bps
+          else Float.min d.offered_bps (granted_cpu /. d.cpu_per_bit)
+        in
+        Hashtbl.replace results d.flow_id achieved;
+        fill
+          (remaining_capacity -. granted_cpu)
+          (remaining_flows - 1) rest
+  in
+  fill capacity n sorted;
+  results
+
+let allocate ~core_speed ~demands =
+  let by_core = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_core d.core)
+      in
+      Hashtbl.replace by_core d.core (d :: existing))
+    demands;
+  let per_core_results = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun core ds ->
+      Hashtbl.replace per_core_results core
+        (allocate_core ~capacity:core_speed (List.rev ds)))
+    by_core;
+  List.map
+    (fun d ->
+      let core_results = Hashtbl.find per_core_results d.core in
+      {
+        alloc_flow_id = d.flow_id;
+        achieved_bps = Hashtbl.find core_results d.flow_id;
+      })
+    demands
+
+let total_bps allocations =
+  List.fold_left (fun acc a -> acc +. a.achieved_bps) 0. allocations

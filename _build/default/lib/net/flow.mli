@@ -1,0 +1,27 @@
+(** Fluid (rate-based) traffic allocation under CPU constraints.
+
+    The firewall use case runs up to a thousand VMs, each forwarding a
+    client's flow; the binding resource is guest CPU. Given each flow's
+    offered rate and per-bit processing cost, this computes the max-min
+    fair achieved rates per core — the waterfilling that produces the
+    paper's linear-then-saturating aggregate throughput (Fig 16a). *)
+
+type demand = {
+  flow_id : int;
+  offered_bps : float;
+  cpu_per_bit : float;  (** reference-CPU seconds per bit processed *)
+  core : int;
+}
+
+type allocation = {
+  alloc_flow_id : int;
+  achieved_bps : float;
+}
+
+val allocate :
+  core_speed:float -> demands:demand list -> allocation list
+(** Max-min fair CPU sharing per core: every flow gets the CPU to
+    satisfy its offered rate if possible; otherwise the core's capacity
+    is split max-min fairly. Results are in input order. *)
+
+val total_bps : allocation list -> float

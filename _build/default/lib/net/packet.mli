@@ -1,0 +1,34 @@
+(** Packets on the software switch. Addresses are small integers (port
+    ids double as MAC addresses); [Broadcast] reaches every port except
+    the sender's. *)
+
+type addr = Addr of int | Broadcast
+
+type kind =
+  | Arp_request
+  | Arp_reply
+  | Icmp_echo
+  | Icmp_reply
+  | Udp
+  | Tcp
+
+type t = {
+  src : int;
+  dst : addr;
+  kind : kind;
+  size_b : int;
+  seq : int;  (** correlates requests with replies *)
+  payload : string;  (** application data, e.g. a daytime string *)
+}
+
+val make :
+  src:int -> dst:addr -> kind:kind -> ?size_b:int -> ?payload:string ->
+  seq:int -> unit -> t
+(** Default sizes: 64 B for ARP/ICMP, 1500 B otherwise, plus the
+    payload length. *)
+
+val is_broadcast : t -> bool
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = {
+  stack_name : string;
+  cpu_multiplier : float;
+  connection_overhead : float;
+}
+
+let linux =
+  { stack_name = "linux"; cpu_multiplier = 1.0;
+    connection_overhead = 30.0e-6 }
+
+let lwip =
+  { stack_name = "lwip"; cpu_multiplier = 5.0;
+    connection_overhead = 140.0e-6 }
+
+let per_request_cpu t ~base =
+  (base *. t.cpu_multiplier) +. t.connection_overhead

@@ -1,0 +1,17 @@
+(** Network stack profiles: the mature Linux TCP stack vs the
+    lightweight lwip used by the unikernels — the paper attributes the
+    TLS unikernel's 5x throughput deficit "mostly due to the
+    inefficient lwip stack". *)
+
+type t = {
+  stack_name : string;
+  cpu_multiplier : float;
+      (** scales per-request/per-byte CPU relative to Linux *)
+  connection_overhead : float;  (** extra CPU per TCP connection *)
+}
+
+val linux : t
+
+val lwip : t
+
+val per_request_cpu : t -> base:float -> float

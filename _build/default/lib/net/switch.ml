@@ -1,0 +1,99 @@
+module Engine = Lightvm_sim.Engine
+
+type t = {
+  capacity_pps : float;
+  latency : float;
+  queue_slots : int;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  fdb : (int, int) Hashtbl.t; (* mac -> port (identical here) *)
+  mutable tokens : float;
+  mutable last_refill : float;
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable dropped_broadcast : int;
+}
+
+let create ?(capacity_pps = 300_000.) ?(latency = 30.0e-6)
+    ?(queue_slots = 2048) () =
+  {
+    capacity_pps;
+    latency;
+    queue_slots;
+    handlers = Hashtbl.create 64;
+    fdb = Hashtbl.create 64;
+    tokens = float_of_int queue_slots;
+    last_refill = 0.;
+    forwarded = 0;
+    dropped = 0;
+    dropped_broadcast = 0;
+  }
+
+let attach t ~port ~handler = Hashtbl.replace t.handlers port handler
+
+let detach t ~port =
+  Hashtbl.remove t.handlers port;
+  Hashtbl.remove t.fdb port
+
+let refill t =
+  let now = Engine.now () in
+  let elapsed = now -. t.last_refill in
+  if elapsed > 0. then begin
+    t.tokens <-
+      Float.min
+        (float_of_int t.queue_slots)
+        (t.tokens +. (elapsed *. t.capacity_pps));
+    t.last_refill <- now
+  end
+
+let deliver t port pkt =
+  match Hashtbl.find_opt t.handlers port with
+  | None -> ()
+  | Some handler ->
+      ignore
+        (Engine.after t.latency (fun () ->
+             Engine.spawn ~name:"switch-delivery" (fun () -> handler pkt)))
+
+let send t (pkt : Packet.t) =
+  refill t;
+  (* Learn the source. *)
+  Hashtbl.replace t.fdb pkt.Packet.src pkt.Packet.src;
+  (* Under overload, broadcasts are the first casualties: they fan out
+     to every port, so the bridge sheds them as soon as the bucket runs
+     low, while unicasts only drop when it is fully empty. *)
+  let cost, is_bcast =
+    match pkt.Packet.dst with
+    | Packet.Broadcast ->
+        (float_of_int (max 1 (Hashtbl.length t.handlers - 1)), true)
+    | Packet.Addr _ -> (1., false)
+  in
+  let threshold =
+    if is_bcast then 0.25 *. float_of_int t.queue_slots else 0.
+  in
+  if t.tokens -. cost < threshold then begin
+    t.dropped <- t.dropped + 1;
+    if is_bcast then t.dropped_broadcast <- t.dropped_broadcast + 1
+  end
+  else begin
+    t.tokens <- t.tokens -. cost;
+    t.forwarded <- t.forwarded + 1;
+    match pkt.Packet.dst with
+    | Packet.Broadcast ->
+        Hashtbl.iter
+          (fun port _ -> if port <> pkt.Packet.src then deliver t port pkt)
+          t.handlers
+    | Packet.Addr dst -> (
+        match Hashtbl.find_opt t.fdb dst with
+        | Some port -> deliver t port pkt
+        | None ->
+            (* Unknown unicast: flood. *)
+            Hashtbl.iter
+              (fun port _ ->
+                if port <> pkt.Packet.src then deliver t port pkt)
+              t.handlers)
+  end
+
+let learned t = Hashtbl.length t.fdb
+let ports t = Hashtbl.length t.handlers
+let forwarded t = t.forwarded
+let dropped t = t.dropped
+let dropped_broadcast t = t.dropped_broadcast

@@ -1,0 +1,149 @@
+type eng = {
+  mutable clock : float;
+  heap : (unit -> unit) Heap.t;
+  mutable stopped : bool;
+}
+
+type token = (unit -> unit) Heap.entry * eng
+
+let current : eng option ref = ref None
+
+let get_eng () =
+  match !current with
+  | Some e -> e
+  | None -> invalid_arg "Sim.Engine: no simulation is running"
+
+let running () = !current <> None
+
+let now () = (get_eng ()).clock
+
+let schedule_at eng time thunk =
+  if time < eng.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.Engine: scheduling in the past (%g < %g)" time
+         eng.clock);
+  Heap.push eng.heap ~time thunk
+
+let at time thunk =
+  let eng = get_eng () in
+  (schedule_at eng time thunk, eng)
+
+let after delay thunk =
+  let eng = get_eng () in
+  if delay < 0. then invalid_arg "Sim.Engine.after: negative delay";
+  (schedule_at eng (eng.clock +. delay) thunk, eng)
+
+let cancel (entry, eng) = Heap.cancel eng.heap entry
+
+type _ Effect.t +=
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+(* Each process (the initial [main] and every [spawn]) runs under its own
+   deep handler. A blocked process is represented solely by its captured
+   continuation, stashed wherever [register] put the resume function. *)
+let exec name f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          (match e with
+          | Stack_overflow | Out_of_memory -> ()
+          | _ ->
+              Printf.eprintf "Sim process %S raised: %s\n%!" name
+                (Printexc.to_string e));
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let fired = ref false in
+                  register (fun v ->
+                      if !fired then
+                        invalid_arg
+                          "Sim.Engine: one-shot resume called twice";
+                      fired := true;
+                      let eng = get_eng () in
+                      ignore
+                        (schedule_at eng eng.clock (fun () -> continue k v))))
+          | _ -> None);
+    }
+
+let spawn ?(name = "anonymous") f =
+  let eng = get_eng () in
+  ignore (schedule_at eng eng.clock (fun () -> exec name f))
+
+let sleep delay =
+  if delay < 0. then invalid_arg "Sim.Engine.sleep: negative delay"
+  else if delay = 0. then ()
+  else
+    suspend (fun resume -> ignore (after delay (fun () -> resume ())))
+
+let yield () = suspend (fun resume -> ignore (after 0. (fun () -> resume ())))
+
+let stop () = (get_eng ()).stopped <- true
+
+let run ?until main =
+  (match !current with
+  | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
+  | None -> ());
+  let eng = { clock = 0.; heap = Heap.create (); stopped = false } in
+  current := Some eng;
+  Fun.protect
+    ~finally:(fun () -> current := None)
+    (fun () ->
+      ignore (schedule_at eng 0. (fun () -> exec "main" main));
+      let horizon = match until with Some t -> t | None -> infinity in
+      let rec loop () =
+        if eng.stopped then ()
+        else
+        match Heap.pop eng.heap with
+        | None -> ()
+        | Some (time, thunk) ->
+            if time > horizon then eng.clock <- horizon
+            else begin
+              eng.clock <- time;
+              thunk ();
+              loop ()
+            end
+      in
+      loop ();
+      eng.clock)
+
+module Ivar = struct
+  type 'a state =
+    | Empty of ('a -> unit) list
+    | Full of 'a
+
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Sim.Engine.Ivar.fill: already filled"
+    | Empty waiters ->
+        t.state <- Full v;
+        (* Wake in arrival order for determinism. *)
+        List.iter (fun resume -> resume v) (List.rev waiters)
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty _ ->
+        suspend (fun resume ->
+            match t.state with
+            | Full v -> resume v
+            | Empty waiters -> t.state <- Empty (resume :: waiters))
+
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+  let is_full t = match t.state with Full _ -> true | Empty _ -> false
+end
+
+let wait_all ivars = List.iter Ivar.read ivars

@@ -1,0 +1,80 @@
+(** Discrete-event simulation engine.
+
+    Simulation activities are ordinary OCaml functions that run as
+    cooperative processes on top of OCaml 5 effect handlers: calling a
+    blocking primitive ([sleep], [await], [suspend], [Cpu.consume], …)
+    performs an effect that captures the continuation and parks it until
+    the corresponding event fires on the virtual clock. Exactly one
+    engine can run at a time; all primitives below must be called from
+    within [run].
+
+    Determinism: events at equal times fire in scheduling order, and all
+    randomness flows through explicit {!Rng.t} values, so a run is a pure
+    function of its inputs. *)
+
+type token
+(** Handle for a scheduled callback; see {!cancel}. *)
+
+val run : ?until:float -> (unit -> unit) -> float
+(** [run main] executes [main] as the initial process at virtual time 0
+    and drives the event loop until the queue is empty (or [until] is
+    reached, whichever comes first). Returns the final clock value.
+    Exceptions raised by any process abort the run and propagate.
+    Processes still blocked when the queue drains are dropped — a
+    simulation ends when no more events can fire. *)
+
+val running : unit -> bool
+
+val now : unit -> float
+(** Current virtual time in seconds. *)
+
+val sleep : float -> unit
+(** Block the calling process for a (non-negative) duration. *)
+
+val yield : unit -> unit
+(** Reschedule the calling process behind events already due now. *)
+
+val stop : unit -> unit
+(** Terminate the event loop after the current event: pending events
+    (including other processes' wakeups) are discarded. The way to end
+    a simulation that still has periodic background activity. *)
+
+val spawn : ?name:string -> (unit -> unit) -> unit
+(** Start a new process at the current time. [name] labels error
+    messages. *)
+
+val after : float -> (unit -> unit) -> token
+(** Run a callback (not a blocking process) after a delay. The callback
+    must not block; to start blocking work from a callback, [spawn]. *)
+
+val at : float -> (unit -> unit) -> token
+(** Like {!after} with an absolute timestamp (>= now). *)
+
+val cancel : token -> unit
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] blocks the calling process and hands [register] a
+    one-shot [resume] function. Calling [resume v] (from a callback or
+    another process, at any later virtual time) schedules the process to
+    continue with value [v]. This is the primitive from which all other
+    blocking constructs are built. *)
+
+(** Write-once cells for inter-process synchronisation. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] when already filled. *)
+
+  val read : 'a t -> 'a
+  (** Blocks the calling process until filled. *)
+
+  val peek : 'a t -> 'a option
+
+  val is_full : 'a t -> bool
+end
+
+val wait_all : unit Ivar.t list -> unit
+(** Block until every ivar in the list is filled. *)

@@ -1,0 +1,114 @@
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0; live = 0 }
+
+let size t = t.live
+
+let is_empty t = t.live = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let ensure_capacity t =
+  let cap = Array.length t.data in
+  if t.len >= cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    (* The dummy slot is immediately overwritten by the caller. *)
+    let dummy = t.data in
+    let fresh =
+      if cap = 0 then
+        Array.make ncap
+          { time = 0.; seq = 0; payload = Obj.magic 0; cancelled = true }
+      else Array.make ncap dummy.(0)
+    in
+    Array.blit t.data 0 fresh 0 t.len;
+    t.data <- fresh
+  end
+
+let push t ~time payload =
+  let entry =
+    { time; seq = t.next_seq; payload; cancelled = false }
+  in
+  t.next_seq <- t.next_seq + 1;
+  ensure_capacity t;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  entry
+
+let pop_any t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_any t with
+  | None -> None
+  | Some entry ->
+      if entry.cancelled then pop t
+      else begin
+        t.live <- t.live - 1;
+        Some (entry.time, entry.payload)
+      end
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    if top.cancelled then begin
+      ignore (pop_any t);
+      peek_time t
+    end
+    else Some top.time
+  end
+
+let cancel t entry =
+  if not entry.cancelled then begin
+    entry.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let cancelled entry = entry.cancelled

@@ -1,0 +1,30 @@
+(** Growable binary min-heap keyed by [(time, seq)].
+
+    Ties on [time] are broken by the monotonically increasing sequence
+    number assigned at insertion, which makes event ordering — and hence
+    every simulation — fully deterministic. Cancellation is lazy: a
+    cancelled entry stays in the heap and is skipped on [pop]. *)
+
+type 'a t
+
+type 'a entry
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> 'a entry
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest live entry by [(time, seq)], or [None] if the heap holds
+    only cancelled entries or nothing. *)
+
+val peek_time : 'a t -> float option
+
+val cancel : 'a t -> 'a entry -> unit
+(** Idempotent. A cancelled entry is never returned by [pop]. *)
+
+val cancelled : 'a entry -> bool

@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (int64 t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Modulo bias is negligible for simulation-sized bounds. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1)
+                  (Int64.of_int n))
+
+let float t x =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. x
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then 1e-18 else u in
+  -.mean *. log u
+
+let bool t p = float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,8 @@
+type t = float
+
+let us x = x *. 1e-6
+let ms x = x *. 1e-3
+let s x = x
+let to_ms t = t *. 1e3
+let to_us t = t *. 1e6
+let pp_ms fmt t = Format.fprintf fmt "%.3fms" (to_ms t)

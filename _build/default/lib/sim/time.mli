@@ -1,0 +1,19 @@
+(** Virtual time. The simulation clock counts seconds as a [float];
+    these helpers keep unit conversions explicit at call sites. *)
+
+type t = float
+
+val us : float -> t
+(** Microseconds to seconds. *)
+
+val ms : float -> t
+(** Milliseconds to seconds. *)
+
+val s : float -> t
+
+val to_ms : t -> float
+
+val to_us : t -> float
+
+val pp_ms : Format.formatter -> t -> unit
+(** Renders as milliseconds with three decimals, e.g. ["2.312ms"]. *)

@@ -1,0 +1,1 @@
+lib/tinyx/build.ml: Data Depsolve Kconfig Kconfig_types Lightvm_guest List Option Overlay Package

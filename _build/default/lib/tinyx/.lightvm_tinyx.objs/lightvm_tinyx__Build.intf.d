@@ -1,0 +1,1 @@
+lib/tinyx/build.mli: Kconfig_types Lightvm_guest Result

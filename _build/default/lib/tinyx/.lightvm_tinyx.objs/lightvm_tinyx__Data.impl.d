@@ -1,0 +1,1 @@
+lib/tinyx/data.ml: Kconfig_types List Package

@@ -1,0 +1,1 @@
+lib/tinyx/depsolve.ml: Data Hashtbl List Package

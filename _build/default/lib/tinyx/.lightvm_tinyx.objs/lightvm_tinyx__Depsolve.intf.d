@@ -1,0 +1,1 @@
+lib/tinyx/depsolve.mli: Package Result

@@ -1,0 +1,1 @@
+lib/tinyx/kconfig.ml: Data Hashtbl List Set String

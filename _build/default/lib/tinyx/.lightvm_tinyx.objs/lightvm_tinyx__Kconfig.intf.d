@@ -1,0 +1,1 @@
+lib/tinyx/kconfig.mli: Kconfig_types Result

@@ -1,0 +1,1 @@
+lib/tinyx/kconfig_types.ml:

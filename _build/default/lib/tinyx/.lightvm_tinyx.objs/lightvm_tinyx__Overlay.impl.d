@@ -1,0 +1,1 @@
+lib/tinyx/overlay.ml: List Package

@@ -1,0 +1,1 @@
+lib/tinyx/package.mli:

@@ -1,0 +1,37 @@
+(** The Tinyx build system, end to end: resolve the application's
+    package set, assemble the distribution, configure and prune the
+    kernel, and emit a bootable guest {!Lightvm_guest.Image.t} with the
+    initramfs bundled into the kernel image. *)
+
+type spec = {
+  app : string option;  (** [None] builds a no-app base image *)
+  platform : Kconfig_types.platform;
+  whitelist : string list;
+  prune_kernel : bool;
+      (** run the test-driven option-disable loop (slower build,
+          smaller kernel) *)
+}
+
+type report = {
+  image : Lightvm_guest.Image.t;
+  packages : string list;
+  blacklisted : string list;
+  distribution_kb : int;
+  kernel_kb : int;
+  kernel_runtime_kb : int;
+  prune_iterations : int;
+  debian_kernel_kb : int;  (** comparison point from the paper *)
+  debian_kernel_runtime_kb : int;
+}
+
+val default_spec : spec
+
+val spec :
+  ?platform:Kconfig_types.platform ->
+  ?whitelist:string list ->
+  ?prune_kernel:bool ->
+  ?app:string ->
+  unit ->
+  spec
+
+val build : spec -> (report, string) Result.t

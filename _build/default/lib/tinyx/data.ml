@@ -1,0 +1,164 @@
+(* The embedded repository and kernel-option database Tinyx builds
+   against. Sizes are representative of Debian jessie-era packages. *)
+
+let pkg ?(deps = []) ?(libs = []) ?(install_only = false)
+    ?(scripts = false) name size_kb =
+  {
+    Package.name;
+    size_kb;
+    deps;
+    libs;
+    required_for_install_only = install_only;
+    has_install_scripts = scripts;
+  }
+
+let packages =
+  [
+    (* Core. *)
+    pkg "libc6" 10_600 ~deps:[ "gcc-4.9-base" ]
+      ~libs:[ "libc.so.6"; "libm.so.6"; "libdl.so.2";
+              "libpthread.so.0"; "librt.so.1" ]
+      ~scripts:true;
+    pkg "busybox" 1_880 ~deps:[ "libc6" ];
+    pkg "zlib1g" 160 ~deps:[ "libc6" ] ~libs:[ "libz.so.1" ];
+    pkg "libssl1.0" 2_900 ~deps:[ "libc6"; "zlib1g" ]
+      ~libs:[ "libssl.so.1.0"; "libcrypto.so.1.0" ] ~scripts:true;
+    pkg "libpcre3" 670 ~deps:[ "libc6" ] ~libs:[ "libpcre.so.3" ];
+    pkg "libexpat1" 390 ~deps:[ "libc6" ] ~libs:[ "libexpat.so.1" ];
+    pkg "libffi6" 160 ~deps:[ "libc6" ] ~libs:[ "libffi.so.6" ];
+    pkg "libncurses5" 800 ~deps:[ "libc6" ] ~libs:[ "libncurses.so.5" ];
+    pkg "libreadline6" 720 ~deps:[ "libc6"; "libncurses5" ]
+      ~libs:[ "libreadline.so.6" ];
+    (* Installation machinery: required by the package manager but
+       useless at runtime — exactly what the Tinyx blacklist drops. *)
+    pkg "dpkg" 6_600 ~deps:[ "libc6" ] ~install_only:true ~scripts:true;
+    pkg "apt" 3_700 ~deps:[ "libc6"; "dpkg" ] ~install_only:true
+      ~scripts:true;
+    pkg "debconf" 1_200 ~deps:[ "dpkg"; "perl-base" ] ~install_only:true
+      ~scripts:true;
+    pkg "gcc-4.9-base" 200 ~deps:[] ~install_only:true;
+    pkg "perl-base" 5_300 ~deps:[ "libc6" ] ~install_only:true
+      ~scripts:true;
+    (* Init systems (Tinyx uses BusyBox init instead). *)
+    pkg "systemd" 12_700 ~deps:[ "libc6" ] ~scripts:true;
+    pkg "sysvinit" 250 ~deps:[ "libc6" ] ~scripts:true;
+    (* Applications. *)
+    pkg "nginx" 1_200
+      ~deps:[ "libc6"; "libpcre3"; "libssl1.0"; "zlib1g"; "debconf" ]
+      ~libs:[] ~scripts:true;
+    pkg "micropython" 640 ~deps:[ "libc6"; "libffi6" ];
+    pkg "redis-server" 1_600 ~deps:[ "libc6"; "debconf" ] ~scripts:true;
+    pkg "haproxy" 2_100
+      ~deps:[ "libc6"; "libpcre3"; "libssl1.0"; "debconf" ] ~scripts:true;
+    pkg "axtls" 260 ~deps:[ "libc6" ] ~libs:[ "libaxtls.so.1" ];
+    pkg "iperf" 280 ~deps:[ "libc6" ];
+    pkg "python2.7-minimal" 10_200
+      ~deps:[ "libc6"; "zlib1g"; "libexpat1"; "libssl1.0";
+              "libreadline6" ]
+      ~scripts:true;
+  ]
+
+let repo = Package.repo_of_list packages
+
+(* Which shared libraries each application binary links against — what
+   Tinyx learns by running objdump on the binary. *)
+let objdump_libs = function
+  | "nginx" -> [ "libc.so.6"; "libpcre.so.3"; "libssl.so.1.0"; "libz.so.1" ]
+  | "micropython" -> [ "libc.so.6"; "libffi.so.6"; "libm.so.6" ]
+  | "redis-server" -> [ "libc.so.6"; "libm.so.6"; "libpthread.so.0" ]
+  | "haproxy" -> [ "libc.so.6"; "libpcre.so.3"; "libcrypto.so.1.0" ]
+  | "iperf" -> [ "libc.so.6"; "libm.so.6"; "librt.so.1" ]
+  | "python2.7-minimal" ->
+      [ "libc.so.6"; "libz.so.1"; "libexpat.so.1"; "libssl.so.1.0";
+        "libreadline.so.6"; "libm.so.6"; "libdl.so.2" ]
+  | _ -> [ "libc.so.6" ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernel configuration database *)
+
+type koption = {
+  opt_name : string;
+  size_kb : int; (* contribution to the kernel image *)
+  runtime_kb : int; (* contribution to runtime kernel memory *)
+  opt_deps : string list;
+  default_in_tinyconfig : bool;
+}
+
+let opt ?(deps = []) ?(dflt = false) ~runtime_kb name size_kb =
+  {
+    opt_name = name;
+    size_kb;
+    runtime_kb;
+    opt_deps = deps;
+    default_in_tinyconfig = dflt;
+  }
+
+(* tinyconfig gives a ~600 KB kernel using ~1 MB at runtime; everything
+   else is opt-in. A typical Debian kernel enables nearly all of it. *)
+let tinyconfig_base_kb = 620
+let tinyconfig_runtime_kb = 1_050
+
+let koptions =
+  [
+    opt "CONFIG_NET" 380 ~runtime_kb:120;
+    opt "CONFIG_INET" 520 ~runtime_kb:160 ~deps:[ "CONFIG_NET" ];
+    opt "CONFIG_BLOCK" 260 ~runtime_kb:80;
+    opt "CONFIG_EXT4_FS" 480 ~runtime_kb:60 ~deps:[ "CONFIG_BLOCK" ];
+    opt "CONFIG_TMPFS" 60 ~runtime_kb:20;
+    opt "CONFIG_PROC_FS" 90 ~runtime_kb:25 ~dflt:true;
+    opt "CONFIG_SYSFS" 110 ~runtime_kb:30 ~dflt:true;
+    opt "CONFIG_MODULES" 95 ~runtime_kb:40;
+    opt "CONFIG_SMP" 310 ~runtime_kb:200;
+    opt "CONFIG_HYPERVISOR_GUEST" 75 ~runtime_kb:15;
+    opt "CONFIG_XEN" 290 ~runtime_kb:85
+      ~deps:[ "CONFIG_HYPERVISOR_GUEST" ];
+    opt "CONFIG_XEN_BLKDEV_FRONTEND" 85 ~runtime_kb:20
+      ~deps:[ "CONFIG_XEN"; "CONFIG_BLOCK" ];
+    opt "CONFIG_XEN_NETDEV_FRONTEND" 95 ~runtime_kb:25
+      ~deps:[ "CONFIG_XEN"; "CONFIG_NET" ];
+    opt "CONFIG_VIRTIO" 70 ~runtime_kb:15;
+    opt "CONFIG_VIRTIO_NET" 80 ~runtime_kb:20
+      ~deps:[ "CONFIG_VIRTIO"; "CONFIG_NET" ];
+    opt "CONFIG_VIRTIO_BLK" 70 ~runtime_kb:18
+      ~deps:[ "CONFIG_VIRTIO"; "CONFIG_BLOCK" ];
+    (* Bare-metal driver piles that virtual machines never need. *)
+    opt "CONFIG_DRIVERS_PCI_PILE" 900 ~runtime_kb:900;
+    opt "CONFIG_DRIVERS_USB_PILE" 750 ~runtime_kb:700;
+    opt "CONFIG_DRIVERS_GPU_PILE" 1_150 ~runtime_kb:1_200;
+    opt "CONFIG_DRIVERS_SOUND_PILE" 680 ~runtime_kb:600;
+    opt "CONFIG_DRIVERS_WIRELESS_PILE" 820 ~runtime_kb:800;
+    opt "CONFIG_FS_MISC_PILE" 640 ~runtime_kb:550;
+    opt "CONFIG_CRYPTO_PILE" 470 ~runtime_kb:400;
+    opt "CONFIG_DEBUG_INFO" 2_600 ~runtime_kb:0;
+    opt "CONFIG_IPV6" 340 ~runtime_kb:95 ~deps:[ "CONFIG_NET" ];
+    opt "CONFIG_NETFILTER" 410 ~runtime_kb:120 ~deps:[ "CONFIG_NET" ];
+    opt "CONFIG_UNIX" 95 ~runtime_kb:25 ~deps:[ "CONFIG_NET" ];
+  ]
+
+let koption_names = List.map (fun o -> o.opt_name) koptions
+
+(* What each target platform needs to boot at all. *)
+let platform_required = function
+  | Kconfig_types.Xen_pv ->
+      [ "CONFIG_HYPERVISOR_GUEST"; "CONFIG_XEN";
+        "CONFIG_XEN_NETDEV_FRONTEND" ]
+  | Kconfig_types.Kvm ->
+      [ "CONFIG_VIRTIO"; "CONFIG_VIRTIO_NET"; "CONFIG_NET" ]
+  | Kconfig_types.Baremetal ->
+      [ "CONFIG_DRIVERS_PCI_PILE"; "CONFIG_BLOCK" ]
+
+(* What each application needs from the kernel (discovered by the
+   boot-and-test loop). *)
+let app_required = function
+  | "nginx" -> [ "CONFIG_NET"; "CONFIG_INET"; "CONFIG_UNIX";
+                 "CONFIG_TMPFS" ]
+  | "micropython" -> [ "CONFIG_NET"; "CONFIG_INET" ]
+  | "redis-server" -> [ "CONFIG_NET"; "CONFIG_INET"; "CONFIG_TMPFS" ]
+  | "haproxy" -> [ "CONFIG_NET"; "CONFIG_INET"; "CONFIG_UNIX" ]
+  | "iperf" -> [ "CONFIG_NET"; "CONFIG_INET" ]
+  | "python2.7-minimal" -> [ "CONFIG_NET"; "CONFIG_INET"; "CONFIG_TMPFS" ]
+  | _ -> []
+
+(* A Debian kernel for comparison: everything on. *)
+let debian_kernel_options =
+  List.filter (fun n -> n <> "CONFIG_DEBUG_INFO") koption_names

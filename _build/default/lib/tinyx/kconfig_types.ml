@@ -1,0 +1,8 @@
+(* Target platforms a Tinyx image can be built for (Section 3.2: "the
+   platform the image will be running on, e.g. a Xen VM"). *)
+type platform = Xen_pv | Kvm | Baremetal
+
+let platform_name = function
+  | Xen_pv -> "xen"
+  | Kvm -> "kvm"
+  | Baremetal -> "baremetal"

@@ -1,0 +1,1 @@
+lib/toolstack/backend.ml: Costs Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_xenstore Printf

@@ -1,0 +1,1 @@
+lib/toolstack/backend.mli: Costs Lightvm_guest Lightvm_hv Lightvm_xenstore

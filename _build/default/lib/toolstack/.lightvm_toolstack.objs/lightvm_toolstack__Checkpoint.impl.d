@@ -1,0 +1,1 @@
+lib/toolstack/checkpoint.ml: Costs Create Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_xenstore Mode Printf Toolstack Vmconfig

@@ -1,0 +1,1 @@
+lib/toolstack/checkpoint.mli: Create Toolstack

@@ -1,0 +1,1 @@
+lib/toolstack/costs.ml:

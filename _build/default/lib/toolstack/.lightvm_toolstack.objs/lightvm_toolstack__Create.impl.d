@@ -1,0 +1,1 @@
+lib/toolstack/create.ml: Array Backend Costs Float Hotplug Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_xenstore List Mode Printf String Vmconfig

@@ -1,0 +1,1 @@
+lib/toolstack/create.mli: Backend Costs Lightvm_guest Lightvm_hv Lightvm_xenstore Mode Vmconfig

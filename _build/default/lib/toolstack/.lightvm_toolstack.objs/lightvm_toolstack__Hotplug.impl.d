@@ -1,0 +1,1 @@
+lib/toolstack/hotplug.ml: Costs Lightvm_guest Lightvm_hv Mode

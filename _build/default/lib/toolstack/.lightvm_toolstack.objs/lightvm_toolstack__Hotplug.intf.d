@@ -1,0 +1,1 @@
+lib/toolstack/hotplug.mli: Costs Lightvm_guest Lightvm_hv Mode

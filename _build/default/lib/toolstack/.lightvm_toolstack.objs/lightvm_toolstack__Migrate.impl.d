@@ -1,0 +1,1 @@
+lib/toolstack/migrate.ml: Checkpoint Costs Create Lightvm_sim String Toolstack Vmconfig

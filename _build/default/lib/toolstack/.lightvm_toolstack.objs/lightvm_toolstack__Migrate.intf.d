@@ -1,0 +1,1 @@
+lib/toolstack/migrate.mli: Create Toolstack

@@ -1,0 +1,1 @@
+lib/toolstack/pool.ml: Lightvm_sim Queue

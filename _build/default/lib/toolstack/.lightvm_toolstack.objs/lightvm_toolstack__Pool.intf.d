@@ -1,0 +1,1 @@
+lib/toolstack/pool.mli:

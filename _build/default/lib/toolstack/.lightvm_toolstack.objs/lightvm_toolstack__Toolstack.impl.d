@@ -1,0 +1,1 @@
+lib/toolstack/toolstack.ml: Backend Costs Create Hashtbl Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_xenstore List Mode Pool Printf Vmconfig

@@ -1,0 +1,1 @@
+lib/toolstack/toolstack.mli: Costs Create Lightvm_guest Lightvm_hv Lightvm_xenstore Mode Vmconfig

@@ -1,0 +1,1 @@
+lib/toolstack/vmconfig.ml: Buffer Char Lightvm_guest List Printf String

@@ -1,0 +1,1 @@
+lib/toolstack/vmconfig.mli: Lightvm_guest

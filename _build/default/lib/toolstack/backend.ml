@@ -1,0 +1,140 @@
+module Engine = Lightvm_sim.Engine
+module Xen = Lightvm_hv.Xen
+module Evtchn = Lightvm_hv.Evtchn
+module Gnttab = Lightvm_hv.Gnttab
+module Params = Lightvm_hv.Params
+module Xs_client = Lightvm_xenstore.Xs_client
+module Device = Lightvm_guest.Device
+module Ctrl = Lightvm_guest.Ctrl
+module Xenbus_front = Lightvm_guest.Xenbus_front
+
+type t = {
+  xen : Xen.t;
+  xs : Xs_client.t option;
+  ctrl : Ctrl.t;
+  costs : Costs.t;
+  mutable mac_counter : int;
+  mutable connected : int;
+  mutable next_ctrl_frame : int;
+}
+
+let create ~xen ~xs ~ctrl ~costs =
+  { xen; xs; ctrl; costs; mac_counter = 0; connected = 0;
+    next_ctrl_frame = 0x1000 }
+
+let ctrl t = t.ctrl
+
+let fresh_mac t =
+  t.mac_counter <- t.mac_counter + 1;
+  let n = t.mac_counter in
+  Printf.sprintf "00:16:3e:%02x:%02x:%02x"
+    ((n lsr 16) land 0xff)
+    ((n lsr 8) land 0xff)
+    (n land 0xff)
+
+(* ------------------------------------------------------------------ *)
+(* XenStore path *)
+
+let complete_handshake t ~domid (dev : Device.config) xs =
+  (* Runs on a watch event: the frontend has published its half. *)
+  let fe = Device.frontend_dir ~domid dev in
+  let be = Device.backend_dir ~domid dev in
+  match Xs_client.read_opt xs (be ^ "/state") with
+  | Some s
+    when Xenbus_front.state_of_wire s = Some Xenbus_front.Connected ->
+      () (* already connected; spurious event *)
+  | Some _ | None -> (
+      match
+        ( Xs_client.read_opt xs (fe ^ "/ring-ref"),
+          Xs_client.read_opt xs (fe ^ "/event-channel") )
+      with
+      | Some gref, Some port ->
+          let costs = Xen.costs t.xen in
+          (* Map the ring and bind the channel. *)
+          Xen.hypercall t.xen ~cost:costs.Params.gnttab_op;
+          ignore
+            (Gnttab.map (Xen.gnttab t.xen) ~grantee:dev.Device.backend_domid
+               ~owner:domid (int_of_string gref));
+          Xen.hypercall t.xen ~cost:costs.Params.evtchn_op;
+          ignore
+            (Evtchn.bind_interdomain (Xen.evtchn t.xen)
+               ~domid:dev.Device.backend_domid ~remote:domid
+               ~remote_port:(int_of_string port));
+          (* Backend-side driver work on a Dom0 core. *)
+          Xen.consume_dom0 t.xen t.costs.Costs.backend_connect_work;
+          Xs_client.write xs (be ^ "/state")
+            (Xenbus_front.state_to_wire Xenbus_front.Connected);
+          t.connected <- t.connected + 1
+      | _ -> () (* frontend not ready yet; wait for the next event *))
+
+let watch_device t ~domid (dev : Device.config) =
+  match t.xs with
+  | None -> invalid_arg "Backend.watch_device: no XenStore connection"
+  | Some xs ->
+      let fe = Device.frontend_dir ~domid dev in
+      let token =
+        Printf.sprintf "be-%d-%s-%d" domid
+          (Device.kind_to_string dev.Device.kind)
+          dev.Device.devid
+      in
+      (* The watch stays registered for the device's lifetime (the real
+         netback keeps watching for Closing) — the registry grows with
+         the number of running guests. *)
+      Xs_client.watch xs ~path:(fe ^ "/state") ~token
+        ~deliver:(fun _event ->
+          match Xs_client.read_opt xs (fe ^ "/state") with
+          | Some s
+            when Xenbus_front.state_of_wire s
+                 = Some Xenbus_front.Initialised ->
+              complete_handshake t ~domid dev xs
+          | Some _ | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* noxs path *)
+
+let precreate_device t ~domid (dev : Device.config) =
+  (* The ioctl into the noxs kernel module plus backend-side setup. *)
+  Xen.consume_dom0 t.xen t.costs.Costs.backend_ioctl;
+  let costs = Xen.costs t.xen in
+  (* Allocate the device control page and grant it to the guest. *)
+  t.next_ctrl_frame <- t.next_ctrl_frame + 1;
+  Xen.hypercall t.xen ~cost:costs.Params.gnttab_op;
+  let gref =
+    Gnttab.grant_access (Xen.gnttab t.xen)
+      ~owner:dev.Device.backend_domid ~grantee:domid
+      ~frame:t.next_ctrl_frame
+  in
+  let page =
+    Ctrl.register t.ctrl ~backend_domid:dev.Device.backend_domid
+      ~grant_ref:gref ~mac:(fresh_mac t)
+  in
+  (* Unbound event channel for the frontend to bind. *)
+  Xen.hypercall t.xen ~cost:costs.Params.evtchn_op;
+  let port =
+    Evtchn.alloc_unbound (Xen.evtchn t.xen)
+      ~domid:dev.Device.backend_domid ~remote:domid
+  in
+  (* When the guest kicks, finish the handshake over shared memory. *)
+  Evtchn.set_handler (Xen.evtchn t.xen) ~domid:dev.Device.backend_domid
+    ~port (fun () ->
+      if Ctrl.front_state page = Ctrl.Front_ready
+         && Ctrl.back_state page <> Ctrl.Connected
+      then begin
+        Xen.consume_dom0 t.xen t.costs.Costs.backend_connect_work;
+        Ctrl.set_back_state page Ctrl.Connected;
+        t.connected <- t.connected + 1;
+        match Ctrl.front_port page with
+        | Some fport ->
+            ignore (Evtchn.notify (Xen.evtchn t.xen) ~domid ~port:fport)
+        | None -> ()
+      end);
+  (gref, port)
+
+let destroy_device t ~domid (dev : Device.config) ~grant_ref =
+  ignore domid;
+  (* Not yet optimized in the noxs prototype (Section 6.2). *)
+  Xen.consume_dom0 t.xen t.costs.Costs.noxs_device_destroy;
+  Ctrl.unregister t.ctrl ~backend_domid:dev.Device.backend_domid
+    ~grant_ref
+
+let connected_count t = t.connected

@@ -1,0 +1,44 @@
+(** Dom0 back-end drivers (netback/blkback).
+
+    Two bring-up paths, matching Figure 7:
+
+    - {b XenStore}: the toolstack writes the backend directory; the
+      back-end watches the frontend's state node and completes the
+      handshake (read ring/event-channel, map, bind, flip to Connected)
+      when the guest publishes its half.
+    - {b noxs}: the toolstack issues a pre-creation ioctl; the back-end
+      synchronously allocates the device control page and an unbound
+      event channel, and returns their identifiers for the hypervisor's
+      device page. The handshake then runs over shared memory when the
+      guest kicks the event channel. *)
+
+type t
+
+val create :
+  xen:Lightvm_hv.Xen.t ->
+  xs:Lightvm_xenstore.Xs_client.t option ->
+  ctrl:Lightvm_guest.Ctrl.t ->
+  costs:Costs.t ->
+  t
+
+val ctrl : t -> Lightvm_guest.Ctrl.t
+
+val fresh_mac : t -> string
+(** Xen-prefixed MAC (00:16:3e:...), sequential. *)
+
+val watch_device :
+  t -> domid:int -> Lightvm_guest.Device.config -> unit
+(** XenStore path: register the persistent frontend-state watch for a
+    device whose backend directory the toolstack just created. *)
+
+val precreate_device :
+  t -> domid:int -> Lightvm_guest.Device.config -> int * int
+(** noxs path (the ioctl): returns [(grant_ref, evtchn_port)] to be
+    written into the domain's device page. *)
+
+val destroy_device :
+  t -> domid:int -> Lightvm_guest.Device.config -> grant_ref:int -> unit
+(** noxs teardown (unoptimized, per Section 6.2). *)
+
+val connected_count : t -> int
+(** Devices brought to Connected so far (both paths). *)

@@ -1,0 +1,31 @@
+(** Save/restore (checkpointing), Section 6.2.
+
+    Saving suspends the guest — via XenStore control nodes on the
+    classic path, or via the sysctl pseudo-device's shared page and
+    event channel under noxs — then dumps its memory to the ramdisk and
+    tears the domain down. Restoring rebuilds the domain and devices,
+    reads the dump back, and resumes the guest (device frontends
+    reconnect, but the kernel does not reboot). *)
+
+type saved
+
+val saved_name : saved -> string
+
+val saved_mem_mb : saved -> float
+
+val save : Toolstack.t -> Create.created -> saved
+(** Blocks for the save duration; the domain is gone afterwards. *)
+
+val restore : Toolstack.t -> saved -> Create.created
+(** Blocks until the toolstack hands off to the resumed guest. *)
+
+val suspend_for_transfer : Toolstack.t -> Create.created -> saved
+(** Migration helper: quiesce and detach the guest, leaving the memory
+    image ready to stream (no ramdisk dump). The source domain is
+    destroyed. *)
+
+val resume_from_transfer :
+  Toolstack.t -> saved -> Create.created
+(** Migration helper: finish an incoming migration on a host where the
+    domain shell was pre-created (memory transfer is charged by the
+    caller). *)

@@ -1,0 +1,490 @@
+module Engine = Lightvm_sim.Engine
+module Xen = Lightvm_hv.Xen
+module Domain = Lightvm_hv.Domain
+module Devpage = Lightvm_hv.Devpage
+module Params = Lightvm_hv.Params
+module Xs_server = Lightvm_xenstore.Xs_server
+module Xs_client = Lightvm_xenstore.Xs_client
+module Xs_error = Lightvm_xenstore.Xs_error
+module Device = Lightvm_guest.Device
+module Guest = Lightvm_guest.Guest
+module Image = Lightvm_guest.Image
+module Ctrl = Lightvm_guest.Ctrl
+module Xenbus_front = Lightvm_guest.Xenbus_front
+
+type category =
+  | Cat_parse
+  | Cat_hypervisor
+  | Cat_xenstore
+  | Cat_devices
+  | Cat_load
+  | Cat_toolstack
+
+let categories =
+  [ Cat_parse; Cat_hypervisor; Cat_xenstore; Cat_devices; Cat_load;
+    Cat_toolstack ]
+
+let category_name = function
+  | Cat_parse -> "config"
+  | Cat_hypervisor -> "hypervisor"
+  | Cat_xenstore -> "xenstore"
+  | Cat_devices -> "devices"
+  | Cat_load -> "load"
+  | Cat_toolstack -> "toolstack"
+
+let category_index = function
+  | Cat_parse -> 0
+  | Cat_hypervisor -> 1
+  | Cat_xenstore -> 2
+  | Cat_devices -> 3
+  | Cat_load -> 4
+  | Cat_toolstack -> 5
+
+type breakdown = float array
+
+let breakdown_create () = Array.make 6 0.
+
+let breakdown_get b cat = b.(category_index cat)
+
+let breakdown_total b = Array.fold_left ( +. ) 0. b
+
+(* Attribute the wall-clock (simulated) duration of [f] to [cat]. *)
+let timed (b : breakdown option) cat f =
+  match b with
+  | None -> f ()
+  | Some b ->
+      let t0 = Engine.now () in
+      let r = f () in
+      b.(category_index cat) <- b.(category_index cat) +. (Engine.now () -. t0);
+      r
+
+type env = {
+  xen : Xen.t;
+  xs_server : Xs_server.t;
+  xs : Xs_client.t;
+  ctrl : Ctrl.t;
+  backend : Backend.t;
+  mode : Mode.t;
+  costs : Costs.t;
+}
+
+type shell = {
+  s_domid : int;
+  s_mem_mb : float;
+  s_vcpus : int;
+  s_nics : int;
+  s_disks : int;
+  s_devices : (Device.config * (int * int) option) list;
+      (* (device, (ctrl grant, evtchn port)) — the pair is present in
+         noxs mode *)
+}
+
+let shell_domid s = s.s_domid
+
+let shell_matches s ~mem_mb ~vcpus ~nics ~disks =
+  s.s_mem_mb = mem_mb && s.s_vcpus = vcpus && s.s_nics = nics
+  && s.s_disks = disks
+
+type created = {
+  domid : int;
+  vm_name : string;
+  config : Vmconfig.t;
+  guest : Guest.t;
+  devices : Device.config list;
+  noxs_grants : (Device.config * int) list;
+  create_time : float;
+  breakdown : breakdown;
+}
+
+exception Create_failed of string
+
+let effective_mem_mb env (cfg : Vmconfig.t) =
+  if env.mode.Mode.min_mem_patch then cfg.Vmconfig.memory_mb
+  else Float.max cfg.Vmconfig.memory_mb env.costs.Costs.min_mem_mb
+
+let is_xl env = env.mode.Mode.impl = Mode.Xl
+
+let uses_xenstore env = env.mode.Mode.registry = Mode.Xenstore
+
+let shell_counter = ref 0
+
+(* Scan all running guests for a name (libxl_name_to_domid): a
+   directory listing plus one read per guest, each a full round-trip to
+   the daemon. This is one of the scalability killers of the standard
+   toolstack. *)
+let scan_domain_names env =
+  let domids = Xs_client.directory env.xs "/local/domain" in
+  List.filter_map
+    (fun id -> Xs_client.read_opt env.xs ("/local/domain/" ^ id ^ "/name"))
+    domids
+
+(* ------------------------------------------------------------------ *)
+(* Prepare: phases 1-5 *)
+
+let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
+  let b = breakdown in
+  incr shell_counter;
+  let shell_name = Printf.sprintf "chaos-shell-%d" !shell_counter in
+  (* Phase 1: hypervisor reservation. *)
+  let dom =
+    timed b Cat_hypervisor (fun () ->
+        match Xen.create_domain env.xen ~name:shell_name ~vcpus ~mem_mb with
+        | Ok dom -> dom
+        | Error Xen.ENOMEM -> raise (Create_failed "out of memory")
+        | Error _ -> raise (Create_failed "domain creation failed"))
+  in
+  let domid = Domain.domid dom in
+  Domain.set_shell dom true;
+  (* Phase 2: compute allocation. *)
+  timed b Cat_toolstack (fun () ->
+      Engine.sleep env.costs.Costs.compute_alloc);
+  (* Phase 3: memory reservation (set maxmem). *)
+  timed b Cat_hypervisor (fun () -> Xen.hypercall env.xen ~cost:8.0e-6);
+  (* Phase 4: memory preparation. *)
+  timed b Cat_hypervisor (fun () ->
+      match Xen.populate_memory env.xen ~domid with
+      | Ok () -> ()
+      | Error _ ->
+          ignore (Xen.destroy env.xen ~domid);
+          raise (Create_failed "out of memory populating guest RAM"));
+  (* XenStore skeleton for the domain. *)
+  if uses_xenstore env then
+    timed b Cat_xenstore (fun () ->
+        let dompath = Printf.sprintf "/local/domain/%d" domid in
+        Xs_client.mkdir env.xs dompath;
+        (* The guest owns its domain directory (libxl sets this so the
+           domain can populate its own subtree). *)
+        Xs_client.set_perms env.xs dompath
+          (Lightvm_xenstore.Xs_perms.make ~owner:domid ());
+        Xs_client.mkdir env.xs (dompath ^ "/device");
+        Xs_client.mkdir env.xs (dompath ^ "/control"));
+  (* Phase 5: device pre-creation. Under noxs every guest also gets
+     the sysctl pseudo-device for power operations (Section 5.1). *)
+  let devices =
+    List.init nics (fun i -> Device.vif ~devid:i ())
+    @ List.init disks (fun i -> Device.vbd ~devid:i ())
+    @ (if uses_xenstore env then [] else [ Device.sysctl () ])
+  in
+  let s_devices =
+    List.map
+      (fun dev ->
+        if uses_xenstore env then begin
+          timed b Cat_xenstore (fun () ->
+              (* Backend directory skeleton + the backend's watch. The
+                 guest's frontend must be able to read the backend's
+                 nodes (state, mac). *)
+              let be = Device.backend_dir ~domid dev in
+              let guest_readable =
+                Lightvm_xenstore.Xs_perms.make ~owner:0
+                  ~acl:[ (domid, Lightvm_xenstore.Xs_perms.Read) ]
+                  ()
+              in
+              Xs_client.mkdir env.xs be;
+              Xs_client.set_perms env.xs be guest_readable;
+              Xs_client.write env.xs (be ^ "/frontend-id")
+                (string_of_int domid);
+              Xs_client.set_perms env.xs (be ^ "/frontend-id")
+                guest_readable;
+              Xs_client.write env.xs (be ^ "/state")
+                (Xenbus_front.state_to_wire Xenbus_front.Init_wait);
+              Xs_client.set_perms env.xs (be ^ "/state") guest_readable;
+              Backend.watch_device env.backend ~domid dev);
+          timed b Cat_devices (fun () ->
+              Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
+                ~costs:env.costs dev);
+          (dev, None)
+        end
+        else begin
+          let ids =
+            timed b Cat_devices (fun () ->
+                let gref, port =
+                  Backend.precreate_device env.backend ~domid dev
+                in
+                Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
+                  ~costs:env.costs dev;
+                (gref, port))
+          in
+          (dev, Some ids)
+        end)
+      devices
+  in
+  { s_domid = domid; s_mem_mb = mem_mb; s_vcpus = vcpus; s_nics = nics;
+    s_disks = disks; s_devices }
+
+(* ------------------------------------------------------------------ *)
+(* Execute: phases 6-9 *)
+
+let xl_extra_entries domid =
+  let dompath = Printf.sprintf "/local/domain/%d" domid in
+  let vmpath = Printf.sprintf "/vm/%d" domid in
+  [
+    (vmpath ^ "/uuid", Printf.sprintf "0000-%04d" domid);
+    (vmpath ^ "/image/ostype", "linux");
+    (dompath ^ "/vm", vmpath);
+    (dompath ^ "/domid", string_of_int domid);
+    (dompath ^ "/memory/target", "0");
+    (dompath ^ "/memory/static-max", "0");
+    (dompath ^ "/console/ring-ref", "0");
+    (dompath ^ "/console/port", "0");
+    (dompath ^ "/console/limit", "65536");
+    (dompath ^ "/console/type", "xenconsoled");
+    (dompath ^ "/store/port", "1");
+    (dompath ^ "/cpu/0/availability", "online");
+  ]
+
+let init_device_xenstore env ~domid (dev : Device.config) =
+  (* Frontend entries, written atomically in a transaction, as libxl
+     does ("atomicity is ensured via transactions"). The frontend nodes
+     are handed to the guest so its driver can publish the ring. *)
+  let fe = Device.frontend_dir ~domid dev in
+  let be = Device.backend_dir ~domid dev in
+  let mac = Backend.fresh_mac env.backend in
+  let guest_owned = Lightvm_xenstore.Xs_perms.make ~owner:domid () in
+  let guest_readable =
+    Lightvm_xenstore.Xs_perms.make ~owner:0
+      ~acl:[ (domid, Lightvm_xenstore.Xs_perms.Read) ]
+      ()
+  in
+  Xs_client.with_transaction env.xs (fun tx ->
+      Xs_client.write_many env.xs ~tx
+        [
+          (fe ^ "/backend", be);
+          (fe ^ "/backend-id",
+           string_of_int dev.Device.backend_domid);
+          (fe ^ "/state",
+           Xenbus_front.state_to_wire Xenbus_front.Initialising);
+          (fe ^ "/handle", string_of_int dev.Device.devid);
+        ];
+      List.iter
+        (fun node -> Xs_client.set_perms env.xs ~tx node guest_owned)
+        [ fe; fe ^ "/backend"; fe ^ "/backend-id"; fe ^ "/state";
+          fe ^ "/handle" ];
+      Xs_client.write env.xs ~tx (be ^ "/mac") mac;
+      Xs_client.set_perms env.xs ~tx (be ^ "/mac") guest_readable)
+
+let init_device_noxs env ~domid (dev : Device.config) ids =
+  let gref, port =
+    match ids with
+    | Some ids -> ids
+    | None ->
+        (* Shell was prepared without this device (should not happen if
+           pool flavors match). *)
+        Backend.precreate_device env.backend ~domid dev
+  in
+  (* One hypercall writes the entry into the domain's device page. *)
+  let costs = Xen.costs env.xen in
+  Xen.hypercall env.xen ~cost:costs.Params.devpage_op;
+  (match
+     Devpage.write_entry (Xen.devpage env.xen) ~caller:0 ~domid
+       {
+         Devpage.kind = Device.devpage_kind dev.Device.kind;
+         devid = dev.Device.devid;
+         backend_domid = dev.Device.backend_domid;
+         grant_ref = gref;
+         evtchn_port = port;
+       }
+   with
+  | Ok () -> ()
+  | Error _ -> raise (Create_failed "device page write failed"));
+  (dev, gref)
+
+let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
+    ?breakdown () =
+  let b = breakdown in
+  let t0 = Engine.now () in
+  let domid = shell.s_domid in
+  let dom =
+    match Xen.domain env.xen ~domid with
+    | Some dom -> dom
+    | None -> raise (Create_failed "shell domain vanished")
+  in
+  (* Toolstack bookkeeping (libxl: lock files, JSON state, event
+     machinery; chaos: a small in-memory record). *)
+  timed b Cat_toolstack (fun () ->
+      Engine.sleep
+        (if is_xl env then env.costs.Costs.xl_bookkeeping
+         else env.costs.Costs.chaos_bookkeeping));
+  (* Phase 6: configuration parsing. *)
+  let cfg =
+    timed b Cat_parse (fun () ->
+        match config_text with
+        | None ->
+            Engine.sleep env.costs.Costs.config_parse_base;
+            cfg
+        | Some text ->
+            Engine.sleep
+              (env.costs.Costs.config_parse_base
+              +. (float_of_int (String.length text)
+                  *. env.costs.Costs.config_parse_per_byte));
+            (match Vmconfig.parse text with
+            | Ok parsed -> parsed
+            | Error msg ->
+                raise (Create_failed ("config parse error: " ^ msg))))
+  in
+  (* Phase 7: device initialization. *)
+  Domain.set_name dom cfg.Vmconfig.name;
+  Domain.set_shell dom false;
+  if uses_xenstore env then begin
+    (* libxl resolves names by scanning every guest, several times per
+       command. *)
+    timed b Cat_xenstore (fun () ->
+        for i = 1 to
+          (if is_xl env then env.costs.Costs.xl_name_scans
+           else env.costs.Costs.chaos_name_scans)
+        do
+          let names = scan_domain_names env in
+          if i = 1 && List.mem cfg.Vmconfig.name names then begin
+            ignore (Xen.destroy env.xen ~domid);
+            raise
+              (Create_failed
+                 ("domain already exists: " ^ cfg.Vmconfig.name))
+          end
+        done;
+        (* xl registers the guest name in the store, which triggers the
+           daemon's uniqueness scan over every running guest. chaos
+           leans on the paper's observation that "the name ... is kept
+           in the XenStore but is not needed during boot": it keeps the
+           name in the hypervisor record only. *)
+        if is_xl env then
+          Xs_client.write env.xs
+            (Printf.sprintf "/local/domain/%d/name" domid)
+            cfg.Vmconfig.name;
+        if is_xl env then begin
+          Xs_client.write_many env.xs (xl_extra_entries domid);
+          (* The xl daemon watches every guest's shutdown node to track
+             domain lifecycle — one more registry entry per VM that
+             every later write must be checked against. *)
+          Xs_client.watch env.xs
+            ~path:(Printf.sprintf "/local/domain/%d/control/shutdown"
+                     domid)
+            ~token:(Printf.sprintf "xl-shutdown-%d" domid)
+            ~deliver:(fun _ -> ())
+        end)
+  end;
+  let noxs_grants =
+    if uses_xenstore env then begin
+      timed b Cat_xenstore (fun () ->
+          List.iter
+            (fun (dev, _) -> init_device_xenstore env ~domid dev)
+            shell.s_devices);
+      []
+    end
+    else
+      timed b Cat_devices (fun () ->
+          List.map
+            (fun (dev, ids) -> init_device_noxs env ~domid dev ids)
+            shell.s_devices)
+  in
+  if is_xl env then
+    timed b Cat_toolstack (fun () ->
+        Engine.sleep env.costs.Costs.xl_console_setup);
+  (* Phase 8: image build — parse the kernel image and lay it out in
+     guest memory (linear in image size; Figure 2). *)
+  let image =
+    match image_override with
+    | Some image -> image
+    | None -> (
+        match Vmconfig.image cfg with
+        | Some image -> image
+        | None ->
+            raise
+              (Create_failed ("unknown kernel image: " ^ cfg.Vmconfig.kernel)))
+  in
+  (if is_xl env then
+     match image.Image.kind with
+     | Image.Tinyx _ | Image.Debian ->
+         timed b Cat_toolstack (fun () ->
+             Engine.sleep env.costs.Costs.xl_pv_build_extra)
+     | Image.Unikernel _ -> ());
+  timed b Cat_load (fun () ->
+      match
+        Xen.load_image env.xen ~domid ~size_mb:image.Image.kernel_mb
+      with
+      | Ok () -> ()
+      | Error _ -> raise (Create_failed "image load failed"));
+  (* Phase 9: boot. *)
+  timed b Cat_hypervisor (fun () ->
+      match Xen.unpause env.xen ~domid with
+      | Ok () -> ()
+      | Error _ -> raise (Create_failed "unpause failed"));
+  let devices = List.map fst shell.s_devices in
+  let registry =
+    if uses_xenstore env then
+      Guest.Xenbus (Xs_client.connect env.xs_server ~domid)
+    else Guest.Noxs env.ctrl
+  in
+  let guest =
+    Guest.start ~xen:env.xen ~registry ~domid ~image ~devices ()
+  in
+  let create_time = Engine.now () -. t0 in
+  {
+    domid;
+    vm_name = cfg.Vmconfig.name;
+    config = cfg;
+    guest;
+    devices;
+    noxs_grants;
+    create_time;
+    breakdown =
+      (match b with Some b -> b | None -> breakdown_create ());
+  }
+
+let create_gen env ?config_text ?image_override cfg =
+  let b = breakdown_create () in
+  let t0 = Engine.now () in
+  let mem_mb = effective_mem_mb env cfg in
+  let shell =
+    prepare env ~mem_mb ~vcpus:cfg.Vmconfig.vcpus
+      ~nics:(List.length cfg.Vmconfig.vifs)
+      ~disks:(List.length cfg.Vmconfig.disks)
+      ~breakdown:b ()
+  in
+  let created =
+    execute env shell ?config_text ?image_override cfg ~breakdown:b ()
+  in
+  { created with create_time = Engine.now () -. t0 }
+
+let create env ?config_text ?image_override cfg =
+  create_gen env ?config_text ?image_override cfg
+
+let create_with_image env cfg ~image = create_gen env ~image_override:image cfg
+
+(* ------------------------------------------------------------------ *)
+
+let destroy env created =
+  Guest.shutdown created.guest;
+  let domid = created.domid in
+  if uses_xenstore env then begin
+    (* Remove the device watches and the domain's subtree. *)
+    List.iter
+      (fun dev ->
+        let fe = Device.frontend_dir ~domid dev in
+        let token =
+          Printf.sprintf "be-%d-%s-%d" domid
+            (Device.kind_to_string dev.Device.kind)
+            dev.Device.devid
+        in
+        (try Xs_client.unwatch env.xs ~path:(fe ^ "/state") ~token
+         with Xs_error.Error _ -> ());
+        (if is_xl env then
+           try
+             Xs_client.unwatch env.xs
+               ~path:(Printf.sprintf "/local/domain/%d/control/shutdown"
+                        domid)
+               ~token:(Printf.sprintf "xl-shutdown-%d" domid)
+           with Xs_error.Error _ -> ());
+        let be = Device.backend_dir ~domid dev in
+        try Xs_client.rm env.xs be with Xs_error.Error _ -> ())
+      created.devices;
+    (try Xs_client.rm env.xs (Printf.sprintf "/local/domain/%d" domid)
+     with Xs_error.Error _ -> ());
+    Xs_client.release env.xs domid
+  end
+  else
+    List.iter
+      (fun (dev, gref) ->
+        Backend.destroy_device env.backend ~domid dev ~grant_ref:gref)
+      created.noxs_grants;
+  match Xen.destroy env.xen ~domid with
+  | Ok () -> ()
+  | Error _ -> ()

@@ -1,0 +1,97 @@
+(** The VM creation pipeline of Figure 8, instrumented like Figure 5.
+
+    Creation runs nine steps: (1) hypervisor reservation, (2) compute
+    allocation, (3) memory reservation, (4) memory preparation,
+    (5) device pre-creation — the {e prepare} phase — then
+    (6) configuration parsing, (7) device initialization, (8) image
+    build, (9) VM boot — the {e execute} phase. Without the split
+    toolstack both phases run inline at [chaos create]/[xl create]
+    time; with it, prepare runs in the background daemon and only
+    execute is on the critical path.
+
+    Every step attributes its simulated time to one of the paper's
+    Figure 5 categories. *)
+
+type category =
+  | Cat_parse
+  | Cat_hypervisor
+  | Cat_xenstore
+  | Cat_devices
+  | Cat_load
+  | Cat_toolstack
+
+val categories : category list
+
+val category_name : category -> string
+
+type breakdown
+
+val breakdown_create : unit -> breakdown
+
+val breakdown_get : breakdown -> category -> float
+
+val breakdown_total : breakdown -> float
+
+(** Everything the pipeline needs from the host. *)
+type env = {
+  xen : Lightvm_hv.Xen.t;
+  xs_server : Lightvm_xenstore.Xs_server.t;
+  xs : Lightvm_xenstore.Xs_client.t;  (** Dom0's connection *)
+  ctrl : Lightvm_guest.Ctrl.t;
+  backend : Backend.t;
+  mode : Mode.t;
+  costs : Costs.t;
+}
+
+(** A pre-created VM shell (output of the prepare phase). *)
+type shell
+
+val shell_domid : shell -> int
+
+val shell_matches :
+  shell -> mem_mb:float -> vcpus:int -> nics:int -> disks:int -> bool
+
+(** A fully created VM. *)
+type created = {
+  domid : int;
+  vm_name : string;
+  config : Vmconfig.t;
+  guest : Lightvm_guest.Guest.t;
+  devices : Lightvm_guest.Device.config list;
+  noxs_grants : (Lightvm_guest.Device.config * int) list;
+      (** control-page grant per device, noxs mode only *)
+  create_time : float;  (** toolstack time for the on-path phases *)
+  breakdown : breakdown;
+}
+
+exception Create_failed of string
+
+val effective_mem_mb : env -> Vmconfig.t -> float
+(** Applies the 4 MB toolstack floor unless the mode carries the
+    paper's footnote-1 patch. *)
+
+val prepare :
+  env -> mem_mb:float -> vcpus:int -> nics:int -> disks:int ->
+  ?breakdown:breakdown -> unit -> shell
+(** Phases 1-5. Raises {!Create_failed} (e.g. out of memory). *)
+
+val execute :
+  env -> shell -> ?config_text:string ->
+  ?image_override:Lightvm_guest.Image.t -> Vmconfig.t ->
+  ?breakdown:breakdown -> unit -> created
+(** Phases 6-9. The guest's boot process is spawned; use
+    [Guest.wait_ready created.guest] to block until it is up.
+    [image_override] bypasses the kernel-name lookup (restore path). *)
+
+val create :
+  env -> ?config_text:string -> ?image_override:Lightvm_guest.Image.t ->
+  Vmconfig.t -> created
+(** prepare + execute inline (the non-split path). *)
+
+val create_with_image :
+  env -> Vmconfig.t -> image:Lightvm_guest.Image.t -> created
+(** [create] with an explicit image (used by restore, which boots a
+    quiesced image rather than a fresh kernel). *)
+
+val destroy : env -> created -> unit
+(** Tear down devices, registry state and the domain. *)

@@ -1,0 +1,13 @@
+module Xen = Lightvm_hv.Xen
+module Device = Lightvm_guest.Device
+
+let estimate kind ~costs (dev : Device.config) =
+  match kind with
+  | Mode.Xendevd -> costs.Costs.xendevd_per_device
+  | Mode.Script ->
+      match dev.Device.kind with
+      | Device.Vif -> costs.Costs.hotplug_script_vif +. costs.Costs.udev_settle
+      | Device.Vbd -> costs.Costs.hotplug_script_vbd +. costs.Costs.udev_settle
+      | Device.Sysctl -> 0. (* no user-space setup: pure shared memory *)
+
+let run kind ~xen ~costs dev = Xen.consume_dom0 xen (estimate kind ~costs dev)

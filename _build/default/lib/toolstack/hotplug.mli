@@ -1,0 +1,21 @@
+(** Device hotplug in Dom0 (Section 5.3).
+
+    With standard Xen, creating a virtual device runs user-configured
+    bash scripts (forked by xl or by udevd) to add the vif to the
+    bridge or set up the block device — tens of milliseconds. xendevd
+    replaces this with a pre-compiled daemon reacting to udev events
+    without forking. *)
+
+val run :
+  Mode.hotplug_kind ->
+  xen:Lightvm_hv.Xen.t ->
+  costs:Costs.t ->
+  Lightvm_guest.Device.config ->
+  unit
+(** Perform the setup for one device, charging Dom0 CPU. Blocks for the
+    script/daemon duration. *)
+
+val estimate :
+  Mode.hotplug_kind -> costs:Costs.t -> Lightvm_guest.Device.config ->
+  float
+(** The cost that {!run} will charge (for tests and documentation). *)

@@ -1,0 +1,23 @@
+(** Live(ish) migration, Section 5.1/6.2.
+
+    chaos opens a TCP connection to the migration daemon on the remote
+    host and sends the guest's configuration so the daemon pre-creates
+    the domain and its devices; the source then suspends the guest and
+    streams its memory; the destination resumes it. *)
+
+type stats = {
+  total : float;  (** wall-clock migration time *)
+  precreate : float;  (** remote domain + device pre-creation *)
+  suspend : float;
+  transfer : float;
+  resume : float;
+}
+
+val migrate :
+  src:Toolstack.t ->
+  dst:Toolstack.t ->
+  Create.created ->
+  Create.created * stats
+(** Returns the VM handle on the destination host. Both hosts should
+    run the same toolstack mode. Raises {!Create.Create_failed} when
+    the destination cannot host the guest. *)

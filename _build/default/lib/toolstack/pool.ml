@@ -1,0 +1,57 @@
+module Engine = Lightvm_sim.Engine
+
+type 'a t = {
+  target : int;
+  make : unit -> 'a;
+  shells : 'a Queue.t;
+  mutable refilling : bool;
+  mutable made : int;
+}
+
+let create ~target ~make =
+  if target < 1 then invalid_arg "Pool.create: target < 1";
+  { target; make; shells = Queue.create (); refilling = false; made = 0 }
+
+let build t =
+  let shell = t.make () in
+  t.made <- t.made + 1;
+  shell
+
+let prefill t =
+  while Queue.length t.shells < t.target do
+    Queue.add (build t) t.shells
+  done
+
+let size t = Queue.length t.shells
+let target t = t.target
+
+let rec refill_loop t =
+  if Queue.length t.shells < t.target then begin
+    match build t with
+    | shell ->
+        Queue.add shell t.shells;
+        refill_loop t
+    | exception _ ->
+        (* Background refills must not crash the daemon (e.g. the host
+           ran out of memory); creation paths will surface the error
+           when a synchronous build fails. *)
+        t.refilling <- false
+  end
+  else t.refilling <- false
+
+let kick_refill t =
+  if not t.refilling then begin
+    t.refilling <- true;
+    Engine.spawn ~name:"chaos-daemon-refill" (fun () -> refill_loop t)
+  end
+
+let take t =
+  match Queue.take_opt t.shells with
+  | Some shell ->
+      kick_refill t;
+      shell
+  | None ->
+      kick_refill t;
+      build t
+
+let made_total t = t.made

@@ -1,0 +1,25 @@
+(** The chaos daemon's shell pool (split toolstack, Figure 8).
+
+    The daemon keeps a configurable number of pre-created VM shells per
+    flavor (memory x vcpus x devices). [take] hands one out and kicks a
+    background refill, so steady-state creations never pay for phases
+    1-5. *)
+
+type 'a t
+
+val create : target:int -> make:(unit -> 'a) -> 'a t
+(** [target] is the low-water mark the daemon maintains. *)
+
+val prefill : 'a t -> unit
+(** Synchronously build shells up to [target] (daemon start-up). *)
+
+val size : 'a t -> int
+
+val target : 'a t -> int
+
+val take : 'a t -> 'a
+(** Pop a shell; falls back to building one synchronously when the
+    pool is empty (and still triggers the background refill). *)
+
+val made_total : 'a t -> int
+(** Shells built over the pool's lifetime (for tests). *)

@@ -1,0 +1,112 @@
+module Xen = Lightvm_hv.Xen
+module Xs_server = Lightvm_xenstore.Xs_server
+module Xs_client = Lightvm_xenstore.Xs_client
+module Ctrl = Lightvm_guest.Ctrl
+module Engine = Lightvm_sim.Engine
+
+type t = {
+  env : Create.env;
+  pool_target : int;
+  pools : (string, Create.shell Pool.t) Hashtbl.t;
+  live : (int, Create.created) Hashtbl.t;
+}
+
+let make ~xen ~mode ?xs_profile ?(costs = Costs.default)
+    ?(pool_target = 8) () =
+  let xs_server =
+    match xs_profile with
+    | Some profile -> Xs_server.create ~profile ()
+    | None -> Xs_server.create ()
+  in
+  let xs = Xs_client.connect xs_server ~domid:0 in
+  let ctrl = Ctrl.create () in
+  let backend =
+    Backend.create ~xen
+      ~xs:(if mode.Mode.registry = Mode.Xenstore then Some xs else None)
+      ~ctrl ~costs
+  in
+  let env =
+    { Create.xen; xs_server; xs; ctrl; backend; mode; costs }
+  in
+  { env; pool_target; pools = Hashtbl.create 8; live = Hashtbl.create 64 }
+
+let env t = t.env
+let xen t = t.env.Create.xen
+let mode t = t.env.Create.mode
+let costs t = t.env.Create.costs
+let xs_server t = t.env.Create.xs_server
+
+let flavor_key ~mem_mb ~vcpus ~nics ~disks =
+  Printf.sprintf "%gMB-%dvcpu-%dnic-%ddisk" mem_mb vcpus nics disks
+
+let flavor_of_config t (cfg : Vmconfig.t) =
+  let mem_mb = Create.effective_mem_mb t.env cfg in
+  ( mem_mb,
+    cfg.Vmconfig.vcpus,
+    List.length cfg.Vmconfig.vifs,
+    List.length cfg.Vmconfig.disks )
+
+let pool_for t (cfg : Vmconfig.t) =
+  let mem_mb, vcpus, nics, disks = flavor_of_config t cfg in
+  let key = flavor_key ~mem_mb ~vcpus ~nics ~disks in
+  match Hashtbl.find_opt t.pools key with
+  | Some pool -> pool
+  | None ->
+      let pool =
+        Pool.create ~target:t.pool_target ~make:(fun () ->
+            Create.prepare t.env ~mem_mb ~vcpus ~nics ~disks ())
+      in
+      Hashtbl.replace t.pools key pool;
+      pool
+
+let register_vm t created = Hashtbl.replace t.live created.Create.domid created
+
+let unregister_vm t ~domid = Hashtbl.remove t.live domid
+
+let create_vm t ?config_text ?image_override cfg =
+  match
+    if (mode t).Mode.split then begin
+      let t0 = Engine.now () in
+      let b = Create.breakdown_create () in
+      let shell = Pool.take (pool_for t cfg) in
+      let created =
+        Create.execute t.env shell ?config_text ?image_override cfg
+          ~breakdown:b ()
+      in
+      { created with Create.create_time = Engine.now () -. t0 }
+    end
+    else Create.create t.env ?config_text ?image_override cfg
+  with
+  | created ->
+      register_vm t created;
+      Ok created
+  | exception Create.Create_failed msg -> Error msg
+  | exception Lightvm_xenstore.Xs_error.Error e ->
+      Error (Lightvm_xenstore.Xs_error.to_string e)
+
+let create_vm_exn t ?config_text ?image_override cfg =
+  match create_vm t ?config_text ?image_override cfg with
+  | Ok created -> created
+  | Error msg -> raise (Create.Create_failed msg)
+
+let destroy_vm t created =
+  Create.destroy t.env created;
+  unregister_vm t ~domid:created.Create.domid
+
+let vm t ~domid = Hashtbl.find_opt t.live domid
+
+let vms t =
+  List.sort
+    (fun a b -> compare a.Create.domid b.Create.domid)
+    (Hashtbl.fold (fun _ v acc -> v :: acc) t.live [])
+
+let vm_count t = Hashtbl.length t.live
+
+let prefill_pool t cfg =
+  if (mode t).Mode.split then Pool.prefill (pool_for t cfg)
+
+let pool_size t cfg =
+  if (mode t).Mode.split then Pool.size (pool_for t cfg) else 0
+
+let shell_count t =
+  Hashtbl.fold (fun _ pool acc -> acc + Pool.size pool) t.pools 0

@@ -1,0 +1,64 @@
+(** Host-level toolstack facade: one value bundling the hypervisor, the
+    XenStore daemon, Dom0 backends and the selected toolstack mode, with
+    VM bookkeeping and the shell pools of the split toolstack. *)
+
+type t
+
+val make :
+  xen:Lightvm_hv.Xen.t ->
+  mode:Mode.t ->
+  ?xs_profile:Lightvm_xenstore.Xs_costs.profile ->
+  ?costs:Costs.t ->
+  ?pool_target:int ->
+  unit ->
+  t
+(** Build the control plane on a booted hypervisor. [pool_target] is
+    the number of shells per flavor the chaos daemon maintains when the
+    mode has the split toolstack (default 8). *)
+
+val env : t -> Create.env
+
+val xen : t -> Lightvm_hv.Xen.t
+
+val mode : t -> Mode.t
+
+val costs : t -> Costs.t
+
+val xs_server : t -> Lightvm_xenstore.Xs_server.t
+
+val create_vm :
+  t -> ?config_text:string ->
+  ?image_override:Lightvm_guest.Image.t ->
+  Vmconfig.t -> (Create.created, string) result
+(** Full creation via the mode's path. In split mode, takes a shell
+    from the pool (background-refilled) so [create_time] covers only
+    the execute phase. *)
+
+val create_vm_exn :
+  t -> ?config_text:string ->
+  ?image_override:Lightvm_guest.Image.t ->
+  Vmconfig.t -> Create.created
+
+val destroy_vm : t -> Create.created -> unit
+
+val vm : t -> domid:int -> Create.created option
+
+val vms : t -> Create.created list
+(** Live VMs by ascending domid. *)
+
+val vm_count : t -> int
+
+val prefill_pool : t -> Vmconfig.t -> unit
+(** Warm the pool for this config's flavor up to the pool target
+    (no-op unless the mode is split). *)
+
+val pool_size : t -> Vmconfig.t -> int
+
+val shell_count : t -> int
+(** Total pre-created shells across all flavors (these exist as paused
+    domains, so they show up in the hypervisor's domain count). *)
+
+val register_vm : t -> Create.created -> unit
+(** Used by restore/migration to adopt an incoming VM. *)
+
+val unregister_vm : t -> domid:int -> unit

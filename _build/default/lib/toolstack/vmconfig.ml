@@ -1,0 +1,214 @@
+type t = {
+  name : string;
+  kernel : string;
+  memory_mb : float;
+  vcpus : int;
+  vifs : string list;
+  disks : string list;
+  on_crash : string;
+  extra : (string * string) list;
+}
+
+type value =
+  | Str of string
+  | Num of float
+  | Lst of string list
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* ------------------------------------------------------------------ *)
+(* Lexing one [key = value] line *)
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let rec first i = if i < n && is_space s.[i] then first (i + 1) else i in
+  let rec last i = if i > 0 && is_space s.[i - 1] then last (i - 1) else i in
+  let a = first 0 and b = last n in
+  if a >= b then "" else String.sub s a (b - a)
+
+let drop_comment s =
+  (* [#] outside quotes starts a comment. *)
+  let n = String.length s in
+  let rec go i in_quote quote_char =
+    if i >= n then s
+    else
+      match s.[i] with
+      | ('"' | '\'') as c when not in_quote -> go (i + 1) true c
+      | c when in_quote && c = quote_char -> go (i + 1) false ' '
+      | '#' when not in_quote -> String.sub s 0 i
+      | _ -> go (i + 1) in_quote quote_char
+  in
+  go 0 false ' '
+
+let parse_quoted line s =
+  let n = String.length s in
+  if n < 2 then fail line "unterminated string"
+  else begin
+    let quote = s.[0] in
+    if s.[n - 1] <> quote then fail line "unterminated string"
+    else String.sub s 1 (n - 2)
+  end
+
+(* Split list items on commas outside quotes, so specs like
+   'ramdisk,xvda,w' stay intact. *)
+let split_list_items line inner =
+  let items = ref [] and buf = Buffer.create 16 in
+  let in_quote = ref false and quote = ref ' ' in
+  String.iter
+    (fun c ->
+      match c with
+      | ('"' | '\'') when not !in_quote ->
+          in_quote := true;
+          quote := c;
+          Buffer.add_char buf c
+      | c when !in_quote && c = !quote ->
+          in_quote := false;
+          Buffer.add_char buf c
+      | ',' when not !in_quote ->
+          items := Buffer.contents buf :: !items;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    inner;
+  if !in_quote then fail line "unterminated string in list";
+  items := Buffer.contents buf :: !items;
+  List.rev !items
+
+let parse_list line s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail line "malformed list";
+  let inner = strip (String.sub s 1 (n - 2)) in
+  if inner = "" then []
+  else
+    List.map
+      (fun item ->
+        let item = strip item in
+        if String.length item >= 2 && (item.[0] = '"' || item.[0] = '\'')
+        then parse_quoted line item
+        else fail line ("list items must be quoted: " ^ item))
+      (split_list_items line inner)
+
+let parse_value line s =
+  let s = strip s in
+  if s = "" then fail line "missing value"
+  else if s.[0] = '[' then Lst (parse_list line s)
+  else if s.[0] = '"' || s.[0] = '\'' then Str (parse_quoted line s)
+  else
+    match float_of_string_opt s with
+    | Some f -> Num f
+    | None -> fail line ("cannot parse value: " ^ s)
+
+let parse_line line s =
+  match String.index_opt s '=' with
+  | None -> fail line "expected key = value"
+  | Some i ->
+      let key = strip (String.sub s 0 i) in
+      let value = String.sub s (i + 1) (String.length s - i - 1) in
+      if key = "" then fail line "empty key";
+      (key, parse_value line value)
+
+(* ------------------------------------------------------------------ *)
+
+let default =
+  {
+    name = "";
+    kernel = "";
+    memory_mb = 4.;
+    vcpus = 1;
+    vifs = [];
+    disks = [];
+    on_crash = "destroy";
+    extra = [];
+  }
+
+let apply line cfg (key, value) =
+  match (key, value) with
+  | "name", Str s -> { cfg with name = s }
+  | "kernel", Str s -> { cfg with kernel = s }
+  | "memory", Num f -> { cfg with memory_mb = f }
+  | "maxmem", Num _ -> cfg
+  | "vcpus", Num f -> { cfg with vcpus = int_of_float f }
+  | "vif", Lst items -> { cfg with vifs = items }
+  | "disk", Lst items -> { cfg with disks = items }
+  | "on_crash", Str s -> { cfg with on_crash = s }
+  | ("name" | "kernel" | "on_crash"), _ ->
+      fail line (key ^ " expects a string")
+  | ("memory" | "vcpus"), _ -> fail line (key ^ " expects a number")
+  | ("vif" | "disk"), _ -> fail line (key ^ " expects a list")
+  | _, Str s -> { cfg with extra = cfg.extra @ [ (key, s) ] }
+  | _, Num f ->
+      { cfg with extra = cfg.extra @ [ (key, Printf.sprintf "%g" f) ] }
+  | _, Lst items ->
+      { cfg with extra = cfg.extra @ [ (key, String.concat ";" items) ] }
+
+let parse text =
+  try
+    let lines = String.split_on_char '\n' text in
+    let cfg =
+      List.fold_left
+        (fun (lineno, cfg) raw ->
+          let s = strip (drop_comment raw) in
+          if s = "" then (lineno + 1, cfg)
+          else (lineno + 1, apply lineno cfg (parse_line lineno s)))
+        (1, default) lines
+      |> snd
+    in
+    if cfg.name = "" then Error "missing required key: name"
+    else if cfg.kernel = "" then Error "missing required key: kernel"
+    else Ok cfg
+  with Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+let to_string cfg =
+  let b = Buffer.create 256 in
+  let quoted_list items =
+    "[" ^ String.concat ", " (List.map (Printf.sprintf "'%s'") items) ^ "]"
+  in
+  Buffer.add_string b (Printf.sprintf "name = \"%s\"\n" cfg.name);
+  Buffer.add_string b (Printf.sprintf "kernel = \"%s\"\n" cfg.kernel);
+  Buffer.add_string b (Printf.sprintf "memory = %g\n" cfg.memory_mb);
+  Buffer.add_string b (Printf.sprintf "vcpus = %d\n" cfg.vcpus);
+  if cfg.vifs <> [] then
+    Buffer.add_string b (Printf.sprintf "vif = %s\n" (quoted_list cfg.vifs));
+  if cfg.disks <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "disk = %s\n" (quoted_list cfg.disks));
+  Buffer.add_string b (Printf.sprintf "on_crash = \"%s\"\n" cfg.on_crash);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s = \"%s\"\n" k v))
+    cfg.extra;
+  Buffer.contents b
+
+let devices cfg =
+  let module Device = Lightvm_guest.Device in
+  List.mapi
+    (fun i detail ->
+      let bridge =
+        match String.index_opt detail '=' with
+        | Some j when String.sub detail 0 j = "bridge" ->
+            String.sub detail (j + 1) (String.length detail - j - 1)
+        | _ -> "xenbr0"
+      in
+      Device.vif ~bridge ~devid:i ())
+    cfg.vifs
+  @ List.mapi
+      (fun i spec -> Device.vbd ~target:spec ~devid:i ())
+      cfg.disks
+
+let image cfg = Lightvm_guest.Image.find cfg.kernel
+
+let make ?(memory_mb = 4.) ?(vcpus = 1) ?(vifs = []) ?(disks = [])
+    ?(on_crash = "destroy") ~name ~kernel () =
+  { name; kernel; memory_mb; vcpus; vifs; disks; on_crash; extra = [] }
+
+let for_image ?(nics = 1) ?(disks = 0) ~name img =
+  let module Image = Lightvm_guest.Image in
+  let vifs = List.init nics (fun _ -> "bridge=xenbr0") in
+  let disk_specs = List.init disks (fun i ->
+      Printf.sprintf "ramdisk,xvd%c,w" (Char.chr (Char.code 'a' + i)))
+  in
+  make ~memory_mb:img.Image.mem_mb ~vcpus:1 ~vifs ~disks:disk_specs
+    ~name ~kernel:img.Image.name ()

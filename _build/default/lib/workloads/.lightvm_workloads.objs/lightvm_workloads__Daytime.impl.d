@@ -1,0 +1,1 @@
+lib/workloads/daytime.ml: Array Lightvm_hv Lightvm_net Lightvm_sim Printf

@@ -1,0 +1,1 @@
+lib/workloads/daytime.mli: Lightvm_hv Lightvm_net

@@ -1,0 +1,1 @@
+lib/workloads/firewall.ml: Float Lightvm_hv Lightvm_net List

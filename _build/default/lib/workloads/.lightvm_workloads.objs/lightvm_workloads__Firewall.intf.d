@@ -1,0 +1,1 @@
+lib/workloads/firewall.mli: Lightvm_hv

@@ -1,0 +1,1 @@
+lib/workloads/jit.ml: Array Float Hashtbl Lightvm_guest Lightvm_hv Lightvm_metrics Lightvm_net Lightvm_sim Lightvm_toolstack List Printf

@@ -1,0 +1,1 @@
+lib/workloads/jit.mli: Lightvm_metrics Lightvm_toolstack

@@ -1,0 +1,1 @@
+lib/workloads/lambda.ml: Lightvm_guest Lightvm_hv Lightvm_minipy Lightvm_sim Lightvm_toolstack List Printf

@@ -1,0 +1,1 @@
+lib/workloads/lambda.mli: Lightvm_toolstack

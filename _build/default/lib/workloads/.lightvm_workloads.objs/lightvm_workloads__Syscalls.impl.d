@@ -1,0 +1,1 @@
+lib/workloads/syscalls.ml: Lightvm_metrics List

@@ -1,0 +1,1 @@
+lib/workloads/syscalls.mli: Lightvm_metrics

@@ -1,0 +1,1 @@
+lib/workloads/tls_term.mli: Lightvm_hv Lightvm_net Lightvm_sim

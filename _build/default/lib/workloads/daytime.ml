@@ -1,0 +1,88 @@
+module Engine = Lightvm_sim.Engine
+module Switch = Lightvm_net.Switch
+module Packet = Lightvm_net.Packet
+module Xen = Lightvm_hv.Xen
+
+let day_names =
+  [| "Thursday"; "Friday"; "Saturday"; "Sunday"; "Monday"; "Tuesday";
+     "Wednesday" |]
+(* The simulation epoch (t = 0) is the Unix epoch: 1970-01-01 was a
+   Thursday. *)
+
+let month_lengths ~leap =
+  [| 31; (if leap then 29 else 28); 31; 30; 31; 30; 31; 31; 30; 31; 30;
+     31 |]
+
+let month_names =
+  [| "January"; "February"; "March"; "April"; "May"; "June"; "July";
+     "August"; "September"; "October"; "November"; "December" |]
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let format_time t =
+  let total_seconds = int_of_float t in
+  let days = total_seconds / 86_400 in
+  let secs_of_day = total_seconds mod 86_400 in
+  (* Walk years from 1970. *)
+  let rec to_year year days =
+    let len = if is_leap year then 366 else 365 in
+    if days >= len then to_year (year + 1) (days - len) else (year, days)
+  in
+  let year, day_of_year = to_year 1970 days in
+  let lengths = month_lengths ~leap:(is_leap year) in
+  let rec to_month m d =
+    if d >= lengths.(m) then to_month (m + 1) (d - lengths.(m))
+    else (m, d + 1)
+  in
+  let month, day_of_month = to_month 0 day_of_year in
+  Printf.sprintf "%s, %s %d, %d %d:%02d:%02d-UTC"
+    day_names.(days mod 7)
+    month_names.(month)
+    day_of_month year (secs_of_day / 3600)
+    (secs_of_day mod 3600 / 60)
+    (secs_of_day mod 60)
+
+type server = {
+  switch : Switch.t;
+  port : int;
+  mutable served : int;
+  mutable running : bool;
+}
+
+(* CPU to accept a connection, format the time and send it. *)
+let per_connection_work = 35.0e-6
+
+let start ~switch ~xen ~domid ~port =
+  let server = { switch; port; served = 0; running = true } in
+  Switch.attach switch ~port ~handler:(fun pkt ->
+      if server.running && pkt.Packet.kind = Packet.Tcp
+         && pkt.Packet.dst = Packet.Addr port
+      then begin
+        Xen.consume_guest xen ~domid per_connection_work;
+        server.served <- server.served + 1;
+        Switch.send switch
+          (Packet.make ~src:port ~dst:(Packet.Addr pkt.Packet.src)
+             ~kind:Packet.Tcp
+             ~payload:(format_time (Engine.now ()))
+             ~seq:pkt.Packet.seq ())
+      end);
+  server
+
+let stop server =
+  server.running <- false;
+  Switch.detach server.switch ~port:server.port
+
+let connections_served server = server.served
+
+let query ~switch ~client_port ~server_port ~seq =
+  let t0 = Engine.now () in
+  let reply = Engine.Ivar.create () in
+  Switch.attach switch ~port:client_port ~handler:(fun pkt ->
+      if pkt.Packet.kind = Packet.Tcp && pkt.Packet.seq = seq
+         && not (Engine.Ivar.is_full reply)
+      then Engine.Ivar.fill reply pkt.Packet.payload);
+  Switch.send switch
+    (Packet.make ~src:client_port ~dst:(Packet.Addr server_port)
+       ~kind:Packet.Tcp ~seq ());
+  let daytime = Engine.Ivar.read reply in
+  (daytime, Engine.now () -. t0)

@@ -1,0 +1,36 @@
+(** The daytime unikernel's application (Section 3.1): "only 50 LoC are
+    needed to implement a TCP server over Mini-OS that returns the
+    current time whenever it receives a connection". This is that
+    server, running over the simulated switch with the virtual clock
+    rendered in the classic RFC 867 style. *)
+
+val format_time : float -> string
+(** Render a virtual timestamp (seconds since simulation start) as a
+    daytime string, e.g. ["Thursday, January 1, 1970 0:00:42-UTC"] —
+    the simulation epoch is the Unix epoch. *)
+
+type server
+
+val start :
+  switch:Lightvm_net.Switch.t ->
+  xen:Lightvm_hv.Xen.t ->
+  domid:int ->
+  port:int ->
+  server
+(** Attach the daytime service to a switch port, answering TCP
+    connections from the guest [domid] (each reply charges a little
+    guest CPU). *)
+
+val stop : server -> unit
+
+val connections_served : server -> int
+
+val query :
+  switch:Lightvm_net.Switch.t ->
+  client_port:int ->
+  server_port:int ->
+  seq:int ->
+  string * float
+(** Connect from [client_port] and block until the daytime string
+    arrives; returns [(daytime, rtt_seconds)]. Must run inside a
+    simulation. *)

@@ -1,0 +1,172 @@
+module Params = Lightvm_hv.Params
+module Flow = Lightvm_net.Flow
+
+type action = Allow | Drop
+
+type rule = {
+  src_prefix : int * int;
+  dst_prefix : int * int;
+  proto : [ `Tcp | `Udp | `Icmp | `Any ];
+  dport : int * int;
+  rule_action : action;
+}
+
+type ruleset = { rules : rule list; default : action }
+
+type packet_info = {
+  src_ip : int;
+  dst_ip : int;
+  pkt_proto : [ `Tcp | `Udp | `Icmp ];
+  pkt_dport : int;
+}
+
+let any_prefix = (0, 0)
+
+let rule ?(src = any_prefix) ?(dst = any_prefix) ?(proto = `Any)
+    ?(dport = (0, 65535)) action =
+  { src_prefix = src; dst_prefix = dst; proto; dport;
+    rule_action = action }
+
+let compile rules ~default = { rules; default }
+
+let rule_count rs = List.length rs.rules
+
+let prefix_matches (addr, bits) ip =
+  bits = 0
+  ||
+  let shift = 32 - bits in
+  ip lsr shift = addr lsr shift
+
+let proto_matches rule_proto pkt_proto =
+  match rule_proto with
+  | `Any -> true
+  | (`Tcp | `Udp | `Icmp) as p -> p = (pkt_proto :> [ `Tcp | `Udp | `Icmp ])
+
+let rule_matches r pkt =
+  prefix_matches r.src_prefix pkt.src_ip
+  && prefix_matches r.dst_prefix pkt.dst_ip
+  && proto_matches r.proto pkt.pkt_proto
+  && fst r.dport <= pkt.pkt_dport
+  && pkt.pkt_dport <= snd r.dport
+
+let eval rs pkt =
+  let rec go = function
+    | [] -> rs.default
+    | r :: rest -> if rule_matches r pkt then r.rule_action else go rest
+  in
+  go rs.rules
+
+(* One user's firewall: the 10.0.0.0/8 side is the operator network,
+   user_id picks their personal address and open ports. *)
+let personal_ruleset ~user_id =
+  let user_ip = 0x0a000000 lor (user_id land 0xffffff) in
+  compile ~default:Drop
+    [
+      (* Outbound from the user goes through. *)
+      rule ~src:(user_ip, 32) Allow;
+      (* Inbound web and DNS replies. *)
+      rule ~dst:(user_ip, 32) ~proto:`Tcp ~dport:(80, 80) Allow;
+      rule ~dst:(user_ip, 32) ~proto:`Tcp ~dport:(443, 443) Allow;
+      rule ~dst:(user_ip, 32) ~proto:`Udp ~dport:(53, 53) Allow;
+      (* ICMP diagnostics. *)
+      rule ~dst:(user_ip, 32) ~proto:`Icmp Allow;
+      (* A user-specific high port (e.g. a game). *)
+      rule ~dst:(user_ip, 32) ~proto:`Udp
+        ~dport:(10_000 + (user_id mod 1000), 10_000 + (user_id mod 1000))
+        Allow;
+      (* Known-bad ranges dropped explicitly (keeps the list busy). *)
+      rule ~src:(0xc0a80000, 16) Drop;
+      rule ~dst:(user_ip, 32) ~proto:`Tcp ~dport:(0, 1023) Drop;
+    ]
+
+(* ClickOS packet-processing cost: fast path plus linear rule
+   matching. *)
+let clickos_base_per_packet = 0.9e-6
+let per_rule_cost = 8.0e-8
+
+let per_packet_cpu rs =
+  clickos_base_per_packet
+  +. (float_of_int (rule_count rs) *. per_rule_cost)
+
+(* With hundreds of VMs per core the dominant cost is not matching but
+   waking a VM to handle its traffic; as load (and therefore queue
+   depth) grows, more packets are handled per wakeup. This is why the
+   paper's aggregate keeps climbing past the saturation knee: 2.5 Gbps
+   at 250 users but 4 Gbps at 1000 (Fig 16a). *)
+let vm_wakeup_cost = 30.0e-6
+let vring_io_cost = 11.0e-6
+
+let batch_factor ~active = 1. +. Float.min 1. (float_of_int active /. 1000.)
+
+let effective_per_packet_cpu ~active rs =
+  per_packet_cpu rs
+  +. (vm_wakeup_cost /. batch_factor ~active)
+  +. vring_io_cost
+
+let packet_bits = 1500. *. 8.
+
+(* Scheduling latency for the ping VM: the Xen credit scheduler
+   round-robins through the runnable VMs on the core ("the Xen
+   scheduler will effectively round-robin through the VMs"); each
+   runnable VM ahead of us holds the core for roughly a boost-credit
+   slice. Calibrated to ~60 ms at 1000 active users on 13 guest
+   cores. *)
+let boost_slice = 0.83e-3
+
+type point = {
+  active_users : int;
+  total_gbps : float;
+  per_user_mbps : float;
+  rtt_ms : float;
+}
+
+let capacity ?(platform = Params.xeon_e5_2690) ?(per_user_mbps = 10.)
+    ~users () =
+  let guest_cores = Params.guest_cores platform in
+  List.map
+    (fun n ->
+      let demands =
+        List.init n (fun i ->
+            let rs = personal_ruleset ~user_id:i in
+            let cpu_per_bit =
+              effective_per_packet_cpu ~active:n rs /. packet_bits
+            in
+            {
+              Flow.flow_id = i;
+              offered_bps = per_user_mbps *. 1e6;
+              cpu_per_bit;
+              core = i mod guest_cores;
+            })
+      in
+      let allocs =
+        Flow.allocate ~core_speed:platform.Params.speed ~demands
+      in
+      let total = Flow.total_bps allocs in
+      (* Run-queue delay: VMs on the ping VM's core that cannot get
+         their full demand are runnable essentially always. *)
+      let vms_on_core0 =
+        List.filter (fun d -> d.Flow.core = 0) demands
+      in
+      let core0_cpu_demand =
+        List.fold_left
+          (fun acc d -> acc +. (d.Flow.offered_bps *. d.Flow.cpu_per_bit))
+          0. vms_on_core0
+      in
+      let saturated = core0_cpu_demand > platform.Params.speed in
+      let queue_len =
+        if saturated then List.length vms_on_core0
+        else
+          (* Lightly loaded: only a handful of VMs runnable at once. *)
+          min (List.length vms_on_core0) 2
+      in
+      let rtt =
+        (2. *. 0.15e-3) (* wire + switch both ways *)
+        +. (float_of_int queue_len *. boost_slice)
+      in
+      {
+        active_users = n;
+        total_gbps = total /. 1e9;
+        per_user_mbps = (if n = 0 then 0. else total /. float_of_int n /. 1e6);
+        rtt_ms = rtt *. 1e3;
+      })
+    users

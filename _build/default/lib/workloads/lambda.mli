@@ -1,0 +1,37 @@
+(** Lightweight compute service (Section 7.4, Figs 17 and 18).
+
+    A Dom0 daemon receives compute requests — real mini-Python
+    programs — and spawns a Minipython unikernel per request; the VM
+    runs the program through the {!Lightvm_minipy} interpreter (its
+    step count converted to guest CPU time) and shuts down. Requests
+    arrive every 250 ms while the three guest cores can only retire one
+    ~0.8 s job every ~266 ms, so the host is slightly overloaded and
+    VMs back up — the regime where noxs beats the XenStore by keeping
+    booting VMs off the store. *)
+
+type config = {
+  requests : int;
+  inter_arrival : float;  (** paper: 250 ms *)
+  mode : Lightvm_toolstack.Mode.t;
+  program : string;  (** mini-Python source each request runs *)
+  compute_seconds : float;
+      (** guest CPU work the program represents (paper: ~0.8 s) *)
+}
+
+val approx_e_program : string
+(** The paper's workload: a series approximation of e. *)
+
+val default_config : Lightvm_toolstack.Mode.t -> config
+
+type result = {
+  service_times : (int * float) list;
+      (** (request index, arrival-to-completion seconds) *)
+  concurrency : (float * int) list;
+      (** (time, live VMs) sampled over the run *)
+  outputs_ok : bool;
+      (** every program run printed the expected result *)
+  failures : int;
+  makespan : float;
+}
+
+val run : config -> result

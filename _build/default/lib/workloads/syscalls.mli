@@ -1,0 +1,22 @@
+(** The Linux syscall-API growth dataset behind Figure 1 — the paper's
+    motivation for why the container attack surface keeps getting
+    harder to secure. Counts are x86_32 syscall-table sizes per kernel
+    release (approximate public values). *)
+
+type point = {
+  year : int;
+  version : string;
+  syscalls : int;
+}
+
+val data : point list
+(** Chronological. *)
+
+val series : unit -> Lightvm_metrics.Series.t
+(** x = year, y = syscall count. *)
+
+val growth_per_year : unit -> float
+(** Least-squares slope (syscalls added per year). *)
+
+val count_in : int -> int option
+(** Count for the latest release at or before the given year. *)

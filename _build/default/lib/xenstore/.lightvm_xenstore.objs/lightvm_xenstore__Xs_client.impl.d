@@ -1,0 +1,1 @@
+lib/xenstore/xs_client.ml: List Xs_error Xs_path Xs_server

@@ -1,0 +1,1 @@
+lib/xenstore/xs_client.mli: Xs_perms Xs_server Xs_watch

@@ -1,0 +1,1 @@
+lib/xenstore/xs_costs.ml:

@@ -1,0 +1,1 @@
+lib/xenstore/xs_path.ml: Format List Printf String

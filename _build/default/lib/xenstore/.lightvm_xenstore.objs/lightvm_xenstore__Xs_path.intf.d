@@ -1,0 +1,1 @@
+lib/xenstore/xs_path.mli: Format

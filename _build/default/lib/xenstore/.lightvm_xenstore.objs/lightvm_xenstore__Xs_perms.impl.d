@@ -1,0 +1,1 @@
+lib/xenstore/xs_perms.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/xenstore/xs_server.ml: Hashtbl Int32 Lightvm_sim List String Xs_costs Xs_error Xs_logging Xs_path Xs_perms Xs_store Xs_transaction Xs_watch Xs_wire

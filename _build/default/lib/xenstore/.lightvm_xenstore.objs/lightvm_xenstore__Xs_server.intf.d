@@ -1,0 +1,1 @@
+lib/xenstore/xs_server.mli: Xs_costs Xs_error Xs_path Xs_perms Xs_store Xs_watch

@@ -1,0 +1,1 @@
+lib/xenstore/xs_store.ml: Hashtbl List Map Option String Xs_error Xs_path Xs_perms

@@ -1,0 +1,1 @@
+lib/xenstore/xs_store.mli: Xs_error Xs_path Xs_perms

@@ -1,0 +1,1 @@
+lib/xenstore/xs_transaction.ml: List Xs_error Xs_path Xs_perms Xs_store

@@ -1,0 +1,1 @@
+lib/xenstore/xs_watch.ml: List Xs_path

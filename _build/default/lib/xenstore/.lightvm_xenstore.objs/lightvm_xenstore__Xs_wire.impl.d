@@ -1,0 +1,1 @@
+lib/xenstore/xs_wire.ml: Bytes Int32 List Printf String

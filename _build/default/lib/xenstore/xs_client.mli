@@ -1,0 +1,44 @@
+(** Convenience client over {!Xs_server} — the moral equivalent of
+    libxs. Raises {!Xs_error.Error} instead of returning results, and
+    adds the small helpers toolstacks lean on. *)
+
+type t
+
+val connect : Xs_server.t -> domid:int -> t
+
+val domid : t -> int
+
+val server : t -> Xs_server.t
+
+val read : t -> ?tx:int -> string -> string
+(** Raises [Error ENOENT] etc. *)
+
+val read_opt : t -> ?tx:int -> string -> string option
+
+val write : t -> ?tx:int -> string -> string -> unit
+
+val mkdir : t -> ?tx:int -> string -> unit
+
+val rm : t -> ?tx:int -> string -> unit
+
+val directory : t -> ?tx:int -> string -> string list
+
+val set_perms : t -> ?tx:int -> string -> Xs_perms.t -> unit
+
+val watch :
+  t -> path:string -> token:string -> deliver:(Xs_watch.event -> unit) ->
+  unit
+
+val unwatch : t -> path:string -> token:string -> unit
+
+val with_transaction : t -> (int -> unit) -> unit
+(** Retries on conflict; raises on other errors. *)
+
+val get_domain_path : t -> int -> string
+
+val introduce : t -> int -> unit
+
+val release : t -> int -> unit
+
+val write_many : t -> ?tx:int -> (string * string) list -> unit
+(** One write per pair, in order. *)

@@ -1,0 +1,37 @@
+type t =
+  | ENOENT
+  | EACCES
+  | EEXIST
+  | EINVAL
+  | EAGAIN
+  | EQUOTA
+  | ENOSPC
+  | EBUSY
+  | EISDIR
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EACCES -> "EACCES"
+  | EEXIST -> "EEXIST"
+  | EINVAL -> "EINVAL"
+  | EAGAIN -> "EAGAIN"
+  | EQUOTA -> "EQUOTA"
+  | ENOSPC -> "ENOSPC"
+  | EBUSY -> "EBUSY"
+  | EISDIR -> "EISDIR"
+
+let of_string = function
+  | "ENOENT" -> Some ENOENT
+  | "EACCES" -> Some EACCES
+  | "EEXIST" -> Some EEXIST
+  | "EINVAL" -> Some EINVAL
+  | "EAGAIN" -> Some EAGAIN
+  | "EQUOTA" -> Some EQUOTA
+  | "ENOSPC" -> Some ENOSPC
+  | "EBUSY" -> Some EBUSY
+  | "EISDIR" -> Some EISDIR
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+exception Error of t

@@ -1,0 +1,26 @@
+(** Access-log model.
+
+    The real xenstored appends every access to its log and rotates a
+    ring of files when the current one reaches a line limit. Rotation
+    stalls the (single-threaded) daemon — the paper traces the regular
+    spikes in Figures 4 and 9 to exactly this. *)
+
+type t
+
+val create : ?files:int -> ?rotate_lines:int -> enabled:bool -> unit -> t
+(** Defaults follow the paper: 20 files, 13,215 lines per file. *)
+
+val enabled : t -> bool
+
+val log_access : t -> lines:int -> bool
+(** Record [lines] of log output; [true] iff a rotation was triggered
+    (at most one per call). No-op (and [false]) when disabled. *)
+
+val total_lines : t -> int
+
+val rotations : t -> int
+
+val lines_in_current : t -> int
+
+val files : t -> int
+(** Size of the rotation ring; rotation cost scales with it. *)

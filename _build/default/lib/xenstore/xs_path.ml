@@ -1,0 +1,107 @@
+type t =
+  | Absolute of string list
+  | Special of string (* "@introduceDomain" / "@releaseDomain" *)
+
+exception Invalid of string
+
+let max_path_length = 3072
+let max_segment_length = 256
+
+let root = Absolute []
+
+let segment_char_ok c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':' || c = '@' || c = '+'
+
+let check_segment s =
+  if s = "" then raise (Invalid "empty path segment");
+  if String.length s > max_segment_length then
+    raise (Invalid ("segment too long: " ^ s));
+  String.iter
+    (fun c ->
+      if not (segment_char_ok c) then
+        raise (Invalid (Printf.sprintf "illegal character %C in %S" c s)))
+    s
+
+let specials = [ "@introduceDomain"; "@releaseDomain" ]
+
+let of_string s =
+  if List.mem s specials then Special s
+  else begin
+    if String.length s > max_path_length then raise (Invalid "path too long");
+    if s = "" then raise (Invalid "empty path");
+    if s.[0] <> '/' then raise (Invalid ("path not absolute: " ^ s));
+    if s = "/" then root
+    else begin
+      (* Tolerate a single trailing slash, as the real daemon does. *)
+      let s =
+        if String.length s > 1 && s.[String.length s - 1] = '/' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      let parts = String.split_on_char '/' s in
+      match parts with
+      | "" :: segs ->
+          List.iter check_segment segs;
+          Absolute segs
+      | _ -> raise (Invalid ("path not absolute: " ^ s))
+    end
+  end
+
+let of_string_opt s = try Some (of_string s) with Invalid _ -> None
+
+let to_string = function
+  | Special s -> s
+  | Absolute [] -> "/"
+  | Absolute segs -> "/" ^ String.concat "/" segs
+
+let segments = function Special _ -> [] | Absolute segs -> segs
+
+let is_special = function Special _ -> true | Absolute _ -> false
+
+let depth = function Special _ -> 0 | Absolute segs -> List.length segs
+
+let concat p seg =
+  match p with
+  | Special _ -> raise (Invalid "cannot extend a special path")
+  | Absolute segs ->
+      check_segment seg;
+      Absolute (segs @ [ seg ])
+
+let ( / ) = concat
+
+let parent = function
+  | Special _ -> None
+  | Absolute [] -> None
+  | Absolute segs ->
+      let rec drop_last = function
+        | [] | [ _ ] -> []
+        | x :: rest -> x :: drop_last rest
+      in
+      Some (Absolute (drop_last segs))
+
+let basename = function
+  | Special _ -> None
+  | Absolute [] -> None
+  | Absolute segs -> Some (List.nth segs (List.length segs - 1))
+
+let is_prefix p ~of_ =
+  match (p, of_) with
+  | Special a, Special b -> a = b
+  | Special _, _ | _, Special _ -> false
+  | Absolute a, Absolute b ->
+      let rec go = function
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs, y :: ys -> x = y && go (xs, ys)
+      in
+      go (a, b)
+
+let equal a b = a = b
+let compare a b = compare (to_string a) (to_string b)
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let domain_path domid =
+  Absolute [ "local"; "domain"; string_of_int domid ]

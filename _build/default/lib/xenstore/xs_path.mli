@@ -1,0 +1,57 @@
+(** XenStore paths: absolute, slash-separated, validated.
+
+    Mirrors the constraints of the real store: segment characters are
+    restricted, segments are bounded, and the whole path is bounded
+    (XENSTORE_ABS_PATH_MAX). *)
+
+type t
+
+exception Invalid of string
+
+val root : t
+
+val of_string : string -> t
+(** Parses an absolute path like ["/local/domain/3/name"]. Raises
+    {!Invalid} on relative paths, empty segments, illegal characters or
+    oversized paths. A single ["/"] is the root. Special watch paths
+    ["@introduceDomain"] and ["@releaseDomain"] are accepted. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val segments : t -> string list
+(** Root has no segments. *)
+
+val is_special : t -> bool
+(** True for the [@...] watch paths. *)
+
+val depth : t -> int
+
+val concat : t -> string -> t
+(** [concat p seg] appends one validated segment. *)
+
+val ( / ) : t -> string -> t
+(** Alias for {!concat}. *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val basename : t -> string option
+
+val is_prefix : t -> of_:t -> bool
+(** [is_prefix p ~of_:q]: does [p] equal [q] or name an ancestor of
+    [q]? The root is a prefix of everything non-special. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val domain_path : int -> t
+(** [/local/domain/<domid>] *)
+
+val max_path_length : int
+
+val max_segment_length : int

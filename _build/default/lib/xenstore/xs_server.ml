@@ -1,0 +1,476 @@
+module Engine = Lightvm_sim.Engine
+module Resource = Lightvm_sim.Resource
+
+type request =
+  | Read of Xs_path.t
+  | Write of Xs_path.t * string
+  | Mkdir of Xs_path.t
+  | Rm of Xs_path.t
+  | Directory of Xs_path.t
+  | Get_perms of Xs_path.t
+  | Set_perms of Xs_path.t * Xs_perms.t
+  | Watch of Xs_path.t * string
+  | Unwatch of Xs_path.t * string
+  | Transaction_start
+  | Transaction_end of bool
+  | Get_domain_path of int
+  | Introduce of int
+  | Release of int
+
+type response =
+  | Ok_unit
+  | Ok_value of string
+  | Ok_list of string list
+  | Ok_perms of Xs_perms.t
+  | Ok_txid of int
+  | Ok_path of string
+  | Err of Xs_error.t
+
+type counters = {
+  mutable ops : int;
+  mutable watch_events : int;
+  mutable tx_commits : int;
+  mutable tx_conflicts : int;
+  mutable uniqueness_cmps : int;
+  mutable busy_time : float;
+}
+
+type t = {
+  profile : Xs_costs.profile;
+  store : Xs_store.t;
+  watches : Xs_watch.t;
+  log : Xs_logging.t;
+  mutex : Resource.t;
+  txs : (int, int * Xs_transaction.t) Hashtbl.t; (* txid -> caller, tx *)
+  mutable next_txid : int;
+  quota_nodes : int;
+  counters : counters;
+  register_watch_cb : Xs_watch.event -> unit;
+}
+
+let create ?(profile = Xs_costs.oxenstored) ?(quota_nodes = 1000)
+    ?(register_watch_cb = fun _ -> ()) () =
+  {
+    profile;
+    store = Xs_store.create ();
+    watches = Xs_watch.create ();
+    log =
+      Xs_logging.create ~enabled:profile.Xs_costs.logging_enabled ();
+    mutex = Resource.create 1;
+    txs = Hashtbl.create 16;
+    next_txid = 1;
+    quota_nodes;
+    counters =
+      {
+        ops = 0;
+        watch_events = 0;
+        tx_commits = 0;
+        tx_conflicts = 0;
+        uniqueness_cmps = 0;
+        busy_time = 0.;
+      };
+    register_watch_cb;
+  }
+
+let profile t = t.profile
+let store t = t.store
+let counters t = t.counters
+let watch_count t = Xs_watch.count t.watches
+
+let charge t cost =
+  t.counters.busy_time <- t.counters.busy_time +. cost;
+  Engine.sleep cost
+
+let request_payload_bytes = function
+  | Read p | Mkdir p | Rm p | Directory p | Get_perms p ->
+      String.length (Xs_path.to_string p) + 1
+  | Write (p, v) -> String.length (Xs_path.to_string p) + String.length v + 2
+  | Set_perms (p, perms) ->
+      String.length (Xs_path.to_string p)
+      + String.length (Xs_perms.to_string perms)
+      + 2
+  | Watch (p, tok) | Unwatch (p, tok) ->
+      String.length (Xs_path.to_string p) + String.length tok + 2
+  | Transaction_start -> 1
+  | Transaction_end _ -> 2
+  | Get_domain_path _ | Introduce _ | Release _ -> 8
+
+(* The access log records one line per request and one per reply. *)
+let charge_logging t =
+  let p = t.profile in
+  let rotated = Xs_logging.log_access t.log ~lines:p.Xs_costs.log_lines_per_op in
+  let cost =
+    float_of_int p.Xs_costs.log_lines_per_op *. p.Xs_costs.log_line
+  in
+  let cost =
+    if rotated then
+      cost
+      +. (float_of_int (Xs_logging.files t.log)
+          *. p.Xs_costs.log_rotate_per_file)
+    else cost
+  in
+  charge t cost
+
+(* Writing a guest's name triggers the daemon's uniqueness check: scan
+   every running guest and compare names (paper Section 4.2). *)
+let is_name_write path =
+  match Xs_path.segments path with
+  | [ "local"; "domain"; _; "name" ] -> true
+  | _ -> false
+
+let uniqueness_scan t path value =
+  let p = t.profile in
+  let domain_dir = Xs_path.of_string "/local/domain" in
+  match Xs_store.directory t.store ~caller:0 domain_dir with
+  | Error _ -> Ok ()
+  | Ok domids ->
+      charge t
+        (float_of_int (List.length domids) *. p.Xs_costs.per_dir_entry);
+      let self =
+        match Xs_path.segments path with
+        | [ _; _; id; _ ] -> id
+        | _ -> ""
+      in
+      let rec scan = function
+        | [] -> Ok ()
+        | id :: rest ->
+            if id = self then scan rest
+            else begin
+              t.counters.uniqueness_cmps <- t.counters.uniqueness_cmps + 1;
+              charge t p.Xs_costs.per_name_cmp;
+              let name_path =
+                Xs_path.(domain_path (int_of_string id) / "name")
+              in
+              match Xs_store.read t.store ~caller:0 name_path with
+              | Ok existing when existing = value && value <> "" ->
+                  Error Xs_error.EEXIST
+              | Ok _ | Error _ -> scan rest
+            end
+      in
+      (try scan domids with Failure _ -> Ok ())
+
+(* Fire watches for one modified path: scan the whole registry (cost
+   linear in registered watches), then deliver each match. *)
+let fire_watches t modified =
+  let p = t.profile in
+  charge t
+    (float_of_int (Xs_watch.count t.watches) *. p.Xs_costs.per_watch_check);
+  let hits = Xs_watch.matching t.watches ~modified in
+  List.iter
+    (fun (_wpath, token, deliver) ->
+      t.counters.watch_events <- t.counters.watch_events + 1;
+      charge t p.Xs_costs.watch_fire;
+      let event = { Xs_watch.event_path = modified; token } in
+      Engine.spawn ~name:"xs-watch-delivery" (fun () -> deliver event))
+    hits
+
+let check_quota t ~caller path =
+  if caller = 0 then Ok ()
+  else if Xs_store.exists t.store path then Ok ()
+  else if Xs_store.owned_count t.store ~domid:caller >= t.quota_nodes then
+    Error Xs_error.EQUOTA
+  else Ok ()
+
+let lift = function Ok () -> Ok_unit | Error e -> Err e
+
+let do_plain t ~caller req =
+  let p = t.profile in
+  match req with
+  | Read path -> (
+      match Xs_store.read t.store ~caller path with
+      | Ok v -> Ok_value v
+      | Error e -> Err e)
+  | Directory path -> (
+      match Xs_store.directory t.store ~caller path with
+      | Ok entries ->
+          charge t
+            (float_of_int (List.length entries) *. p.Xs_costs.per_dir_entry);
+          Ok_list entries
+      | Error e -> Err e)
+  | Get_perms path -> (
+      match Xs_store.get_perms t.store ~caller path with
+      | Ok perms -> Ok_perms perms
+      | Error e -> Err e)
+  | Write (path, value) -> (
+      match check_quota t ~caller path with
+      | Error e -> Err e
+      | Ok () -> (
+          let unique =
+            if is_name_write path then uniqueness_scan t path value
+            else Ok ()
+          in
+          match unique with
+          | Error e -> Err e
+          | Ok () -> (
+              match Xs_store.write t.store ~caller path value with
+              | Ok () ->
+                  fire_watches t path;
+                  Ok_unit
+              | Error e -> Err e)))
+  | Mkdir path -> (
+      match check_quota t ~caller path with
+      | Error e -> Err e
+      | Ok () -> (
+          match Xs_store.mkdir t.store ~caller path with
+          | Ok () ->
+              fire_watches t path;
+              Ok_unit
+          | Error e -> Err e))
+  | Rm path -> (
+      match Xs_store.rm t.store ~caller path with
+      | Ok () ->
+          fire_watches t path;
+          Ok_unit
+      | Error e -> Err e)
+  | Set_perms (path, perms) -> (
+      match Xs_store.set_perms t.store ~caller path perms with
+      | Ok () ->
+          fire_watches t path;
+          Ok_unit
+      | Error e -> Err e)
+  | Watch _ | Unwatch _ | Transaction_start | Transaction_end _
+  | Get_domain_path _ | Introduce _ | Release _ ->
+      Err Xs_error.EINVAL
+
+let do_in_tx t ~caller tx req =
+  match req with
+  | Read path -> (
+      match Xs_transaction.read tx ~caller path with
+      | Ok v -> Ok_value v
+      | Error e -> Err e)
+  | Directory path -> (
+      match Xs_transaction.directory tx ~caller path with
+      | Ok entries -> Ok_list entries
+      | Error e -> Err e)
+  | Write (path, value) -> (
+      match check_quota t ~caller path with
+      | Error e -> Err e
+      | Ok () -> lift (Xs_transaction.write tx ~caller path value))
+  | Mkdir path -> lift (Xs_transaction.mkdir tx ~caller path)
+  | Rm path -> lift (Xs_transaction.rm tx ~caller path)
+  | Set_perms (path, perms) ->
+      lift (Xs_transaction.set_perms tx ~caller path perms)
+  | Get_perms path -> (
+      match Xs_store.get_perms (Xs_transaction.view tx) ~caller path with
+      | Ok perms -> Ok_perms perms
+      | Error e -> Err e)
+  | Watch _ | Unwatch _ | Transaction_start | Transaction_end _
+  | Get_domain_path _ | Introduce _ | Release _ ->
+      Err Xs_error.EINVAL
+
+let end_transaction t tx commit =
+  let p = t.profile in
+  charge t p.Xs_costs.tx_commit;
+  if not commit then begin
+    Xs_transaction.abort tx;
+    Ok_unit
+  end
+  else begin
+    charge t
+      (float_of_int (Xs_transaction.op_count tx)
+      *. p.Xs_costs.tx_replay_per_op);
+    match Xs_transaction.commit tx ~into:t.store with
+    | Ok modified ->
+        t.counters.tx_commits <- t.counters.tx_commits + 1;
+        List.iter (fun path -> fire_watches t path) modified;
+        Ok_unit
+    | Error e ->
+        t.counters.tx_conflicts <- t.counters.tx_conflicts + 1;
+        Err e
+  end
+
+let dispatch t ~caller ~tx req =
+  let p = t.profile in
+  match req with
+  | Transaction_start ->
+      charge t p.Xs_costs.tx_start;
+      let txid = t.next_txid in
+      t.next_txid <- t.next_txid + 1;
+      if Hashtbl.length t.txs > 256 then Err Xs_error.EBUSY
+      else begin
+        Hashtbl.replace t.txs txid
+          (caller, Xs_transaction.start t.store ~id:txid);
+        Ok_txid txid
+      end
+  | Transaction_end commit -> (
+      match tx with
+      | None -> Err Xs_error.EINVAL
+      | Some txid -> (
+          match Hashtbl.find_opt t.txs txid with
+          | None -> Err Xs_error.EINVAL
+          | Some (owner, transaction) ->
+              if owner <> caller then Err Xs_error.EACCES
+              else begin
+                Hashtbl.remove t.txs txid;
+                end_transaction t transaction commit
+              end))
+  | Get_domain_path domid ->
+      Ok_path (Xs_path.to_string (Xs_path.domain_path domid))
+  | Introduce domid ->
+      fire_watches t (Xs_path.of_string "@introduceDomain");
+      ignore domid;
+      Ok_unit
+  | Release domid ->
+      ignore (Xs_watch.remove_owner t.watches ~owner:domid);
+      List.iter
+        (fun (txid, (owner, transaction)) ->
+          if owner = domid then begin
+            Xs_transaction.abort transaction;
+            Hashtbl.remove t.txs txid
+          end)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.txs []);
+      fire_watches t (Xs_path.of_string "@releaseDomain");
+      Ok_unit
+  | Unwatch (path, token) ->
+      if Xs_watch.remove t.watches ~owner:caller ~path ~token then Ok_unit
+      else Err Xs_error.ENOENT
+  | Watch _ -> Err Xs_error.EINVAL (* use the [watch] entry point *)
+  | (Read _ | Write _ | Mkdir _ | Rm _ | Directory _ | Get_perms _
+    | Set_perms _) as plain -> (
+      match tx with
+      | None -> do_plain t ~caller plain
+      | Some txid -> (
+          match Hashtbl.find_opt t.txs txid with
+          | None -> Err Xs_error.EINVAL
+          | Some (owner, transaction) ->
+              if owner <> caller then Err Xs_error.EACCES
+              else do_in_tx t ~caller transaction plain))
+
+let with_daemon t f =
+  Resource.with_resource t.mutex (fun () ->
+      t.counters.ops <- t.counters.ops + 1;
+      f ())
+
+let op t ~caller ?tx req =
+  with_daemon t (fun () ->
+      charge t
+        (Xs_costs.message_cost t.profile
+           ~payload_bytes:(request_payload_bytes req));
+      charge_logging t;
+      dispatch t ~caller ~tx req)
+
+let watch t ~caller ~path ~token ~deliver =
+  with_daemon t (fun () ->
+      charge t
+        (Xs_costs.message_cost t.profile
+           ~payload_bytes:(request_payload_bytes (Watch (path, token))));
+      charge_logging t;
+      Xs_watch.add t.watches ~owner:caller ~path ~token ~deliver;
+      (* Registering a watch immediately fires it once (protocol rule). *)
+      t.counters.watch_events <- t.counters.watch_events + 1;
+      charge t t.profile.Xs_costs.watch_fire;
+      Engine.spawn ~name:"xs-watch-initial" (fun () ->
+          deliver { Xs_watch.event_path = path; token });
+      Ok_unit)
+
+let transaction t ~caller ?(max_retries = 8) f =
+  let rec attempt n =
+    match op t ~caller Transaction_start with
+    | Ok_txid txid -> (
+        let body_result = f txid in
+        match body_result with
+        | Error _ as e ->
+            ignore (op t ~caller ~tx:txid (Transaction_end false));
+            e
+        | Ok v -> (
+            match op t ~caller ~tx:txid (Transaction_end true) with
+            | Ok_unit -> Ok v
+            | Err Xs_error.EAGAIN when n < max_retries -> attempt (n + 1)
+            | Err e -> Error e
+            | _ -> Error Xs_error.EINVAL))
+    | Err e -> Error e
+    | _ -> Error Xs_error.EINVAL
+  in
+  attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Wire interface *)
+
+let handle_packet t ~caller buf =
+  let header, args = Xs_wire.unpack buf in
+  let tx =
+    if header.Xs_wire.tx_id = 0l then None
+    else Some (Int32.to_int header.Xs_wire.tx_id)
+  in
+  let reply_to op payload =
+    Xs_wire.pack op ~req_id:header.Xs_wire.req_id
+      ~tx_id:header.Xs_wire.tx_id payload
+  in
+  let error e = reply_to Xs_wire.Error [ Xs_error.to_string e ] in
+  let path_arg () =
+    match args with
+    | p :: _ -> Xs_path.of_string p
+    | [] -> raise (Xs_wire.Malformed "missing path")
+  in
+  try
+    let result =
+      match header.Xs_wire.op with
+      | Xs_wire.Read -> op t ~caller ?tx (Read (path_arg ()))
+      | Xs_wire.Write -> (
+          match args with
+          | [ p; v ] -> op t ~caller ?tx (Write (Xs_path.of_string p, v))
+          | [ p ] -> op t ~caller ?tx (Write (Xs_path.of_string p, ""))
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Mkdir -> op t ~caller ?tx (Mkdir (path_arg ()))
+      | Xs_wire.Rm -> op t ~caller ?tx (Rm (path_arg ()))
+      | Xs_wire.Directory -> op t ~caller ?tx (Directory (path_arg ()))
+      | Xs_wire.Get_perms -> op t ~caller ?tx (Get_perms (path_arg ()))
+      | Xs_wire.Set_perms -> (
+          match args with
+          | [ p; perms ] -> (
+              match Xs_perms.of_string perms with
+              | Some perms ->
+                  op t ~caller ?tx (Set_perms (Xs_path.of_string p, perms))
+              | None -> Err Xs_error.EINVAL)
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Watch -> (
+          match args with
+          | [ p; token ] ->
+              watch t ~caller ~path:(Xs_path.of_string p) ~token
+                ~deliver:t.register_watch_cb
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Unwatch -> (
+          match args with
+          | [ p; token ] ->
+              op t ~caller ?tx (Unwatch (Xs_path.of_string p, token))
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Transaction_start -> op t ~caller Transaction_start
+      | Xs_wire.Transaction_end ->
+          op t ~caller ?tx (Transaction_end (args = [ "T" ]))
+      | Xs_wire.Get_domain_path -> (
+          match args with
+          | [ d ] -> (
+              match int_of_string_opt d with
+              | Some domid -> op t ~caller (Get_domain_path domid)
+              | None -> Err Xs_error.EINVAL)
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Introduce -> (
+          match args with
+          | d :: _ -> (
+              match int_of_string_opt d with
+              | Some domid -> op t ~caller (Introduce domid)
+              | None -> Err Xs_error.EINVAL)
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Release -> (
+          match args with
+          | [ d ] -> (
+              match int_of_string_opt d with
+              | Some domid -> op t ~caller (Release domid)
+              | None -> Err Xs_error.EINVAL)
+          | _ -> Err Xs_error.EINVAL)
+      | Xs_wire.Debug | Xs_wire.Watch_event | Xs_wire.Error
+      | Xs_wire.Is_domain_introduced | Xs_wire.Resume
+      | Xs_wire.Set_target ->
+          Err Xs_error.EINVAL
+    in
+    match result with
+    | Ok_unit -> reply_to header.Xs_wire.op [ "OK" ]
+    | Ok_value v -> reply_to header.Xs_wire.op [ v ]
+    | Ok_list entries -> reply_to header.Xs_wire.op entries
+    | Ok_perms perms -> reply_to header.Xs_wire.op [ Xs_perms.to_string perms ]
+    | Ok_txid txid -> reply_to header.Xs_wire.op [ string_of_int txid ]
+    | Ok_path p -> reply_to header.Xs_wire.op [ p ]
+    | Err e -> error e
+  with
+  | Xs_path.Invalid _ -> error Xs_error.EINVAL
+  | Xs_wire.Malformed _ -> error Xs_error.EINVAL

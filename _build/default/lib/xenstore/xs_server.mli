@@ -1,0 +1,94 @@
+(** The xenstored daemon.
+
+    A single-threaded server: concurrent callers serialise on an
+    internal mutex (exactly the real daemon's bottleneck — under load,
+    operations queue). Every operation charges simulated time for the
+    message protocol, daemon-side work proportional to the real data
+    structures touched, watch-registry scans, access logging and
+    rotation stalls, and — for writes of guest names — the linear
+    uniqueness scan over all running guests described in the paper.
+
+    Must be called from inside a running {!Lightvm_sim.Engine}
+    simulation. *)
+
+type t
+
+type request =
+  | Read of Xs_path.t
+  | Write of Xs_path.t * string
+  | Mkdir of Xs_path.t
+  | Rm of Xs_path.t
+  | Directory of Xs_path.t
+  | Get_perms of Xs_path.t
+  | Set_perms of Xs_path.t * Xs_perms.t
+  | Watch of Xs_path.t * string
+  | Unwatch of Xs_path.t * string
+  | Transaction_start
+  | Transaction_end of bool  (** commit? *)
+  | Get_domain_path of int
+  | Introduce of int
+  | Release of int
+
+type response =
+  | Ok_unit
+  | Ok_value of string
+  | Ok_list of string list
+  | Ok_perms of Xs_perms.t
+  | Ok_txid of int
+  | Ok_path of string
+  | Err of Xs_error.t
+
+(** Cumulative instrumentation, readable at any time. *)
+type counters = {
+  mutable ops : int;
+  mutable watch_events : int;
+  mutable tx_commits : int;
+  mutable tx_conflicts : int;
+  mutable uniqueness_cmps : int;
+  mutable busy_time : float;  (** simulated seconds inside the daemon *)
+}
+
+val create :
+  ?profile:Xs_costs.profile ->
+  ?quota_nodes:int ->
+  ?register_watch_cb:(Xs_watch.event -> unit) ->
+  unit ->
+  t
+(** Defaults: {!Xs_costs.oxenstored}, 1000-node per-domain quota. *)
+
+val profile : t -> Xs_costs.profile
+
+val store : t -> Xs_store.t
+
+val counters : t -> counters
+
+val watch_count : t -> int
+
+val op : t -> caller:int -> ?tx:int -> request -> response
+(** Perform one operation as domain [caller]. Blocks (simulated time)
+    for queueing plus the operation's cost. [tx] routes reads and
+    writes through an open transaction. *)
+
+val watch :
+  t ->
+  caller:int ->
+  path:Xs_path.t ->
+  token:string ->
+  deliver:(Xs_watch.event -> unit) ->
+  response
+(** Register a watch with a delivery callback (the wire protocol's
+    WATCH_EVENT push, as a function). The callback runs in a fresh
+    simulation process after the delivery cost has elapsed. *)
+
+val transaction :
+  t -> caller:int -> ?max_retries:int -> (int -> ('a, Xs_error.t) result) ->
+  ('a, Xs_error.t) result
+(** [transaction t ~caller f] runs [f txid], committing afterwards and
+    retrying the whole body on [EAGAIN] (the paper's retried
+    transactions), up to [max_retries] (default 8). *)
+
+val handle_packet : t -> caller:int -> bytes -> bytes
+(** Wire-level entry point: decode a {!Xs_wire} packet, perform the
+    operation, encode the reply (with matching [req_id]/[tx_id]). Watch
+    registrations through this interface deliver events to
+    [register_watch_cb] given at {!create} (default: dropped). *)

@@ -1,0 +1,292 @@
+module SMap = Map.Make (String)
+
+module Node = struct
+  type t = {
+    value : string;
+    perms : Xs_perms.t;
+    children : t SMap.t;
+  }
+
+  let value t = t.value
+  let perms t = t.perms
+  let children t = SMap.bindings t.children
+
+  let rec subtree_size t =
+    SMap.fold (fun _ child acc -> acc + subtree_size child) t.children 1
+
+  let make ~value ~perms = { value; perms; children = SMap.empty }
+end
+
+type t = {
+  mutable root : Node.t;
+  mutable generation : int;
+  mutable count : int;
+  owned : (int, int) Hashtbl.t;
+}
+
+type 'a r = ('a, Xs_error.t) result
+
+type snapshot = {
+  snap_root : Node.t;
+  snap_generation : int;
+  snap_count : int;
+  snap_owned : (int, int) Hashtbl.t;
+}
+
+let adjust_owned t domid delta =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.owned domid) in
+  Hashtbl.replace t.owned domid (cur + delta)
+
+let owned_count t ~domid =
+  Option.value ~default:0 (Hashtbl.find_opt t.owned domid)
+
+let node_count t = t.count
+let generation t = t.generation
+
+let dom0_node value =
+  Node.make ~value ~perms:(Xs_perms.make ~owner:0 ~default:Xs_perms.Read ())
+
+let create () =
+  let leaf = dom0_node "" in
+  let domain = leaf in
+  let local = { leaf with Node.children = SMap.singleton "domain" domain } in
+  let root =
+    {
+      (dom0_node "") with
+      Node.children =
+        SMap.of_seq
+          (List.to_seq
+             [ ("local", local); ("tool", leaf); ("vm", leaf) ]);
+    }
+  in
+  let t =
+    { root; generation = 0; count = 5; owned = Hashtbl.create 16 }
+  in
+  adjust_owned t 0 5;
+  t
+
+let rec lookup_node node = function
+  | [] -> Some node
+  | seg :: rest -> (
+      match SMap.find_opt seg node.Node.children with
+      | None -> None
+      | Some child -> lookup_node child rest)
+
+let lookup t path =
+  if Xs_path.is_special path then None
+  else lookup_node t.root (Xs_path.segments path)
+
+let exists t path = lookup t path <> None
+
+let read t ~caller path =
+  match lookup t path with
+  | None -> Error Xs_error.ENOENT
+  | Some node ->
+      if Xs_perms.can_read (Node.perms node) ~domid:caller then
+        Ok (Node.value node)
+      else Error Xs_error.EACCES
+
+let directory t ~caller path =
+  match lookup t path with
+  | None -> Error Xs_error.ENOENT
+  | Some node ->
+      if Xs_perms.can_read (Node.perms node) ~domid:caller then
+        Ok (List.map fst (Node.children node))
+      else Error Xs_error.EACCES
+
+let get_perms t ~caller path =
+  match lookup t path with
+  | None -> Error Xs_error.ENOENT
+  | Some node ->
+      if Xs_perms.can_read (Node.perms node) ~domid:caller then
+        Ok (Node.perms node)
+      else Error Xs_error.EACCES
+
+(* Functional update along [segs]; [f] transforms the (optional) target
+   node into its replacement. Counts created nodes so quotas and node
+   totals stay exact. *)
+let update t ~caller path ~(f : Node.t option -> (Node.t, Xs_error.t) result)
+    =
+  if Xs_path.is_special path then Error Xs_error.EINVAL
+  else begin
+    let created = ref [] in
+    let rec go (node : Node.t) segs : (Node.t, Xs_error.t) result =
+      match segs with
+      | [] -> assert false
+      | [ last ] -> (
+          let existing = SMap.find_opt last node.Node.children in
+          (match existing with
+          | Some _ -> ()
+          | None ->
+              (* Creating: need write permission on the parent. *)
+              if not (Xs_perms.can_write (Node.perms node) ~domid:caller)
+              then raise (Xs_error.Error Xs_error.EACCES));
+          match f existing with
+          | Error e -> Error e
+          | Ok replacement ->
+              if existing = None then created := caller :: !created;
+              Ok
+                {
+                  node with
+                  Node.children =
+                    SMap.add last replacement node.Node.children;
+                })
+      | seg :: rest -> (
+          let child =
+            match SMap.find_opt seg node.Node.children with
+            | Some c -> c
+            | None ->
+                (* Implicit intermediate node owned by the caller. *)
+                if not (Xs_perms.can_write (Node.perms node) ~domid:caller)
+                then raise (Xs_error.Error Xs_error.EACCES);
+                created := caller :: !created;
+                Node.make ~value:""
+                  ~perms:(Xs_perms.owned_default caller)
+          in
+          match go child rest with
+          | Error e -> Error e
+          | Ok child' ->
+              Ok
+                {
+                  node with
+                  Node.children = SMap.add seg child' node.Node.children;
+                })
+    in
+    match Xs_path.segments path with
+    | [] -> Error Xs_error.EINVAL
+    | segs -> (
+        match go t.root segs with
+        | Error e -> Error e
+        | Ok root' ->
+            t.root <- root';
+            t.generation <- t.generation + 1;
+            List.iter
+              (fun owner ->
+                t.count <- t.count + 1;
+                adjust_owned t owner 1)
+              !created;
+            Ok ()
+        | exception Xs_error.Error e -> Error e)
+  end
+
+let write t ~caller path value =
+  update t ~caller path ~f:(fun existing ->
+      match existing with
+      | Some node ->
+          if Xs_perms.can_write (Node.perms node) ~domid:caller then
+            Ok { node with Node.value = value }
+          else Error Xs_error.EACCES
+      | None ->
+          Ok (Node.make ~value ~perms:(Xs_perms.owned_default caller)))
+
+let mkdir t ~caller path =
+  if exists t path then Ok () (* silent success, like the real daemon *)
+  else
+    update t ~caller path ~f:(fun existing ->
+        match existing with
+        | Some node -> Ok node
+        | None ->
+            Ok (Node.make ~value:"" ~perms:(Xs_perms.owned_default caller)))
+
+let set_perms t ~caller path perms =
+  let previous_owner = ref None in
+  let result =
+    update t ~caller path ~f:(fun existing ->
+        match existing with
+        | None -> Error Xs_error.ENOENT
+        | Some node ->
+            if caller = 0 || Xs_perms.owner (Node.perms node) = caller then begin
+              previous_owner := Some (Xs_perms.owner (Node.perms node));
+              Ok { node with Node.perms = perms }
+            end
+            else Error Xs_error.EACCES)
+  in
+  (match (result, !previous_owner) with
+  | Ok (), Some old_owner ->
+      let new_owner = Xs_perms.owner perms in
+      if old_owner <> new_owner then begin
+        adjust_owned t old_owner (-1);
+        adjust_owned t new_owner 1
+      end
+  | _ -> ());
+  result
+
+let count_owners node tbl =
+  let rec go (n : Node.t) =
+    let owner = Xs_perms.owner (Node.perms n) in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl owner) in
+    Hashtbl.replace tbl owner (cur + 1);
+    SMap.iter (fun _ c -> go c) n.Node.children
+  in
+  go node
+
+let rm t ~caller path =
+  if Xs_path.is_special path then Error Xs_error.EINVAL
+  else
+    match Xs_path.segments path with
+    | [] -> Error Xs_error.EINVAL
+    | segs -> (
+        match lookup t path with
+        | None -> Error Xs_error.ENOENT
+        | Some target ->
+            let removable parent_node =
+              Xs_perms.can_write (Node.perms parent_node) ~domid:caller
+              || Xs_perms.can_write (Node.perms target) ~domid:caller
+            in
+            let rec go node = function
+              | [] -> assert false
+              | [ last ] ->
+                  if not (removable node) then
+                    raise (Xs_error.Error Xs_error.EACCES);
+                  {
+                    node with
+                    Node.children = SMap.remove last node.Node.children;
+                  }
+              | seg :: rest ->
+                  let child = SMap.find seg node.Node.children in
+                  {
+                    node with
+                    Node.children =
+                      SMap.add seg (go child rest) node.Node.children;
+                  }
+            in
+            (match go t.root segs with
+            | root' ->
+                let removed_owned = Hashtbl.create 8 in
+                count_owners target removed_owned;
+                Hashtbl.iter
+                  (fun owner n -> adjust_owned t owner (-n))
+                  removed_owned;
+                t.count <- t.count - Node.subtree_size target;
+                t.root <- root';
+                t.generation <- t.generation + 1;
+                Ok ()
+            | exception Xs_error.Error e -> Error e))
+
+let iter t f =
+  let rec go path node =
+    List.iter
+      (fun (name, child) ->
+        let child_path = Xs_path.concat path name in
+        f ~path:child_path ~value:(Node.value child)
+          ~perms:(Node.perms child);
+        go child_path child)
+      (Node.children node)
+  in
+  go Xs_path.root t.root
+
+let snapshot t =
+  {
+    snap_root = t.root;
+    snap_generation = t.generation;
+    snap_count = t.count;
+    snap_owned = Hashtbl.copy t.owned;
+  }
+
+let of_snapshot s =
+  {
+    root = s.snap_root;
+    generation = s.snap_generation;
+    count = s.snap_count;
+    owned = Hashtbl.copy s.snap_owned;
+  }

@@ -1,0 +1,47 @@
+type event = { event_path : Xs_path.t; token : string }
+
+type watch = {
+  owner : int;
+  path : Xs_path.t;
+  token : string;
+  deliver : event -> unit;
+}
+
+type t = { mutable watches : watch list (* reversed registration order *) }
+
+let create () = { watches = [] }
+
+let count t = List.length t.watches
+
+let count_for t ~owner =
+  List.length (List.filter (fun w -> w.owner = owner) t.watches)
+
+let add t ~owner ~path ~token ~deliver =
+  t.watches <- { owner; path; token; deliver } :: t.watches
+
+let remove t ~owner ~path ~token =
+  let before = List.length t.watches in
+  t.watches <-
+    List.filter
+      (fun w ->
+        not
+          (w.owner = owner
+          && Xs_path.equal w.path path
+          && w.token = token))
+      t.watches;
+  List.length t.watches < before
+
+let remove_owner t ~owner =
+  let before = List.length t.watches in
+  t.watches <- List.filter (fun w -> w.owner <> owner) t.watches;
+  before - List.length t.watches
+
+let matching t ~modified =
+  let matches w =
+    if Xs_path.is_special w.path || Xs_path.is_special modified then
+      Xs_path.equal w.path modified
+    else Xs_path.is_prefix w.path ~of_:modified
+  in
+  List.rev_map
+    (fun w -> (w.path, w.token, w.deliver))
+    (List.filter matches t.watches)

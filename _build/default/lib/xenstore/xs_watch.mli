@@ -1,0 +1,37 @@
+(** Watch registry.
+
+    A watch pairs a path with a client token; any modification at or
+    below the path fires an event carrying the *modified* path and the
+    token. Matching deliberately scans the whole registry — the linear
+    cost in the number of registered watches is one of the scalability
+    problems the paper measures, and {!Xs_server} charges simulated time
+    per watch examined. *)
+
+type event = { event_path : Xs_path.t; token : string }
+
+type t
+
+val create : unit -> t
+
+val count : t -> int
+
+val count_for : t -> owner:int -> int
+
+val add :
+  t ->
+  owner:int ->
+  path:Xs_path.t ->
+  token:string ->
+  deliver:(event -> unit) ->
+  unit
+
+val remove : t -> owner:int -> path:Xs_path.t -> token:string -> bool
+(** [true] when something was removed. *)
+
+val remove_owner : t -> owner:int -> int
+(** Drop all watches of a domain (on release); returns how many. *)
+
+val matching : t -> modified:Xs_path.t -> (Xs_path.t * string * (event -> unit)) list
+(** Watches whose path is a prefix of (or equal to) [modified], in
+    registration order, as [(watch_path, token, deliver)]. Special
+    paths ([@introduceDomain], [@releaseDomain]) only match exactly. *)

@@ -1,0 +1,115 @@
+type op =
+  | Debug
+  | Directory
+  | Read
+  | Get_perms
+  | Watch
+  | Unwatch
+  | Transaction_start
+  | Transaction_end
+  | Introduce
+  | Release
+  | Get_domain_path
+  | Write
+  | Mkdir
+  | Rm
+  | Set_perms
+  | Watch_event
+  | Error
+  | Is_domain_introduced
+  | Resume
+  | Set_target
+
+let op_table =
+  [
+    (Debug, 0);
+    (Directory, 1);
+    (Read, 2);
+    (Get_perms, 3);
+    (Watch, 4);
+    (Unwatch, 5);
+    (Transaction_start, 6);
+    (Transaction_end, 7);
+    (Introduce, 8);
+    (Release, 9);
+    (Get_domain_path, 10);
+    (Write, 11);
+    (Mkdir, 12);
+    (Rm, 13);
+    (Set_perms, 14);
+    (Watch_event, 15);
+    (Error, 16);
+    (Is_domain_introduced, 17);
+    (Resume, 18);
+    (Set_target, 19);
+  ]
+
+let op_to_int op = List.assoc op op_table
+
+let op_of_int n =
+  List.find_map (fun (op, i) -> if i = n then Some op else None) op_table
+
+type header = {
+  op : op;
+  req_id : int32;
+  tx_id : int32;
+  len : int;
+}
+
+let header_size = 16
+let max_payload = 4096
+
+exception Malformed of string
+
+let payload_bytes strings =
+  List.fold_left (fun acc s -> acc + String.length s + 1) 0 strings
+
+let pack op ~req_id ~tx_id strings =
+  let len = payload_bytes strings in
+  if len > max_payload then
+    raise (Malformed (Printf.sprintf "payload too large: %d" len));
+  let buf = Bytes.create (header_size + len) in
+  Bytes.set_int32_le buf 0 (Int32.of_int (op_to_int op));
+  Bytes.set_int32_le buf 4 req_id;
+  Bytes.set_int32_le buf 8 tx_id;
+  Bytes.set_int32_le buf 12 (Int32.of_int len);
+  let pos = ref header_size in
+  List.iter
+    (fun s ->
+      Bytes.blit_string s 0 buf !pos (String.length s);
+      Bytes.set buf (!pos + String.length s) '\000';
+      pos := !pos + String.length s + 1)
+    strings;
+  buf
+
+let unpack_header buf =
+  if Bytes.length buf < header_size then
+    raise (Malformed "short header");
+  let opcode = Int32.to_int (Bytes.get_int32_le buf 0) in
+  match op_of_int opcode with
+  | None -> raise (Malformed (Printf.sprintf "unknown op %d" opcode))
+  | Some op ->
+      {
+        op;
+        req_id = Bytes.get_int32_le buf 4;
+        tx_id = Bytes.get_int32_le buf 8;
+        len = Int32.to_int (Bytes.get_int32_le buf 12);
+      }
+
+let unpack buf =
+  let header = unpack_header buf in
+  if Bytes.length buf < header_size + header.len then
+    raise (Malformed "truncated payload");
+  if header.len > max_payload then raise (Malformed "oversized payload");
+  let payload = Bytes.sub_string buf header_size header.len in
+  let strings =
+    match String.split_on_char '\000' payload with
+    | [] -> []
+    | parts -> (
+        (* Each string is NUL-terminated, so a well-formed payload ends
+           with an empty fragment; drop it. *)
+        match List.rev parts with
+        | "" :: rest -> List.rev rest
+        | _ -> parts)
+  in
+  (header, strings)

@@ -1,0 +1,63 @@
+(** The XenStore binary wire protocol (xs_wire.h).
+
+    Messages are a 16-byte little-endian header — operation, request id,
+    transaction id, payload length — followed by a payload of
+    NUL-separated strings. This codec is what a guest's xenbus ring
+    carries; the simulation charges time per message, and the tests
+    round-trip real byte buffers through it. *)
+
+type op =
+  | Debug
+  | Directory
+  | Read
+  | Get_perms
+  | Watch
+  | Unwatch
+  | Transaction_start
+  | Transaction_end
+  | Introduce
+  | Release
+  | Get_domain_path
+  | Write
+  | Mkdir
+  | Rm
+  | Set_perms
+  | Watch_event
+  | Error
+  | Is_domain_introduced
+  | Resume
+  | Set_target
+
+val op_to_int : op -> int
+(** The numeric codes of the real protocol. *)
+
+val op_of_int : int -> op option
+
+type header = {
+  op : op;
+  req_id : int32;
+  tx_id : int32;
+  len : int;
+}
+
+val header_size : int
+(** 16 bytes. *)
+
+val max_payload : int
+(** 4096 bytes, as in the real protocol. *)
+
+exception Malformed of string
+
+val pack : op -> req_id:int32 -> tx_id:int32 -> string list -> bytes
+(** Payload strings are each NUL-terminated. Raises {!Malformed} when
+    the payload would exceed {!max_payload}. *)
+
+val unpack_header : bytes -> header
+(** Reads the first 16 bytes. Raises {!Malformed} on short input or
+    unknown operation. *)
+
+val unpack : bytes -> header * string list
+(** Full decode; splits the payload on NULs. *)
+
+val payload_bytes : string list -> int
+(** Encoded payload size, for cost accounting without packing. *)

@@ -1,0 +1,1 @@
+test/test_container.ml: Alcotest Lightvm_container Lightvm_hv Lightvm_metrics Lightvm_sim List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Lightvm Lightvm_guest Lightvm_hv Lightvm_metrics Lightvm_sim Lightvm_toolstack List Printf String

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Float Format Int32 Lightvm Lightvm_guest Lightvm_hv Lightvm_metrics Lightvm_minipy Lightvm_sim Lightvm_toolstack Lightvm_xenstore List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Float Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_toolstack List Option Printf

@@ -1,0 +1,1 @@
+test/test_hv.ml: Alcotest Lightvm_hv Lightvm_sim List Printf QCheck QCheck_alcotest

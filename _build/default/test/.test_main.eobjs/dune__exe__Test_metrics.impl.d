@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Astring_check Float Gen Lightvm_metrics List QCheck QCheck_alcotest String

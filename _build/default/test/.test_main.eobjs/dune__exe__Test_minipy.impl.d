@@ -1,0 +1,1 @@
+test/test_minipy.ml: Alcotest Float Lightvm_minipy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Gen Hashtbl Lightvm_net Lightvm_sim List Option Printf QCheck QCheck_alcotest

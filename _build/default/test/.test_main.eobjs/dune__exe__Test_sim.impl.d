@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Gen Hashtbl Lightvm_sim List QCheck QCheck_alcotest

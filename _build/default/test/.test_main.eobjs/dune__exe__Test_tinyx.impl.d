@@ -1,0 +1,1 @@
+test/test_tinyx.ml: Alcotest Lightvm_guest Lightvm_tinyx List Printf QCheck QCheck_alcotest

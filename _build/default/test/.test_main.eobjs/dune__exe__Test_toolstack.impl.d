@@ -1,0 +1,1 @@
+test/test_toolstack.ml: Alcotest Float Lightvm_guest Lightvm_hv Lightvm_sim Lightvm_toolstack List Printf QCheck QCheck_alcotest String

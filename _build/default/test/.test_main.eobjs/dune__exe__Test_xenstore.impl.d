@@ -1,0 +1,1 @@
+test/test_xenstore.ml: Alcotest Bytes Fun Gen Lightvm_sim Lightvm_xenstore List Option Printf QCheck QCheck_alcotest String

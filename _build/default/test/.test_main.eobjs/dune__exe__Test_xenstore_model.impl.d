@@ -1,0 +1,1 @@
+test/test_xenstore_model.ml: Lightvm_xenstore List Map QCheck QCheck_alcotest String

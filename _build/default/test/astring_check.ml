@@ -1,0 +1,9 @@
+(* Tiny substring helper shared by test files (no extra deps). *)
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > hn then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,232 @@
+(* Tests for the mini-Python lexer, parser and interpreter. *)
+
+module Lexer = Lightvm_minipy.Lexer
+module Parser = Lightvm_minipy.Parser
+module Interp = Lightvm_minipy.Interp
+module Value = Lightvm_minipy.Value
+
+let run src =
+  match Interp.run src with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "program failed: %s" msg
+
+let output src = (run src).Interp.stdout
+
+let check_output name src expected =
+  Alcotest.(check (list string)) name expected (output src)
+
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "x = 1 + 2.5  # comment\n" in
+  Alcotest.(check (list string))
+    "token stream"
+    [ "NAME(x)"; "OP(=)"; "INT(1)"; "OP(+)"; "FLOAT(2.5)"; "NEWLINE";
+      "EOF" ]
+    (List.map Lexer.token_to_string toks)
+
+let test_lexer_indentation () =
+  let toks = Lexer.tokenize "if x:\n    y = 1\nz = 2\n" in
+  let names = List.map Lexer.token_to_string toks in
+  Alcotest.(check bool) "has INDENT" true (List.mem "INDENT" names);
+  Alcotest.(check bool) "has DEDENT" true (List.mem "DEDENT" names)
+
+let test_lexer_string_escapes () =
+  match Lexer.tokenize {|s = "a\nb"|} with
+  | [ _; _; Lexer.STRING s; _; _ ] ->
+      Alcotest.(check string) "escape" "a\nb" s
+  | toks ->
+      Alcotest.failf "unexpected tokens: %s"
+        (String.concat " " (List.map Lexer.token_to_string toks))
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "x = $\n");
+     Alcotest.fail "bad character accepted"
+   with Lexer.Lex_error _ -> ());
+  try
+    ignore (Lexer.tokenize "s = \"unterminated\n");
+    Alcotest.fail "unterminated string accepted"
+  with Lexer.Lex_error _ -> ()
+
+let test_arithmetic () =
+  check_output "ints" "print(2 + 3 * 4)" [ "14" ];
+  check_output "parens" "print((2 + 3) * 4)" [ "20" ];
+  check_output "floats" "print(7 / 2)" [ "3.5" ];
+  check_output "floordiv" "print(7 // 2)" [ "3" ];
+  check_output "neg floordiv" "print(-7 // 2)" [ "-4" ];
+  check_output "mod" "print(7 % 3)" [ "1" ];
+  check_output "python mod" "print(-1 % 5)" [ "4" ];
+  check_output "power" "print(2 ** 10)" [ "1024" ];
+  check_output "power right assoc" "print(2 ** 3 ** 2)" [ "512" ];
+  check_output "unary" "print(-3 + 1)" [ "-2" ]
+
+let test_strings () =
+  check_output "concat" {|print("foo" + "bar")|} [ "foobar" ];
+  check_output "repeat" {|print("ab" * 3)|} [ "ababab" ];
+  check_output "len" {|print(len("hello"))|} [ "5" ];
+  check_output "index" {|print("hello"[1])|} [ "e" ];
+  check_output "negative index" {|print("hello"[-1])|} [ "o" ];
+  check_output "methods" {|print("Hi".upper(), "Hi".lower())|}
+    [ "HI hi" ]
+
+let test_comparisons_and_bool () =
+  check_output "chain of ops"
+    "print(1 < 2, 2 <= 2, 3 > 4, 1 == 1.0, 1 != 2)"
+    [ "True True False True True" ];
+  check_output "and/or shortcut" "print(False and undefined_name or 7)"
+    [ "7" ];
+  check_output "not" "print(not 0, not 1)" [ "True False" ]
+
+let test_lists () =
+  check_output "literals" "print([1, 2, 3])" [ "[1, 2, 3]" ];
+  check_output "append"
+    "xs = []\nxs.append(1)\nxs.append(2)\nprint(xs, len(xs))"
+    [ "[1, 2] 2" ];
+  check_output "index assign" "xs = [1, 2, 3]\nxs[1] = 9\nprint(xs)"
+    [ "[1, 9, 3]" ];
+  check_output "pop" "xs = [1, 2]\nprint(xs.pop())\nprint(xs)"
+    [ "2"; "[1]" ];
+  check_output "sum/min/max" "print(sum([1, 2, 3]), min(4, 2), max([5, 9]))"
+    [ "6 2 9" ]
+
+let test_control_flow () =
+  check_output "if/elif/else"
+    "x = 5\nif x < 3:\n    print(\"low\")\nelif x < 10:\n    print(\"mid\")\nelse:\n    print(\"high\")"
+    [ "mid" ];
+  check_output "while with break"
+    "i = 0\nwhile True:\n    i += 1\n    if i == 4:\n        break\nprint(i)"
+    [ "4" ];
+  check_output "continue"
+    "total = 0\nfor i in range(6):\n    if i % 2 == 0:\n        continue\n    total += i\nprint(total)"
+    [ "9" ];
+  check_output "range forms"
+    "print(range(3), range(2, 5), range(10, 0, -3))"
+    [ "[0, 1, 2] [2, 3, 4] [10, 7, 4, 1]" ]
+
+let test_functions () =
+  check_output "def and call"
+    "def add(a, b):\n    return a + b\nprint(add(2, 3))" [ "5" ];
+  check_output "recursion"
+    "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nprint(fib(12))"
+    [ "144" ];
+  check_output "locals do not leak"
+    "def f():\n    inner = 42\n    return inner\nprint(f())\nx = 0\nprint(x)"
+    [ "42"; "0" ];
+  check_output "return none" "def f():\n    return\nprint(f())" [ "None" ]
+
+let test_approx_e () =
+  (* The paper's Lambda workload: approximating e. *)
+  let src =
+    {|
+def approx_e(n):
+    total = 0.0
+    fact = 1.0
+    i = 0
+    while i <= n:
+        if i > 0:
+            fact = fact * i
+        total = total + 1.0 / fact
+        i = i + 1
+    return total
+
+print(approx_e(18))
+|}
+  in
+  match (run src).Interp.stdout with
+  | [ line ] ->
+      let v = float_of_string line in
+      if Float.abs (v -. Float.exp 1.) > 1e-9 then
+        Alcotest.failf "bad e approximation: %s" line
+  | other ->
+      Alcotest.failf "unexpected output: %s" (String.concat "|" other)
+
+(* Simple substring check without extra deps. *)
+let astring_contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > hn then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_errors () =
+  let expect_error src fragment =
+    match Interp.run src with
+    | Ok _ -> Alcotest.failf "no error for: %s" src
+    | Error msg ->
+        if not (astring_contains msg fragment) then
+          Alcotest.failf "error %S lacks %S" msg fragment
+  in
+  expect_error "print(1 / 0)" "division by zero";
+  expect_error "print(undefined)" "not defined";
+  expect_error "xs = [1]\nprint(xs[5])" "out of range";
+  expect_error "def f(a):\n    return a\nf(1, 2)" "arguments";
+  expect_error "print(" "syntax error";
+  expect_error "if True:\nprint(1)" "syntax error";
+  expect_error "x = 'a' - 'b'" "unsupported"
+
+let test_step_limit () =
+  match Interp.run ~max_steps:1000 "while True:\n    pass" with
+  | Error "step limit exceeded" -> ()
+  | Ok _ -> Alcotest.fail "infinite loop terminated?!"
+  | Error other -> Alcotest.failf "wrong error: %s" other
+
+let test_steps_scale_with_work () =
+  let steps n =
+    let src =
+      Printf.sprintf "i = 0\nwhile i < %d:\n    i = i + 1\n" n
+    in
+    (run src).Interp.steps
+  in
+  let s100 = steps 100 and s1000 = steps 1000 in
+  let ratio = float_of_int s1000 /. float_of_int s100 in
+  if ratio < 8. || ratio > 12. then
+    Alcotest.failf "steps not linear in work: %d vs %d" s100 s1000
+
+let prop_arith_matches_ocaml =
+  QCheck.Test.make ~name:"minipy integer arithmetic matches OCaml"
+    ~count:200
+    QCheck.(triple (int_range (-1000) 1000) (int_range (-1000) 1000)
+              (int_range 0 2))
+    (fun (a, b, opi) ->
+      let op, f =
+        match opi with
+        | 0 -> ("+", ( + ))
+        | 1 -> ("-", ( - ))
+        | _ -> ("*", ( * ))
+      in
+      let src = Printf.sprintf "print(%d %s %d)" a op b in
+      match Interp.run src with
+      | Ok { Interp.stdout = [ line ]; _ } ->
+          int_of_string line = f a b
+      | _ -> false)
+
+let suites =
+  [
+    ( "minipy.lexer",
+      [
+        Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "indentation" `Quick test_lexer_indentation;
+        Alcotest.test_case "string escapes" `Quick
+          test_lexer_string_escapes;
+        Alcotest.test_case "errors" `Quick test_lexer_errors;
+      ] );
+    ( "minipy.eval",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "strings" `Quick test_strings;
+        Alcotest.test_case "comparisons/bool" `Quick
+          test_comparisons_and_bool;
+        Alcotest.test_case "lists" `Quick test_lists;
+        Alcotest.test_case "control flow" `Quick test_control_flow;
+        Alcotest.test_case "functions" `Quick test_functions;
+        Alcotest.test_case "approximates e" `Quick test_approx_e;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "step limit" `Quick test_step_limit;
+        Alcotest.test_case "steps linear" `Quick
+          test_steps_scale_with_work;
+        QCheck_alcotest.to_alcotest prop_arith_matches_ocaml;
+      ] );
+  ]

@@ -1,0 +1,401 @@
+(* Tests for the discrete-event engine, resources and the CPU model. *)
+
+module Engine = Lightvm_sim.Engine
+module Heap = Lightvm_sim.Heap
+module Rng = Lightvm_sim.Rng
+module Resource = Lightvm_sim.Resource
+module Cpu = Lightvm_sim.Cpu
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_time name expected actual =
+  if not (feq expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  ignore (Heap.push h ~time:3.0 "c");
+  ignore (Heap.push h ~time:1.0 "a");
+  ignore (Heap.push h ~time:2.0 "b");
+  let order = List.init 3 (fun _ -> Heap.pop h) in
+  Alcotest.(check (list (option (pair (float 1e-9) string))))
+    "pop order"
+    [ Some (1.0, "a"); Some (2.0, "b"); Some (3.0, "c") ]
+    order
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  ignore (Heap.push h ~time:1.0 "first");
+  ignore (Heap.push h ~time:1.0 "second");
+  ignore (Heap.push h ~time:1.0 "third");
+  let vals =
+    List.init 3 (fun _ ->
+        match Heap.pop h with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] vals
+
+let test_heap_cancel () =
+  let h = Heap.create () in
+  let _a = Heap.push h ~time:1.0 "a" in
+  let b = Heap.push h ~time:2.0 "b" in
+  let _c = Heap.push h ~time:3.0 "c" in
+  Heap.cancel h b;
+  Alcotest.(check int) "live size" 2 (Heap.size h);
+  let vals =
+    List.init 2 (fun _ ->
+        match Heap.pop h with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "cancelled skipped" [ "a"; "c" ] vals;
+  Alcotest.(check bool) "empty" true (Heap.pop h = None)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> ignore (Heap.push h ~time:t t)) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.stable_sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    if x < 0 || x >= 10 then Alcotest.failf "int out of bounds: %d" x;
+    let f = Rng.float r 3.5 in
+    if f < 0. || f >= 3.5 then Alcotest.failf "float out of bounds: %g" f
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 2.0) > 0.1 then
+    Alcotest.failf "exponential mean off: %g" mean
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_sleep_advances_clock () =
+  let final =
+    Engine.run (fun () ->
+        check_time "start" 0.0 (Engine.now ());
+        Engine.sleep 1.5;
+        check_time "after sleep" 1.5 (Engine.now ());
+        Engine.sleep 0.5;
+        check_time "after second sleep" 2.0 (Engine.now ()))
+  in
+  check_time "final clock" 2.0 final
+
+let test_spawn_interleaving () =
+  let log = ref [] in
+  let say s = log := s :: !log in
+  ignore
+    (Engine.run (fun () ->
+         Engine.spawn (fun () ->
+             Engine.sleep 1.0;
+             say "b@1");
+         Engine.spawn (fun () ->
+             Engine.sleep 2.0;
+             say "c@2");
+         say "a@0";
+         Engine.sleep 3.0;
+         say "d@3"));
+  Alcotest.(check (list string))
+    "event order" [ "a@0"; "b@1"; "c@2"; "d@3" ] (List.rev !log)
+
+let test_ivar_blocks () =
+  let result = ref 0 in
+  ignore
+    (Engine.run (fun () ->
+         let iv = Engine.Ivar.create () in
+         Engine.spawn (fun () ->
+             let v = Engine.Ivar.read iv in
+             check_time "woken at fill time" 4.0 (Engine.now ());
+             result := v);
+         Engine.sleep 4.0;
+         Engine.Ivar.fill iv 99));
+  Alcotest.(check int) "value delivered" 99 !result
+
+let test_ivar_double_fill () =
+  ignore
+    (Engine.run (fun () ->
+         let iv = Engine.Ivar.create () in
+         Engine.Ivar.fill iv 1;
+         Alcotest.check_raises "second fill rejected"
+           (Invalid_argument "Sim.Engine.Ivar.fill: already filled")
+           (fun () -> Engine.Ivar.fill iv 2)))
+
+let test_after_and_cancel () =
+  let fired = ref [] in
+  ignore
+    (Engine.run (fun () ->
+         let _t1 = Engine.after 1.0 (fun () -> fired := 1 :: !fired) in
+         let t2 = Engine.after 2.0 (fun () -> fired := 2 :: !fired) in
+         let _t3 = Engine.after 3.0 (fun () -> fired := 3 :: !fired) in
+         Engine.cancel t2;
+         Engine.sleep 5.0));
+  Alcotest.(check (list int)) "only uncancelled fire" [ 1; 3 ]
+    (List.rev !fired)
+
+let test_run_until () =
+  let final =
+    Engine.run ~until:2.5 (fun () ->
+        let rec tick () =
+          Engine.sleep 1.0;
+          tick ()
+        in
+        tick ())
+  in
+  check_time "stops at horizon" 2.5 final
+
+let test_no_nested_run () =
+  ignore
+    (Engine.run (fun () ->
+         Alcotest.check_raises "nested run rejected"
+           (Invalid_argument "Sim.Engine.run: a simulation is already running")
+           (fun () -> ignore (Engine.run (fun () -> ())))))
+
+let test_past_scheduling_rejected () =
+  ignore
+    (Engine.run (fun () ->
+         Engine.sleep 5.0;
+         match Engine.at 1.0 (fun () -> ()) with
+         | _ -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Resource *)
+
+let test_resource_mutex () =
+  let log = ref [] in
+  ignore
+    (Engine.run (fun () ->
+         let m = Resource.create 1 in
+         let worker name dur () =
+           Resource.with_resource m (fun () ->
+               log := (name, Engine.now ()) :: !log;
+               Engine.sleep dur)
+         in
+         Engine.spawn (worker "a" 2.0);
+         Engine.spawn (worker "b" 1.0);
+         Engine.spawn (worker "c" 1.0)));
+  let entries = List.rev !log in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "serialised in FIFO order"
+    [ ("a", 0.0); ("b", 2.0); ("c", 3.0) ]
+    entries
+
+let test_resource_counts () =
+  ignore
+    (Engine.run (fun () ->
+         let r = Resource.create 2 in
+         Alcotest.(check int) "available" 2 (Resource.available r);
+         Resource.acquire r;
+         Resource.acquire r;
+         Alcotest.(check bool) "exhausted" false (Resource.try_acquire r);
+         Resource.release r;
+         Alcotest.(check bool) "one back" true (Resource.try_acquire r);
+         Resource.release r;
+         Resource.release r))
+
+let test_resource_over_release () =
+  ignore
+    (Engine.run (fun () ->
+         let r = Resource.create 1 in
+         Alcotest.check_raises "over-release"
+           (Invalid_argument
+              "Sim.Resource.release: released more than acquired")
+           (fun () -> Resource.release r)))
+
+(* ------------------------------------------------------------------ *)
+(* Cpu *)
+
+let test_cpu_single_job () =
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:1 () in
+         Cpu.consume cpu ~core:0 2.0;
+         check_time "exclusive job runs at full speed" 2.0 (Engine.now ())))
+
+let test_cpu_sharing () =
+  (* Two equal jobs on one core take twice as long. *)
+  let t_done = ref [] in
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:1 () in
+         Engine.spawn (fun () ->
+             Cpu.consume cpu ~core:0 1.0;
+             t_done := ("a", Engine.now ()) :: !t_done);
+         Engine.spawn (fun () ->
+             Cpu.consume cpu ~core:0 1.0;
+             t_done := ("b", Engine.now ()) :: !t_done)));
+  List.iter
+    (fun (name, t) -> check_time (name ^ " finish") 2.0 t)
+    !t_done;
+  Alcotest.(check int) "both finished" 2 (List.length !t_done)
+
+let test_cpu_unequal_jobs () =
+  (* Jobs of work 1 and 3 sharing a core: first finishes at 2 (half
+     speed), then the second runs alone: 3 - 1 = 2 remaining at full
+     speed, finishing at 4. *)
+  let finish = Hashtbl.create 4 in
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:1 () in
+         Engine.spawn (fun () ->
+             Cpu.consume cpu ~core:0 1.0;
+             Hashtbl.replace finish "short" (Engine.now ()));
+         Engine.spawn (fun () ->
+             Cpu.consume cpu ~core:0 3.0;
+             Hashtbl.replace finish "long" (Engine.now ()))));
+  check_time "short job" 2.0 (Hashtbl.find finish "short");
+  check_time "long job" 4.0 (Hashtbl.find finish "long")
+
+let test_cpu_speed_factor () =
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~speed:2.0 ~ncores:1 () in
+         Cpu.consume cpu ~core:0 4.0;
+         check_time "double speed halves time" 2.0 (Engine.now ())))
+
+let test_cpu_late_arrival () =
+  (* Job B arrives while A is mid-flight: A had 1s served of 2s; with
+     sharing, A's remaining 1s takes 2s -> A ends at 3; B (work 2) has
+     1s left when A ends -> B ends at 4. *)
+  let finish = Hashtbl.create 4 in
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:1 () in
+         Engine.spawn (fun () ->
+             Cpu.consume cpu ~core:0 2.0;
+             Hashtbl.replace finish "a" (Engine.now ()));
+         Engine.spawn (fun () ->
+             Engine.sleep 1.0;
+             Cpu.consume cpu ~core:0 2.0;
+             Hashtbl.replace finish "b" (Engine.now ()))));
+  check_time "a" 3.0 (Hashtbl.find finish "a");
+  check_time "b" 4.0 (Hashtbl.find finish "b")
+
+let test_cpu_independent_cores () =
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:2 () in
+         let d0 = Cpu.consume_async cpu ~core:0 1.0 in
+         let d1 = Cpu.consume_async cpu ~core:1 1.0 in
+         Engine.wait_all [ d0; d1 ];
+         check_time "no cross-core interference" 1.0 (Engine.now ())))
+
+let test_cpu_utilization () =
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:2 () in
+         Engine.spawn (fun () -> Cpu.consume cpu ~core:0 1.0);
+         Engine.sleep 2.0;
+         (* Core 0 busy 1s of 2s; core 1 idle: 25% of 2-core capacity. *)
+         let u = Cpu.utilization cpu ~since:0.0 in
+         if not (feq u 0.25) then Alcotest.failf "utilization: %g" u))
+
+let test_cpu_least_loaded () =
+  ignore
+    (Engine.run (fun () ->
+         let cpu = Cpu.create ~ncores:3 () in
+         ignore (Cpu.consume_async cpu ~core:0 10.0);
+         ignore (Cpu.consume_async cpu ~core:1 10.0);
+         ignore (Cpu.consume_async cpu ~core:1 10.0);
+         Alcotest.(check int) "least loaded" 2
+           (Cpu.pick_least_loaded cpu ~cores:[ 0; 1; 2 ]);
+         Alcotest.(check int) "loads" 2 (Cpu.load cpu ~core:1);
+         Alcotest.(check int) "total" 3 (Cpu.total_load cpu)))
+
+let prop_cpu_work_conservation =
+  (* Total completion time of N jobs submitted together on one core
+     equals the sum of their work (PS conserves work). *)
+  QCheck.Test.make ~name:"cpu work conservation" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 8) (float_bound_exclusive 2.0))
+    (fun works ->
+      let works = List.map (fun w -> w +. 0.01) works in
+      let total = List.fold_left ( +. ) 0. works in
+      let finish = ref 0. in
+      ignore
+        (Engine.run (fun () ->
+             let cpu = Cpu.create ~ncores:1 () in
+             let ivars =
+               List.map (fun w -> Cpu.consume_async cpu ~core:0 w) works
+             in
+             Engine.wait_all ivars;
+             finish := Engine.now ()));
+      Float.abs (!finish -. total) < 1e-6)
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "cancel" `Quick test_heap_cancel;
+        QCheck_alcotest.to_alcotest prop_heap_sorted;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "exponential mean" `Quick
+          test_rng_exponential_mean;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "sleep advances clock" `Quick
+          test_sleep_advances_clock;
+        Alcotest.test_case "spawn interleaving" `Quick
+          test_spawn_interleaving;
+        Alcotest.test_case "ivar blocks and wakes" `Quick test_ivar_blocks;
+        Alcotest.test_case "ivar double fill" `Quick test_ivar_double_fill;
+        Alcotest.test_case "after and cancel" `Quick test_after_and_cancel;
+        Alcotest.test_case "run until horizon" `Quick test_run_until;
+        Alcotest.test_case "no nested run" `Quick test_no_nested_run;
+        Alcotest.test_case "past scheduling rejected" `Quick
+          test_past_scheduling_rejected;
+      ] );
+    ( "sim.resource",
+      [
+        Alcotest.test_case "mutex serialises" `Quick test_resource_mutex;
+        Alcotest.test_case "counting" `Quick test_resource_counts;
+        Alcotest.test_case "over-release" `Quick test_resource_over_release;
+      ] );
+    ( "sim.cpu",
+      [
+        Alcotest.test_case "single job" `Quick test_cpu_single_job;
+        Alcotest.test_case "equal sharing" `Quick test_cpu_sharing;
+        Alcotest.test_case "unequal jobs" `Quick test_cpu_unequal_jobs;
+        Alcotest.test_case "speed factor" `Quick test_cpu_speed_factor;
+        Alcotest.test_case "late arrival" `Quick test_cpu_late_arrival;
+        Alcotest.test_case "independent cores" `Quick
+          test_cpu_independent_cores;
+        Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+        Alcotest.test_case "least loaded" `Quick test_cpu_least_loaded;
+        QCheck_alcotest.to_alcotest prop_cpu_work_conservation;
+      ] );
+  ]

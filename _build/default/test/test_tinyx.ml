@@ -1,0 +1,272 @@
+(* Tests for the Tinyx build system: package resolution, overlay
+   assembly, kernel config minimisation and end-to-end builds. *)
+
+module Package = Lightvm_tinyx.Package
+module Data = Lightvm_tinyx.Data
+module Depsolve = Lightvm_tinyx.Depsolve
+module Overlay = Lightvm_tinyx.Overlay
+module Kconfig = Lightvm_tinyx.Kconfig
+module Kt = Lightvm_tinyx.Kconfig_types
+module Build = Lightvm_tinyx.Build
+module Image = Lightvm_guest.Image
+
+let repo = Data.repo
+
+(* ------------------------------------------------------------------ *)
+(* Depsolve *)
+
+let test_closure () =
+  match Depsolve.closure ~repo [ "nginx" ] with
+  | Error msg -> Alcotest.failf "closure failed: %s" msg
+  | Ok packages ->
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) ("includes " ^ expected) true
+            (List.mem expected packages))
+        [ "nginx"; "libc6"; "libpcre3"; "libssl1.0"; "zlib1g" ]
+
+let test_closure_unknown () =
+  match Depsolve.closure ~repo [ "no-such-package" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown package resolved"
+
+let test_blacklist_drops_install_machinery () =
+  (* A package whose closure pulls dpkg through the whitelist test. *)
+  match Depsolve.resolve ~repo ~app:"nginx" () with
+  | Error msg -> Alcotest.failf "resolve failed: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "no dpkg" false
+        (List.mem "dpkg" r.Depsolve.packages);
+      Alcotest.(check bool) "no systemd" false
+        (List.mem "systemd" r.Depsolve.packages);
+      Alcotest.(check bool) "busybox included" true
+        (List.mem "busybox" r.Depsolve.packages)
+
+let test_whitelist_overrides () =
+  match Depsolve.resolve ~repo ~app:"nginx" ~whitelist:[ "perl-base" ] () with
+  | Error msg -> Alcotest.failf "resolve failed: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "perl whitelisted back" true
+        (List.mem "perl-base" r.Depsolve.packages)
+
+let test_objdump_libs_resolved () =
+  (* micropython links libffi -> libffi6 package must appear. *)
+  match Depsolve.resolve ~repo ~app:"micropython" () with
+  | Error msg -> Alcotest.failf "resolve failed: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "libffi6 pulled via objdump" true
+        (List.mem "libffi6" r.Depsolve.packages)
+
+let prop_closure_is_closed =
+  QCheck.Test.make ~name:"dependency closure is transitively closed"
+    ~count:50
+    (QCheck.make
+       (QCheck.Gen.oneofl
+          [ "nginx"; "micropython"; "redis-server"; "haproxy"; "iperf" ]))
+    (fun app ->
+      match Depsolve.closure ~repo [ app ] with
+      | Error _ -> false
+      | Ok packages ->
+          List.for_all
+            (fun name ->
+              match Package.find repo name with
+              | None -> false
+              | Some p ->
+                  List.for_all
+                    (fun dep -> List.mem dep packages)
+                    p.Package.deps)
+            packages)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay *)
+
+let test_overlay_strips_caches () =
+  match Depsolve.resolve ~repo ~app:"nginx" () with
+  | Error msg -> Alcotest.failf "resolve failed: %s" msg
+  | Ok r ->
+      let overlay =
+        Overlay.assemble ~repo ~packages:r.Depsolve.packages ~app_glue_kb:8
+      in
+      Alcotest.(check bool) "something was stripped" true
+        (Overlay.stripped_kb overlay > 0);
+      Alcotest.(check bool) "distribution smaller than upper+busybox" true
+        (Overlay.distribution_kb overlay
+        < Overlay.upper_kb overlay + Overlay.busybox_underlay.Overlay.files_kb);
+      Alcotest.(check bool) "way below debootstrap base" true
+        (Overlay.distribution_kb overlay
+        < Overlay.debootstrap_base.Overlay.files_kb / 4)
+
+(* ------------------------------------------------------------------ *)
+(* Kconfig *)
+
+let test_kconfig_platform () =
+  let xen = Kconfig.for_platform Kt.Xen_pv in
+  Alcotest.(check bool) "xen frontend on" true
+    (Kconfig.is_enabled xen "CONFIG_XEN_NETDEV_FRONTEND");
+  Alcotest.(check bool) "dependencies pulled" true
+    (Kconfig.is_enabled xen "CONFIG_NET"
+    && Kconfig.is_enabled xen "CONFIG_HYPERVISOR_GUEST");
+  Alcotest.(check bool) "no baremetal piles" false
+    (Kconfig.is_enabled xen "CONFIG_DRIVERS_GPU_PILE")
+
+let test_kconfig_disable_cascades () =
+  let xen = Kconfig.for_platform Kt.Xen_pv in
+  let without_net = Kconfig.disable xen "CONFIG_NET" in
+  Alcotest.(check bool) "dependent option dropped too" false
+    (Kconfig.is_enabled without_net "CONFIG_XEN_NETDEV_FRONTEND")
+
+let test_kconfig_enable_unknown () =
+  match Kconfig.enable Kconfig.tinyconfig "CONFIG_NOT_REAL" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown option enabled"
+
+let test_kconfig_sizes () =
+  let tinyx = Kconfig.for_platform Kt.Xen_pv in
+  let debian = Kconfig.debian_like in
+  let tinyx_kb = Kconfig.image_kb tinyx in
+  let debian_kb = Kconfig.image_kb debian in
+  (* Paper: Tinyx kernels are about half the size of Debian kernels. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "tinyx kernel much smaller (%d vs %d kb)" tinyx_kb
+       debian_kb)
+    true
+    (float_of_int tinyx_kb < 0.55 *. float_of_int debian_kb);
+  (* Paper: 1.6 MB runtime for Tinyx vs 8 MB for Debian. *)
+  let tinyx_rt = Kconfig.runtime_kb tinyx in
+  let debian_rt = Kconfig.runtime_kb debian in
+  Alcotest.(check bool)
+    (Printf.sprintf "runtime %d kb in [1200, 2200]" tinyx_rt)
+    true
+    (tinyx_rt >= 1_200 && tinyx_rt <= 2_200);
+  Alcotest.(check bool)
+    (Printf.sprintf "debian runtime %d kb > 3x tinyx" debian_rt)
+    true
+    (debian_rt > 3 * tinyx_rt)
+
+let test_kconfig_prune () =
+  (* Start from a config with spurious extras and prune for iperf. *)
+  let base = Kconfig.for_platform Kt.Xen_pv in
+  let bloated =
+    List.fold_left
+      (fun acc o ->
+        match Kconfig.enable acc o with Ok c -> c | Error _ -> acc)
+      base
+      [ "CONFIG_INET"; "CONFIG_IPV6"; "CONFIG_NETFILTER";
+        "CONFIG_DRIVERS_SOUND_PILE"; "CONFIG_EXT4_FS" ]
+  in
+  let pruned, iterations = Kconfig.prune ~platform:Kt.Xen_pv ~app:"iperf"
+      bloated in
+  Alcotest.(check bool) "iterations ran" true (iterations > 0);
+  Alcotest.(check bool) "sound pile pruned" false
+    (Kconfig.is_enabled pruned "CONFIG_DRIVERS_SOUND_PILE");
+  Alcotest.(check bool) "ipv6 pruned" false
+    (Kconfig.is_enabled pruned "CONFIG_IPV6");
+  Alcotest.(check bool) "still boots" true
+    (Kconfig.boots pruned ~platform:Kt.Xen_pv ~app:"iperf");
+  Alcotest.(check bool) "smaller" true
+    (Kconfig.image_kb pruned < Kconfig.image_kb bloated)
+
+let prop_prune_preserves_boot =
+  QCheck.Test.make ~name:"pruning never breaks the boot test" ~count:40
+    (QCheck.make
+       (QCheck.Gen.oneofl
+          [ "nginx"; "micropython"; "redis-server"; "iperf" ]))
+    (fun app ->
+      let base = Kconfig.for_platform Kt.Xen_pv in
+      let with_app =
+        List.fold_left
+          (fun acc o ->
+            match Kconfig.enable acc o with Ok c -> c | Error _ -> acc)
+          base (Data.app_required app)
+      in
+      let pruned, _ = Kconfig.prune ~platform:Kt.Xen_pv ~app with_app in
+      Kconfig.boots pruned ~platform:Kt.Xen_pv ~app
+      && Kconfig.image_kb pruned <= Kconfig.image_kb with_app)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end build *)
+
+let test_build_nginx () =
+  match Build.build (Build.spec ~app:"nginx" ()) with
+  | Error msg -> Alcotest.failf "build failed: %s" msg
+  | Ok report ->
+      let img = report.Build.image in
+      (* Paper Section 3.2: images of a few tens of MBs, ~30 MB RAM. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "disk %.1f MB in [5, 40]" img.Image.disk_mb)
+        true
+        (img.Image.disk_mb > 5. && img.Image.disk_mb < 40.);
+      Alcotest.(check bool)
+        (Printf.sprintf "mem %.1f MB in [10, 45]" img.Image.mem_mb)
+        true
+        (img.Image.mem_mb > 10. && img.Image.mem_mb < 45.);
+      Alcotest.(check bool) "kernel about half of debian" true
+        (report.Build.kernel_kb * 2 < report.Build.debian_kernel_kb + 400);
+      Alcotest.(check bool) "blacklist applied" true
+        (report.Build.blacklisted <> [])
+
+let test_build_no_app () =
+  match Build.build Build.default_spec with
+  | Error msg -> Alcotest.failf "build failed: %s" msg
+  | Ok report ->
+      Alcotest.(check bool) "smaller than nginx build" true
+        (match Build.build (Build.spec ~app:"nginx" ()) with
+        | Ok nginx ->
+            report.Build.distribution_kb < nginx.Build.distribution_kb
+        | Error _ -> false)
+
+let test_build_unknown_app () =
+  match Build.build (Build.spec ~app:"definitely-not-a-package" ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown app built"
+
+let test_build_prune_smaller () =
+  let build prune =
+    match
+      Build.build (Build.spec ~app:"micropython" ~prune_kernel:prune ())
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "build failed: %s" msg
+  in
+  let pruned = build true and unpruned = build false in
+  Alcotest.(check bool) "pruned kernel no larger" true
+    (pruned.Build.kernel_kb <= unpruned.Build.kernel_kb);
+  Alcotest.(check bool) "pruning iterated" true
+    (pruned.Build.prune_iterations > 0)
+
+let suites =
+  [
+    ( "tinyx.depsolve",
+      [
+        Alcotest.test_case "closure" `Quick test_closure;
+        Alcotest.test_case "unknown package" `Quick test_closure_unknown;
+        Alcotest.test_case "blacklist" `Quick
+          test_blacklist_drops_install_machinery;
+        Alcotest.test_case "whitelist" `Quick test_whitelist_overrides;
+        Alcotest.test_case "objdump libs" `Quick
+          test_objdump_libs_resolved;
+        QCheck_alcotest.to_alcotest prop_closure_is_closed;
+      ] );
+    ( "tinyx.overlay",
+      [ Alcotest.test_case "strips caches" `Quick test_overlay_strips_caches ]
+    );
+    ( "tinyx.kconfig",
+      [
+        Alcotest.test_case "platform options" `Quick test_kconfig_platform;
+        Alcotest.test_case "disable cascades" `Quick
+          test_kconfig_disable_cascades;
+        Alcotest.test_case "unknown option" `Quick
+          test_kconfig_enable_unknown;
+        Alcotest.test_case "paper size ratios" `Quick test_kconfig_sizes;
+        Alcotest.test_case "pruning loop" `Quick test_kconfig_prune;
+        QCheck_alcotest.to_alcotest prop_prune_preserves_boot;
+      ] );
+    ( "tinyx.build",
+      [
+        Alcotest.test_case "nginx image" `Quick test_build_nginx;
+        Alcotest.test_case "no-app image" `Quick test_build_no_app;
+        Alcotest.test_case "unknown app" `Quick test_build_unknown_app;
+        Alcotest.test_case "pruning shrinks" `Quick
+          test_build_prune_smaller;
+      ] );
+  ]

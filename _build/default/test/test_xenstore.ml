@@ -1,0 +1,791 @@
+(* Tests for the XenStore: paths, permissions, store semantics,
+   transactions, watches, wire protocol, logging and the server. *)
+
+module Engine = Lightvm_sim.Engine
+module Xs_path = Lightvm_xenstore.Xs_path
+module Xs_perms = Lightvm_xenstore.Xs_perms
+module Xs_store = Lightvm_xenstore.Xs_store
+module Xs_error = Lightvm_xenstore.Xs_error
+module Xs_transaction = Lightvm_xenstore.Xs_transaction
+module Xs_watch = Lightvm_xenstore.Xs_watch
+module Xs_wire = Lightvm_xenstore.Xs_wire
+module Xs_logging = Lightvm_xenstore.Xs_logging
+module Xs_server = Lightvm_xenstore.Xs_server
+module Xs_client = Lightvm_xenstore.Xs_client
+
+let in_sim f () = ignore (Engine.run f)
+
+let p = Xs_path.of_string
+
+let err : Xs_error.t Alcotest.testable =
+  Alcotest.testable Xs_error.pp ( = )
+
+let store_res ok = Alcotest.result ok err
+
+(* ------------------------------------------------------------------ *)
+(* Paths *)
+
+let test_path_parse () =
+  let t = p "/local/domain/0/name" in
+  Alcotest.(check (list string))
+    "segments"
+    [ "local"; "domain"; "0"; "name" ]
+    (Xs_path.segments t);
+  Alcotest.(check string) "round trip" "/local/domain/0/name"
+    (Xs_path.to_string t);
+  Alcotest.(check string) "root" "/" (Xs_path.to_string Xs_path.root);
+  Alcotest.(check int) "depth" 4 (Xs_path.depth t)
+
+let test_path_invalid () =
+  let bad s =
+    match Xs_path.of_string_opt s with
+    | Some _ -> Alcotest.failf "accepted bad path %S" s
+    | None -> ()
+  in
+  bad "relative/path";
+  bad "";
+  bad "/double//slash";
+  bad "/bad char";
+  bad ("/" ^ String.make 300 'a')
+
+let test_path_trailing_slash () =
+  Alcotest.(check string) "trailing slash tolerated" "/a/b"
+    (Xs_path.to_string (p "/a/b/"))
+
+let test_path_parent_basename () =
+  let t = p "/a/b/c" in
+  Alcotest.(check (option string))
+    "parent" (Some "/a/b")
+    (Option.map Xs_path.to_string (Xs_path.parent t));
+  Alcotest.(check (option string)) "basename" (Some "c") (Xs_path.basename t);
+  Alcotest.(check (option string))
+    "root has no parent" None
+    (Option.map Xs_path.to_string (Xs_path.parent Xs_path.root))
+
+let test_path_prefix () =
+  let check_prefix a b expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s prefix of %s" a b)
+      expected
+      (Xs_path.is_prefix (p a) ~of_:(p b))
+  in
+  check_prefix "/a" "/a/b/c" true;
+  check_prefix "/a/b/c" "/a/b/c" true;
+  check_prefix "/a/b/c" "/a" false;
+  check_prefix "/a/bb" "/a/b" false;
+  check_prefix "/" "/anything" true
+
+let test_path_special () =
+  let s = p "@introduceDomain" in
+  Alcotest.(check bool) "special" true (Xs_path.is_special s);
+  Alcotest.(check bool) "not prefix of normal" false
+    (Xs_path.is_prefix s ~of_:(p "/a"))
+
+let test_path_domain () =
+  Alcotest.(check string) "domain path" "/local/domain/7"
+    (Xs_path.to_string (Xs_path.domain_path 7))
+
+let prop_path_roundtrip =
+  let seg =
+    QCheck.Gen.(
+      string_size ~gen:(oneof [ char_range 'a' 'z'; char_range '0' '9' ])
+        (int_range 1 8))
+  in
+  let path_gen =
+    QCheck.Gen.(
+      map
+        (fun segs -> "/" ^ String.concat "/" segs)
+        (list_size (int_range 1 6) seg))
+  in
+  QCheck.Test.make ~name:"path to_string/of_string round-trips" ~count:200
+    (QCheck.make path_gen) (fun s ->
+      Xs_path.to_string (Xs_path.of_string s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Perms *)
+
+let test_perms_basics () =
+  let perms = Xs_perms.make ~owner:3 ~default:Xs_perms.Read () in
+  Alcotest.(check bool) "owner writes" true
+    (Xs_perms.can_write perms ~domid:3);
+  Alcotest.(check bool) "other reads" true (Xs_perms.can_read perms ~domid:5);
+  Alcotest.(check bool) "other cannot write" false
+    (Xs_perms.can_write perms ~domid:5);
+  Alcotest.(check bool) "dom0 writes anything" true
+    (Xs_perms.can_write perms ~domid:0)
+
+let test_perms_acl () =
+  let perms =
+    Xs_perms.grant (Xs_perms.owned_default 1) ~domid:4 Xs_perms.Write
+  in
+  Alcotest.(check bool) "acl write" true (Xs_perms.can_write perms ~domid:4);
+  Alcotest.(check bool) "acl no read" false
+    (Xs_perms.can_read perms ~domid:4);
+  Alcotest.(check bool) "others nothing" false
+    (Xs_perms.can_read perms ~domid:9)
+
+let test_perms_string () =
+  let perms =
+    Xs_perms.make ~owner:3 ~default:Xs_perms.None_
+      ~acl:[ (0, Xs_perms.Read); (5, Xs_perms.Both) ]
+      ()
+  in
+  let s = Xs_perms.to_string perms in
+  Alcotest.(check string) "encoding" "n3,r0,b5" s;
+  match Xs_perms.of_string s with
+  | None -> Alcotest.fail "failed to parse own encoding"
+  | Some parsed ->
+      Alcotest.(check bool) "round trip" true (Xs_perms.equal perms parsed)
+
+let test_perms_bad_string () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Xs_perms.of_string "x3,r0" = None);
+  Alcotest.(check bool) "empty rejected" true (Xs_perms.of_string "" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Store *)
+
+let test_store_read_write () =
+  let s = Xs_store.create () in
+  Alcotest.check (store_res Alcotest.unit) "write" (Ok ())
+    (Xs_store.write s ~caller:0 (p "/tool/test") "hello");
+  Alcotest.check (store_res Alcotest.string) "read back" (Ok "hello")
+    (Xs_store.read s ~caller:0 (p "/tool/test"));
+  Alcotest.check (store_res Alcotest.string) "missing" (Error Xs_error.ENOENT)
+    (Xs_store.read s ~caller:0 (p "/tool/absent"))
+
+let test_store_implicit_parents () =
+  let s = Xs_store.create () in
+  Alcotest.check (store_res Alcotest.unit) "deep write" (Ok ())
+    (Xs_store.write s ~caller:0 (p "/a/b/c/d") "v");
+  Alcotest.check
+    (store_res Alcotest.(list string))
+    "intermediate created" (Ok [ "c" ])
+    (Xs_store.directory s ~caller:0 (p "/a/b"))
+
+let test_store_directory () =
+  let s = Xs_store.create () in
+  List.iter
+    (fun name ->
+      match Xs_store.write s ~caller:0 (p ("/dir/" ^ name)) name with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write %s: %s" name (Xs_error.to_string e))
+    [ "zeta"; "alpha"; "mid" ];
+  Alcotest.check
+    (store_res Alcotest.(list string))
+    "sorted children"
+    (Ok [ "alpha"; "mid"; "zeta" ])
+    (Xs_store.directory s ~caller:0 (p "/dir"))
+
+let test_store_rm_subtree () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/x/y/z") "1");
+  ignore (Xs_store.write s ~caller:0 (p "/x/y2") "2");
+  let before = Xs_store.node_count s in
+  Alcotest.check (store_res Alcotest.unit) "rm" (Ok ())
+    (Xs_store.rm s ~caller:0 (p "/x/y"));
+  Alcotest.(check bool) "gone" false (Xs_store.exists s (p "/x/y/z"));
+  Alcotest.(check bool) "sibling kept" true (Xs_store.exists s (p "/x/y2"));
+  Alcotest.(check int) "count dropped by 2" (before - 2)
+    (Xs_store.node_count s);
+  Alcotest.check (store_res Alcotest.unit) "rm missing"
+    (Error Xs_error.ENOENT)
+    (Xs_store.rm s ~caller:0 (p "/x/y"))
+
+let test_store_rm_root_rejected () =
+  let s = Xs_store.create () in
+  Alcotest.check (store_res Alcotest.unit) "rm root" (Error Xs_error.EINVAL)
+    (Xs_store.rm s ~caller:0 Xs_path.root)
+
+let test_store_permissions () =
+  let s = Xs_store.create () in
+  (* Dom0 creates a node owned by domain 5. *)
+  ignore (Xs_store.write s ~caller:0 (p "/guest") "");
+  ignore
+    (Xs_store.set_perms s ~caller:0 (p "/guest")
+       (Xs_perms.owned_default 5));
+  Alcotest.check (store_res Alcotest.unit) "domain 5 writes" (Ok ())
+    (Xs_store.write s ~caller:5 (p "/guest/data") "mine");
+  Alcotest.check (store_res Alcotest.string) "domain 7 cannot read"
+    (Error Xs_error.EACCES)
+    (Xs_store.read s ~caller:7 (p "/guest/data"));
+  Alcotest.check (store_res Alcotest.unit) "domain 7 cannot write"
+    (Error Xs_error.EACCES)
+    (Xs_store.write s ~caller:7 (p "/guest/data") "stolen");
+  Alcotest.check (store_res Alcotest.unit)
+    "domain 7 cannot create under /guest" (Error Xs_error.EACCES)
+    (Xs_store.write s ~caller:7 (p "/guest/other") "x")
+
+let test_store_setperms_owner_only () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/n") "");
+  ignore (Xs_store.set_perms s ~caller:0 (p "/n") (Xs_perms.owned_default 5));
+  Alcotest.check (store_res Alcotest.unit) "non-owner rejected"
+    (Error Xs_error.EACCES)
+    (Xs_store.set_perms s ~caller:7 (p "/n")
+       (Xs_perms.owned_default 7));
+  Alcotest.check (store_res Alcotest.unit) "owner allowed" (Ok ())
+    (Xs_store.set_perms s ~caller:5 (p "/n")
+       (Xs_perms.make ~owner:5 ~default:Xs_perms.Read ()))
+
+let test_store_owned_count () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/g") "");
+  ignore (Xs_store.set_perms s ~caller:0 (p "/g") (Xs_perms.owned_default 3));
+  let base = Xs_store.owned_count s ~domid:3 in
+  ignore (Xs_store.write s ~caller:3 (p "/g/a/b") "v");
+  Alcotest.(check int) "two new nodes for domain 3" (base + 2)
+    (Xs_store.owned_count s ~domid:3);
+  ignore (Xs_store.rm s ~caller:3 (p "/g/a"));
+  Alcotest.(check int) "freed on rm" base (Xs_store.owned_count s ~domid:3)
+
+let test_store_mkdir_idempotent () =
+  let s = Xs_store.create () in
+  Alcotest.check (store_res Alcotest.unit) "mkdir" (Ok ())
+    (Xs_store.mkdir s ~caller:0 (p "/d"));
+  Alcotest.check (store_res Alcotest.unit) "mkdir again" (Ok ())
+    (Xs_store.mkdir s ~caller:0 (p "/d"))
+
+let test_store_generation () =
+  let s = Xs_store.create () in
+  let g0 = Xs_store.generation s in
+  ignore (Xs_store.write s ~caller:0 (p "/w") "1");
+  Alcotest.(check bool) "write bumps" true (Xs_store.generation s > g0);
+  let g1 = Xs_store.generation s in
+  ignore (Xs_store.read s ~caller:0 (p "/w"));
+  Alcotest.(check int) "read does not bump" g1 (Xs_store.generation s)
+
+let test_store_snapshot_isolation () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/orig") "before");
+  let view = Xs_store.of_snapshot (Xs_store.snapshot s) in
+  ignore (Xs_store.write view ~caller:0 (p "/orig") "changed");
+  ignore (Xs_store.write view ~caller:0 (p "/extra") "new");
+  Alcotest.check (store_res Alcotest.string) "original untouched"
+    (Ok "before")
+    (Xs_store.read s ~caller:0 (p "/orig"));
+  Alcotest.(check bool) "no leak" false (Xs_store.exists s (p "/extra"))
+
+let prop_store_node_count =
+  (* node_count always equals the actual size of the tree. *)
+  QCheck.Test.make ~name:"store node count consistent" ~count:100
+    QCheck.(
+      list
+        (pair (int_range 0 4)
+           (list_of_size Gen.(int_range 1 3) (int_range 0 5))))
+    (fun script ->
+      let s = Xs_store.create () in
+      List.iter
+        (fun (kind, segs) ->
+          let path =
+            List.fold_left
+              (fun acc seg -> acc ^ "/k" ^ string_of_int seg)
+              "" segs
+          in
+          let path = p (if path = "" then "/k0" else path) in
+          match kind with
+          | 0 | 1 | 2 -> ignore (Xs_store.write s ~caller:0 path "v")
+          | 3 -> ignore (Xs_store.mkdir s ~caller:0 path)
+          | _ -> ignore (Xs_store.rm s ~caller:0 path))
+        script;
+      match Xs_store.lookup s Xs_path.root with
+      | None -> false
+      | Some root ->
+          Xs_store.Node.subtree_size root = Xs_store.node_count s)
+
+(* ------------------------------------------------------------------ *)
+(* Transactions *)
+
+let test_tx_commit_applies () =
+  let s = Xs_store.create () in
+  let tx = Xs_transaction.start s ~id:1 in
+  Alcotest.check (store_res Alcotest.unit) "tx write" (Ok ())
+    (Xs_transaction.write tx ~caller:0 (p "/t/a") "1");
+  Alcotest.(check bool) "not yet visible" false (Xs_store.exists s (p "/t/a"));
+  (match Xs_transaction.commit tx ~into:s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "commit failed: %s" (Xs_error.to_string e));
+  Alcotest.check (store_res Alcotest.string) "visible after commit" (Ok "1")
+    (Xs_store.read s ~caller:0 (p "/t/a"))
+
+let test_tx_reads_own_writes () =
+  let s = Xs_store.create () in
+  let tx = Xs_transaction.start s ~id:1 in
+  ignore (Xs_transaction.write tx ~caller:0 (p "/t/x") "inner");
+  Alcotest.check (store_res Alcotest.string) "tx sees own write"
+    (Ok "inner")
+    (Xs_transaction.read tx ~caller:0 (p "/t/x"))
+
+let test_tx_conflict_detected () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/c") "0");
+  let tx = Xs_transaction.start s ~id:1 in
+  (* The transaction reads /c, then someone else changes it. *)
+  ignore (Xs_transaction.read tx ~caller:0 (p "/c"));
+  ignore (Xs_transaction.write tx ~caller:0 (p "/c2") "derived");
+  ignore (Xs_store.write s ~caller:0 (p "/c") "interference");
+  (match Xs_transaction.commit tx ~into:s with
+  | Error Xs_error.EAGAIN -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Xs_error.to_string e)
+  | Ok _ -> Alcotest.fail "conflicting commit succeeded");
+  Alcotest.(check bool) "aborted tx left no writes" false
+    (Xs_store.exists s (p "/c2"))
+
+let test_tx_unrelated_interference_ok () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/c") "0");
+  let tx = Xs_transaction.start s ~id:1 in
+  ignore (Xs_transaction.read tx ~caller:0 (p "/c"));
+  ignore (Xs_transaction.write tx ~caller:0 (p "/c2") "derived");
+  (* Unrelated write elsewhere must not break serialisability. *)
+  ignore (Xs_store.write s ~caller:0 (p "/elsewhere") "noise");
+  match Xs_transaction.commit tx ~into:s with
+  | Ok _ ->
+      Alcotest.check (store_res Alcotest.string) "write applied"
+        (Ok "derived")
+        (Xs_store.read s ~caller:0 (p "/c2"))
+  | Error e -> Alcotest.failf "spurious conflict: %s" (Xs_error.to_string e)
+
+let test_tx_write_write_conflict () =
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/ww") "0");
+  let tx = Xs_transaction.start s ~id:1 in
+  (* Read-modify-write inside the transaction. *)
+  ignore (Xs_transaction.read tx ~caller:0 (p "/ww"));
+  ignore (Xs_transaction.write tx ~caller:0 (p "/ww") "tx");
+  ignore (Xs_store.write s ~caller:0 (p "/ww") "other");
+  match Xs_transaction.commit tx ~into:s with
+  | Error Xs_error.EAGAIN -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Xs_error.to_string e)
+  | Ok _ -> Alcotest.fail "lost update not detected"
+
+let test_tx_writes_listed () =
+  let s = Xs_store.create () in
+  let tx = Xs_transaction.start s ~id:9 in
+  ignore (Xs_transaction.write tx ~caller:0 (p "/w/one") "1");
+  ignore (Xs_transaction.mkdir tx ~caller:0 (p "/w/two"));
+  Alcotest.(check (list string))
+    "modified paths in order" [ "/w/one"; "/w/two" ]
+    (List.map Xs_path.to_string (Xs_transaction.writes tx))
+
+(* ------------------------------------------------------------------ *)
+(* Watches *)
+
+let test_watch_matching () =
+  let w = Xs_watch.create () in
+  let fired = ref [] in
+  Xs_watch.add w ~owner:0 ~path:(p "/be/vif") ~token:"t1"
+    ~deliver:(fun e -> fired := ("t1", e.Xs_watch.event_path) :: !fired);
+  Xs_watch.add w ~owner:0 ~path:(p "/other") ~token:"t2"
+    ~deliver:(fun e -> fired := ("t2", e.Xs_watch.event_path) :: !fired);
+  let hits = Xs_watch.matching w ~modified:(p "/be/vif/3/0/state") in
+  Alcotest.(check int) "one match" 1 (List.length hits);
+  (match hits with
+  | [ (wpath, token, _) ] ->
+      Alcotest.(check string) "watch path" "/be/vif"
+        (Xs_path.to_string wpath);
+      Alcotest.(check string) "token" "t1" token
+  | _ -> Alcotest.fail "unexpected matches");
+  Alcotest.(check int) "no match elsewhere" 0
+    (List.length (Xs_watch.matching w ~modified:(p "/unrelated")))
+
+let test_watch_remove () =
+  let w = Xs_watch.create () in
+  Xs_watch.add w ~owner:2 ~path:(p "/a") ~token:"x" ~deliver:(fun _ -> ());
+  Xs_watch.add w ~owner:2 ~path:(p "/b") ~token:"y" ~deliver:(fun _ -> ());
+  Xs_watch.add w ~owner:3 ~path:(p "/c") ~token:"z" ~deliver:(fun _ -> ());
+  Alcotest.(check bool) "remove hit" true
+    (Xs_watch.remove w ~owner:2 ~path:(p "/a") ~token:"x");
+  Alcotest.(check bool) "remove miss" false
+    (Xs_watch.remove w ~owner:2 ~path:(p "/a") ~token:"x");
+  Alcotest.(check int) "remove owner" 1 (Xs_watch.remove_owner w ~owner:2);
+  Alcotest.(check int) "one left" 1 (Xs_watch.count w)
+
+let test_watch_special () =
+  let w = Xs_watch.create () in
+  Xs_watch.add w ~owner:0 ~path:(p "@releaseDomain") ~token:"r"
+    ~deliver:(fun _ -> ());
+  Alcotest.(check int) "special matches exactly" 1
+    (List.length (Xs_watch.matching w ~modified:(p "@releaseDomain")));
+  Alcotest.(check int) "not ordinary paths" 0
+    (List.length (Xs_watch.matching w ~modified:(p "/local")))
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol *)
+
+let test_wire_roundtrip () =
+  let buf =
+    Xs_wire.pack Xs_wire.Write ~req_id:7l ~tx_id:3l
+      [ "/local/domain/1/name"; "guest-1" ]
+  in
+  let header, args = Xs_wire.unpack buf in
+  Alcotest.(check bool) "op" true (header.Xs_wire.op = Xs_wire.Write);
+  Alcotest.(check int32) "req id" 7l header.Xs_wire.req_id;
+  Alcotest.(check int32) "tx id" 3l header.Xs_wire.tx_id;
+  Alcotest.(check (list string))
+    "args" [ "/local/domain/1/name"; "guest-1" ] args
+
+let test_wire_op_codes () =
+  (* Spot-check the real protocol numbers. *)
+  Alcotest.(check int) "READ" 2 (Xs_wire.op_to_int Xs_wire.Read);
+  Alcotest.(check int) "WRITE" 11 (Xs_wire.op_to_int Xs_wire.Write);
+  Alcotest.(check int) "WATCH_EVENT" 15
+    (Xs_wire.op_to_int Xs_wire.Watch_event);
+  List.iter
+    (fun i ->
+      match Xs_wire.op_of_int i with
+      | Some op -> Alcotest.(check int) "inverse" i (Xs_wire.op_to_int op)
+      | None -> Alcotest.failf "op %d not recognised" i)
+    (List.init 20 Fun.id)
+
+let test_wire_malformed () =
+  (try
+     ignore (Xs_wire.unpack_header (Bytes.create 4));
+     Alcotest.fail "short header accepted"
+   with Xs_wire.Malformed _ -> ());
+  try
+    ignore
+      (Xs_wire.pack Xs_wire.Write ~req_id:0l ~tx_id:0l
+         [ String.make 5000 'x' ]);
+    Alcotest.fail "oversized payload accepted"
+  with Xs_wire.Malformed _ -> ()
+
+let prop_wire_roundtrip =
+  let arg =
+    QCheck.Gen.(
+      string_size ~gen:(char_range 'a' 'z') (int_range 0 20))
+  in
+  QCheck.Test.make ~name:"wire pack/unpack round-trips" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 5) arg))
+    (fun args ->
+      let buf = Xs_wire.pack Xs_wire.Read ~req_id:1l ~tx_id:2l args in
+      let _, decoded = Xs_wire.unpack buf in
+      decoded = args)
+
+(* ------------------------------------------------------------------ *)
+(* Logging *)
+
+let test_logging_rotation () =
+  let log = Xs_logging.create ~rotate_lines:10 ~enabled:true () in
+  let rotations = ref 0 in
+  for _ = 1 to 25 do
+    if Xs_logging.log_access log ~lines:2 then incr rotations
+  done;
+  Alcotest.(check int) "rotations" 5 !rotations;
+  Alcotest.(check int) "totals" 50 (Xs_logging.total_lines log);
+  Alcotest.(check int) "counter matches" 5 (Xs_logging.rotations log)
+
+let test_logging_disabled () =
+  let log = Xs_logging.create ~rotate_lines:1 ~enabled:false () in
+  Alcotest.(check bool) "no rotation when disabled" false
+    (Xs_logging.log_access log ~lines:100);
+  Alcotest.(check int) "nothing recorded" 0 (Xs_logging.total_lines log)
+
+(* ------------------------------------------------------------------ *)
+(* Server *)
+
+let test_server_basic_ops =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      let t0 = Engine.now () in
+      (match Xs_server.op srv ~caller:0 (Xs_server.Write (p "/a", "1")) with
+      | Xs_server.Ok_unit -> ()
+      | _ -> Alcotest.fail "write failed");
+      (match Xs_server.op srv ~caller:0 (Xs_server.Read (p "/a")) with
+      | Xs_server.Ok_value v -> Alcotest.(check string) "value" "1" v
+      | _ -> Alcotest.fail "read failed");
+      Alcotest.(check bool) "ops cost simulated time" true
+        (Engine.now () > t0);
+      Alcotest.(check int) "two ops counted" 2 (Xs_server.counters srv).ops)
+
+let test_server_watch_fires =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      let events = ref [] in
+      ignore
+        (Xs_server.watch srv ~caller:0 ~path:(p "/be") ~token:"tok"
+           ~deliver:(fun e ->
+             events := Xs_path.to_string e.Xs_watch.event_path :: !events));
+      Engine.sleep 0.001;
+      (* Registration fires the watch once. *)
+      Alcotest.(check (list string)) "initial event" [ "/be" ] !events;
+      ignore (Xs_server.op srv ~caller:0 (Xs_server.Write (p "/be/vif/1", "x")));
+      Engine.sleep 0.001;
+      Alcotest.(check (list string))
+        "event for sub-path write" [ "/be/vif/1"; "/be" ] !events)
+
+let test_server_unwatch =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      let count = ref 0 in
+      ignore
+        (Xs_server.watch srv ~caller:0 ~path:(p "/w") ~token:"k"
+           ~deliver:(fun _ -> incr count));
+      Engine.sleep 0.001;
+      let after_initial = !count in
+      (match
+         Xs_server.op srv ~caller:0 (Xs_server.Unwatch (p "/w", "k"))
+       with
+      | Xs_server.Ok_unit -> ()
+      | _ -> Alcotest.fail "unwatch failed");
+      ignore (Xs_server.op srv ~caller:0 (Xs_server.Write (p "/w/x", "1")));
+      Engine.sleep 0.001;
+      Alcotest.(check int) "no events after unwatch" after_initial !count)
+
+let test_server_transaction_helper =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      let result =
+        Xs_server.transaction srv ~caller:0 (fun txid ->
+            (match
+               Xs_server.op srv ~caller:0 ~tx:txid
+                 (Xs_server.Write (p "/tx/a", "1"))
+             with
+            | Xs_server.Ok_unit -> ()
+            | _ -> Alcotest.fail "tx write failed");
+            Ok ())
+      in
+      Alcotest.(check bool) "committed" true (result = Ok ());
+      match Xs_server.op srv ~caller:0 (Xs_server.Read (p "/tx/a")) with
+      | Xs_server.Ok_value v -> Alcotest.(check string) "applied" "1" v
+      | _ -> Alcotest.fail "read after commit failed")
+
+let test_server_quota =
+  in_sim (fun () ->
+      let srv = Xs_server.create ~quota_nodes:3 () in
+      (* Give domain 9 a writable area. *)
+      ignore (Xs_server.op srv ~caller:0 (Xs_server.Mkdir (p "/g")));
+      ignore
+        (Xs_server.op srv ~caller:0
+           (Xs_server.Set_perms (p "/g", Xs_perms.owned_default 9)));
+      let write i =
+        Xs_server.op srv ~caller:9
+          (Xs_server.Write (p ("/g/n" ^ string_of_int i), "v"))
+      in
+      (match write 1 with
+      | Xs_server.Ok_unit -> ()
+      | _ -> Alcotest.fail "first write");
+      (match write 2 with
+      | Xs_server.Ok_unit -> ()
+      | _ -> Alcotest.fail "second write");
+      (* Domain 9 now owns /g + 2 nodes = 3 = quota. *)
+      match write 3 with
+      | Xs_server.Err Xs_error.EQUOTA -> ()
+      | _ -> Alcotest.fail "quota not enforced")
+
+let test_server_uniqueness_scan_cost =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      (* Populate N guests with names, then time another name write. *)
+      let populate n =
+        for i = 1 to n do
+          ignore
+            (Xs_server.op srv ~caller:0
+               (Xs_server.Write
+                  ( p (Printf.sprintf "/local/domain/%d/name" i),
+                    Printf.sprintf "guest-%d" i )))
+        done
+      in
+      let time_name_write i =
+        let t0 = Engine.now () in
+        ignore
+          (Xs_server.op srv ~caller:0
+             (Xs_server.Write
+                ( p (Printf.sprintf "/local/domain/%d/name" i),
+                  Printf.sprintf "guest-%d" i )));
+        Engine.now () -. t0
+      in
+      populate 10;
+      let cost_small = time_name_write 11 in
+      populate 200;
+      let cost_large = time_name_write 500 in
+      Alcotest.(check bool)
+        (Printf.sprintf "uniqueness scan grows (%g -> %g)" cost_small
+           cost_large)
+        true
+        (cost_large > cost_small *. 5.))
+
+let test_server_duplicate_name_rejected =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      ignore
+        (Xs_server.op srv ~caller:0
+           (Xs_server.Write (p "/local/domain/1/name", "dup")));
+      match
+        Xs_server.op srv ~caller:0
+          (Xs_server.Write (p "/local/domain/2/name", "dup"))
+      with
+      | Xs_server.Err Xs_error.EEXIST -> ()
+      | _ -> Alcotest.fail "duplicate name accepted")
+
+let test_server_concurrent_tx_conflict =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      ignore (Xs_server.op srv ~caller:0 (Xs_server.Write (p "/shared", "0")));
+      let get_txid () =
+        match Xs_server.op srv ~caller:0 Xs_server.Transaction_start with
+        | Xs_server.Ok_txid id -> id
+        | _ -> Alcotest.fail "tx start failed"
+      in
+      let tx1 = get_txid () in
+      let tx2 = get_txid () in
+      let bump tx =
+        match
+          Xs_server.op srv ~caller:0 ~tx (Xs_server.Read (p "/shared"))
+        with
+        | Xs_server.Ok_value v ->
+            let n = int_of_string v in
+            ignore
+              (Xs_server.op srv ~caller:0 ~tx
+                 (Xs_server.Write (p "/shared", string_of_int (n + 1))))
+        | _ -> Alcotest.fail "tx read failed"
+      in
+      bump tx1;
+      bump tx2;
+      (match
+         Xs_server.op srv ~caller:0 ~tx:tx1 (Xs_server.Transaction_end true)
+       with
+      | Xs_server.Ok_unit -> ()
+      | _ -> Alcotest.fail "first commit failed");
+      (match
+         Xs_server.op srv ~caller:0 ~tx:tx2 (Xs_server.Transaction_end true)
+       with
+      | Xs_server.Err Xs_error.EAGAIN -> ()
+      | _ -> Alcotest.fail "second commit should conflict");
+      Alcotest.(check int) "conflict counted" 1
+        (Xs_server.counters srv).tx_conflicts;
+      match Xs_server.op srv ~caller:0 (Xs_server.Read (p "/shared")) with
+      | Xs_server.Ok_value v -> Alcotest.(check string) "no lost update" "1" v
+      | _ -> Alcotest.fail "read failed")
+
+let test_server_wire_interface =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      let send op args =
+        Xs_server.handle_packet srv ~caller:0
+          (Xs_wire.pack op ~req_id:5l ~tx_id:0l args)
+      in
+      let _, _ = Xs_wire.unpack (send Xs_wire.Write [ "/wire/a"; "42" ]) in
+      let header, args = Xs_wire.unpack (send Xs_wire.Read [ "/wire/a" ]) in
+      Alcotest.(check bool) "read reply op" true
+        (header.Xs_wire.op = Xs_wire.Read);
+      Alcotest.(check int32) "req id echoed" 5l header.Xs_wire.req_id;
+      Alcotest.(check (list string)) "value" [ "42" ] args;
+      let header, args = Xs_wire.unpack (send Xs_wire.Read [ "/missing" ]) in
+      Alcotest.(check bool) "error op" true
+        (header.Xs_wire.op = Xs_wire.Error);
+      Alcotest.(check (list string)) "ENOENT" [ "ENOENT" ] args)
+
+let test_client_api =
+  in_sim (fun () ->
+      let srv = Xs_server.create () in
+      let c = Xs_client.connect srv ~domid:0 in
+      Xs_client.write c "/cl/x" "v";
+      Alcotest.(check string) "read" "v" (Xs_client.read c "/cl/x");
+      Alcotest.(check (option string))
+        "read_opt missing" None
+        (Xs_client.read_opt c "/cl/missing");
+      Xs_client.with_transaction c (fun txid ->
+          Xs_client.write c ~tx:txid "/cl/t1" "a";
+          Xs_client.write c ~tx:txid "/cl/t2" "b");
+      Alcotest.(check (list string))
+        "directory" [ "t1"; "t2"; "x" ]
+        (Xs_client.directory c "/cl");
+      Xs_client.rm c "/cl/x";
+      Alcotest.check_raises "read after rm"
+        (Xs_error.Error Xs_error.ENOENT) (fun () ->
+          ignore (Xs_client.read c "/cl/x"));
+      Alcotest.(check string) "domain path" "/local/domain/4"
+        (Xs_client.get_domain_path c 4))
+
+let suites =
+  [
+    ( "xenstore.path",
+      [
+        Alcotest.test_case "parse" `Quick test_path_parse;
+        Alcotest.test_case "invalid" `Quick test_path_invalid;
+        Alcotest.test_case "trailing slash" `Quick test_path_trailing_slash;
+        Alcotest.test_case "parent/basename" `Quick
+          test_path_parent_basename;
+        Alcotest.test_case "prefix" `Quick test_path_prefix;
+        Alcotest.test_case "special" `Quick test_path_special;
+        Alcotest.test_case "domain path" `Quick test_path_domain;
+        QCheck_alcotest.to_alcotest prop_path_roundtrip;
+      ] );
+    ( "xenstore.perms",
+      [
+        Alcotest.test_case "basics" `Quick test_perms_basics;
+        Alcotest.test_case "acl" `Quick test_perms_acl;
+        Alcotest.test_case "string round trip" `Quick test_perms_string;
+        Alcotest.test_case "bad strings" `Quick test_perms_bad_string;
+      ] );
+    ( "xenstore.store",
+      [
+        Alcotest.test_case "read/write" `Quick test_store_read_write;
+        Alcotest.test_case "implicit parents" `Quick
+          test_store_implicit_parents;
+        Alcotest.test_case "directory" `Quick test_store_directory;
+        Alcotest.test_case "rm subtree" `Quick test_store_rm_subtree;
+        Alcotest.test_case "rm root rejected" `Quick
+          test_store_rm_root_rejected;
+        Alcotest.test_case "permissions" `Quick test_store_permissions;
+        Alcotest.test_case "set_perms owner only" `Quick
+          test_store_setperms_owner_only;
+        Alcotest.test_case "owned counts" `Quick test_store_owned_count;
+        Alcotest.test_case "mkdir idempotent" `Quick
+          test_store_mkdir_idempotent;
+        Alcotest.test_case "generation" `Quick test_store_generation;
+        Alcotest.test_case "snapshot isolation" `Quick
+          test_store_snapshot_isolation;
+        QCheck_alcotest.to_alcotest prop_store_node_count;
+      ] );
+    ( "xenstore.transaction",
+      [
+        Alcotest.test_case "commit applies" `Quick test_tx_commit_applies;
+        Alcotest.test_case "reads own writes" `Quick
+          test_tx_reads_own_writes;
+        Alcotest.test_case "conflict detected" `Quick
+          test_tx_conflict_detected;
+        Alcotest.test_case "unrelated interference ok" `Quick
+          test_tx_unrelated_interference_ok;
+        Alcotest.test_case "write-write conflict" `Quick
+          test_tx_write_write_conflict;
+        Alcotest.test_case "writes listed" `Quick test_tx_writes_listed;
+      ] );
+    ( "xenstore.watch",
+      [
+        Alcotest.test_case "matching" `Quick test_watch_matching;
+        Alcotest.test_case "remove" `Quick test_watch_remove;
+        Alcotest.test_case "special paths" `Quick test_watch_special;
+      ] );
+    ( "xenstore.wire",
+      [
+        Alcotest.test_case "round trip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "op codes" `Quick test_wire_op_codes;
+        Alcotest.test_case "malformed" `Quick test_wire_malformed;
+        QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+      ] );
+    ( "xenstore.logging",
+      [
+        Alcotest.test_case "rotation" `Quick test_logging_rotation;
+        Alcotest.test_case "disabled" `Quick test_logging_disabled;
+      ] );
+    ( "xenstore.server",
+      [
+        Alcotest.test_case "basic ops" `Quick test_server_basic_ops;
+        Alcotest.test_case "watch fires" `Quick test_server_watch_fires;
+        Alcotest.test_case "unwatch" `Quick test_server_unwatch;
+        Alcotest.test_case "transaction helper" `Quick
+          test_server_transaction_helper;
+        Alcotest.test_case "quota" `Quick test_server_quota;
+        Alcotest.test_case "uniqueness scan cost" `Quick
+          test_server_uniqueness_scan_cost;
+        Alcotest.test_case "duplicate name rejected" `Quick
+          test_server_duplicate_name_rejected;
+        Alcotest.test_case "concurrent tx conflict" `Quick
+          test_server_concurrent_tx_conflict;
+        Alcotest.test_case "wire interface" `Quick
+          test_server_wire_interface;
+        Alcotest.test_case "client api" `Quick test_client_api;
+      ] );
+  ]

@@ -1,0 +1,162 @@
+(* Model-based property test: random operation sequences against a
+   reference model (a flat path->value map with explicit parent
+   tracking), checking that the real tree store agrees on every
+   observable. *)
+
+module Xs_path = Lightvm_xenstore.Xs_path
+module Xs_store = Lightvm_xenstore.Xs_store
+module Xs_error = Lightvm_xenstore.Xs_error
+
+module SMap = Map.Make (String)
+
+(* The reference model: a set of existing paths with values. All ops run
+   as Dom0, so permissions do not constrain the model. *)
+module Model = struct
+  type t = string SMap.t (* path -> value; "" for directories *)
+
+  let initial : t =
+    SMap.of_seq
+      (List.to_seq
+         [ ("/local", ""); ("/local/domain", ""); ("/tool", "");
+           ("/vm", "") ])
+
+  let parents path =
+    (* "/a/b/c" -> ["/a"; "/a/b"] *)
+    let segs = String.split_on_char '/' path in
+    let segs = List.filter (fun s -> s <> "") segs in
+    let rec go acc prefix = function
+      | [] | [ _ ] -> List.rev acc
+      | seg :: rest ->
+          let p = prefix ^ "/" ^ seg in
+          go (p :: acc) p rest
+    in
+    go [] "" segs
+
+  let write model path value =
+    let model =
+      List.fold_left
+        (fun m parent ->
+          if SMap.mem parent m then m else SMap.add parent "" m)
+        model (parents path)
+    in
+    SMap.add path value model
+
+  let mkdir model path =
+    if SMap.mem path model then model else write model path ""
+
+  let rm model path =
+    if not (SMap.mem path model) then None
+    else
+      Some
+        (SMap.filter
+           (fun p _ -> not (p = path || String.length p > String.length path
+                            && String.sub p 0 (String.length path + 1)
+                               = path ^ "/"))
+           model)
+
+  let read model path = SMap.find_opt path model
+
+  let children model path =
+    let prefix = if path = "/" then "/" else path ^ "/" in
+    SMap.fold
+      (fun p _ acc ->
+        if String.length p > String.length prefix
+           && String.sub p 0 (String.length prefix) = prefix
+           && not (String.contains_from p (String.length prefix) '/')
+        then
+          String.sub p (String.length prefix)
+            (String.length p - String.length prefix)
+          :: acc
+        else acc)
+      model []
+    |> List.sort compare
+
+  let count model = SMap.cardinal model + 1 (* + root *)
+end
+
+type op =
+  | Op_write of string * string
+  | Op_mkdir of string
+  | Op_rm of string
+  | Op_read of string
+  | Op_dir of string
+
+let op_gen =
+  let open QCheck.Gen in
+  let seg = oneofl [ "a"; "b"; "c"; "d" ] in
+  let path =
+    map
+      (fun segs -> "/" ^ String.concat "/" segs)
+      (list_size (int_range 1 4) seg)
+  in
+  let value = oneofl [ "x"; "y"; "longer-value"; "" ] in
+  frequency
+    [
+      (4, map2 (fun p v -> Op_write (p, v)) path value);
+      (2, map (fun p -> Op_mkdir p) path);
+      (2, map (fun p -> Op_rm p) path);
+      (3, map (fun p -> Op_read p) path);
+      (2, map (fun p -> Op_dir p) path);
+    ]
+
+let apply_both (store, model) op =
+  let p s = Xs_path.of_string s in
+  match op with
+  | Op_write (path, value) -> (
+      match Xs_store.write store ~caller:0 (p path) value with
+      | Ok () -> Ok (Model.write model path value)
+      | Error e -> Error (e, "write " ^ path))
+  | Op_mkdir path -> (
+      match Xs_store.mkdir store ~caller:0 (p path) with
+      | Ok () -> Ok (Model.mkdir model path)
+      | Error e -> Error (e, "mkdir " ^ path))
+  | Op_rm path -> (
+      let real = Xs_store.rm store ~caller:0 (p path) in
+      match (real, Model.rm model path) with
+      | Ok (), Some model' -> Ok model'
+      | Error Xs_error.ENOENT, None -> Ok model
+      | Ok (), None -> Error (Xs_error.EINVAL, "rm diverged (real ok)")
+      | Error e, Some _ -> Error (e, "rm diverged (model ok) " ^ path)
+      | Error _, None -> Ok model)
+  | Op_read path -> (
+      let real =
+        match Xs_store.read store ~caller:0 (p path) with
+        | Ok v -> Some v
+        | Error _ -> None
+      in
+      if real = Model.read model path then Ok model
+      else Error (Xs_error.EINVAL, "read diverged at " ^ path))
+  | Op_dir path -> (
+      let real =
+        match Xs_store.directory store ~caller:0 (p path) with
+        | Ok entries -> Some entries
+        | Error _ -> None
+      in
+      let expected =
+        if path <> "/" && Model.read model path = None then None
+        else Some (Model.children model path)
+      in
+      if real = expected then Ok model
+      else Error (Xs_error.EINVAL, "directory diverged at " ^ path))
+
+let prop_store_matches_model =
+  QCheck.Test.make ~name:"store agrees with a reference model" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) op_gen))
+    (fun ops ->
+      let store = Xs_store.create () in
+      let rec go model = function
+        | [] ->
+            (* Final structural check: node counts agree. *)
+            Model.count model = Xs_store.node_count store
+        | op :: rest -> (
+            match apply_both (store, model) op with
+            | Ok model' -> go model' rest
+            | Error (_, msg) -> QCheck.Test.fail_report msg)
+      in
+      go Model.initial ops)
+
+let suites =
+  [
+    ( "xenstore.model",
+      [ QCheck_alcotest.to_alcotest prop_store_matches_model ] );
+  ]
