@@ -54,7 +54,7 @@ let print_series ?(x_label = "N") (series : E.labelled list) =
         (fun x ->
           let cells =
             List.map
-              (fun l ->
+              (fun (l : E.labelled) ->
                 match Series.y_at l.E.series ~x with
                 | Some y -> Printf.sprintf "%24.2f" y
                 | None -> Printf.sprintf "%24s" "-")
@@ -65,162 +65,94 @@ let print_series ?(x_label = "N") (series : E.labelled list) =
 
 let print_table table = Format.printf "%a@." Table.pp table
 
+(* The single generic renderer: every experiment comes back as an
+   [E.result], whatever mix of series/tables/notes it produced. *)
+let print_result (r : E.result) =
+  print_series r.E.series;
+  List.iter print_table r.E.tables;
+  List.iter print_endline r.E.notes
+
 (* ------------------------------------------------------------------ *)
 
-let () =
-  Printf.printf "LightVM reproduction bench (scale: %s)\n" scale_name
+(* Every experiment dispatches through [E.registry]: one (id, scale,
+   paper-note) row per entry, rendered uniformly. [None] keeps the
+   experiment's own default scale. *)
+let experiments =
+  [
+    ("fig1", None, "~200 syscalls in 2002 growing to ~400 by 2017");
+    ("fig2", None, "linear, ~1 ms per MB (ramdisk-backed images)");
+    ( "fig4",
+      Some (pick ~quick:60 ~medium:400 ~full:1000),
+      "Debian 500ms create/1.5s boot; Tinyx 360/180ms; unikernel 80/3ms; \
+       Docker ~200ms; process 3.5ms" );
+    ( "fig5",
+      Some (pick ~quick:60 ~medium:400 ~full:1000),
+      "XenStore and device creation dominate; XenStore grows superlinearly"
+    );
+    ( "fig9",
+      Some (pick ~quick:80 ~medium:400 ~full:1000),
+      "xl 100ms->1s; chaos[XS] 15->80ms; +split max ~25ms; noxs 8-15ms; \
+       all: 4->4.1ms" );
+    ( "fig10",
+      Some (pick ~quick:300 ~medium:3000 ~full:8000),
+      "LightVM scales to 8000 guests; Docker ~150ms->1s and wedges ~3000"
+    );
+    ( "fig11",
+      Some (pick ~quick:60 ~medium:400 ~full:1000),
+      "unikernel ~4ms; Tinyx close to Docker (~150-250ms)" );
+    ( "fig12",
+      Some (pick ~quick:40 ~medium:200 ~full:1000),
+      "LightVM: save 30ms, restore 20ms, flat; xl: 128ms and 550ms" );
+    ( "fig13",
+      Some (pick ~quick:40 ~medium:200 ~full:1000),
+      "LightVM ~60ms regardless of load; xl grows into seconds" );
+    ( "fig14",
+      Some (pick ~quick:100 ~medium:400 ~full:1000),
+      "at 1000: Debian ~114GB, Tinyx ~27GB, Docker ~5GB, Minipython a \
+       bit above Docker" );
+    ( "fig15",
+      Some (pick ~quick:60 ~medium:200 ~full:1000),
+      "at 1000: Debian ~25%, Tinyx ~1%, unikernel/Docker near zero" );
+    ( "fig16a",
+      None,
+      "linear to 2.5Gbps @250 users; 4Gbps/4Mbps each @1000; RTT ~60ms" );
+    ( "fig16b",
+      Some (pick ~quick:60 ~medium:250 ~full:1000),
+      "median 13ms / p90 20ms at 25ms arrivals; long timeout tail at 10ms"
+    );
+    ( "fig16c",
+      None,
+      "bare metal and Tinyx saturate ~1.4 Kreq/s; unikernel ~1/5 (lwip)" );
+    ( "fig17",
+      Some (pick ~quick:100 ~medium:400 ~full:1000),
+      "overloaded host: XenStore path backs up more than noxs" );
+    ( "fig18",
+      Some (pick ~quick:100 ~medium:400 ~full:1000),
+      "concurrent VMs over time on the overloaded host" );
+    ( "ablation",
+      Some (pick ~quick:60 ~medium:300 ~full:1000),
+      "cxenstored much slower than oxenstored; disabling logging removes \
+       the spikes but not the growth" );
+    ("wan-migration", None, "ClickOS guest in ~150 ms");
+    ("pause", None, "must match container freeze/thaw");
+    ("headline", None, "");
+    ("tinyx", None, "");
+  ]
 
 let () =
-  section "Fig 1: syscall API growth"
-    "~200 syscalls in 2002 growing to ~400 by 2017";
-  let table, slope = E.fig1_syscall_growth () in
-  print_table table;
-  Printf.printf "growth: %.1f syscalls/year\n" slope
-
-let () =
-  section "Fig 2: boot time vs VM image size"
-    "linear, ~1 ms per MB (ramdisk-backed images)";
-  let series = E.fig2_boot_vs_image_size () in
-  Printf.printf "%10s %12s\n" "image MB" "boot ms";
+  Printf.printf "LightVM reproduction bench (scale: %s)\n" scale_name;
   List.iter
-    (fun (x, y) -> Printf.printf "%10.1f %12.1f\n" x y)
-    (Series.points series)
-
-let () =
-  let n = pick ~quick:60 ~medium:400 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 4: instantiation + boot, %d guests (xl)" n)
-    "Debian 500ms create/1.5s boot; Tinyx 360/180ms; unikernel 80/3ms; \
-     Docker ~200ms; process 3.5ms";
-  print_series (E.fig4_instantiation ~n ())
-
-let () =
-  let n = pick ~quick:60 ~medium:400 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 5: creation-time breakdown, %d Debian guests (xl)"
-       n)
-    "XenStore and device creation dominate; XenStore grows superlinearly";
-  print_series (E.fig5_breakdown ~n ~sample:(max 1 (n / 10)) ())
-
-let () =
-  let n = pick ~quick:80 ~medium:400 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 9: daytime unikernel creation, %d guests" n)
-    "xl 100ms->1s; chaos[XS] 15->80ms; +split max ~25ms; noxs 8-15ms; \
-     all: 4->4.1ms";
-  print_series (E.fig9_create_times ~n ())
-
-let () =
-  let vms = pick ~quick:300 ~medium:3000 ~full:8000 in
-  let containers = pick ~quick:300 ~medium:3000 ~full:3500 in
-  section
-    (Printf.sprintf "Fig 10: density on the 64-core AMD box (%d VMs)" vms)
-    "LightVM scales to 8000 guests; Docker ~150ms->1s and wedges ~3000";
-  print_series (E.fig10_density ~vms ~containers ())
-
-let () =
-  let n = pick ~quick:60 ~medium:400 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 11: boot times over LightVM vs Docker (%d)" n)
-    "unikernel ~4ms; Tinyx close to Docker (~150-250ms)";
-  print_series (E.fig11_boot_compare ~n ())
-
-let () =
-  let n = pick ~quick:40 ~medium:200 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 12: save/restore with %d running guests" n)
-    "LightVM: save 30ms, restore 20ms, flat; xl: 128ms and 550ms";
-  let save, restore = E.fig12_checkpoint ~n () in
-  Printf.printf "-- save --\n";
-  print_series save;
-  Printf.printf "-- restore --\n";
-  print_series restore
-
-let () =
-  let n = pick ~quick:40 ~medium:200 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 13: migration with %d running guests" n)
-    "LightVM ~60ms regardless of load; xl grows into seconds";
-  print_series (E.fig13_migration ~n ())
-
-let () =
-  let n = pick ~quick:100 ~medium:400 ~full:1000 in
-  section (Printf.sprintf "Fig 14: memory usage, %d instances" n)
-    "at 1000: Debian ~114GB, Tinyx ~27GB, Docker ~5GB, Minipython \
-     a bit above Docker";
-  print_series (E.fig14_memory ~n ~sample:(max 1 (n / 10)) ())
-
-let () =
-  let n = pick ~quick:60 ~medium:200 ~full:1000 in
-  section (Printf.sprintf "Fig 15: idle CPU utilisation, %d instances" n)
-    "at 1000: Debian ~25%, Tinyx ~1%, unikernel/Docker near zero";
-  print_series
-    (E.fig15_cpu_usage ~n ~sample:(max 1 (n / 4)) ())
-
-let () =
-  section "Fig 16a: personal firewalls"
-    "linear to 2.5Gbps @250 users; 4Gbps/4Mbps each @1000; RTT ~60ms";
-  print_table (E.fig16a_firewall ())
-
-let () =
-  let clients = pick ~quick:60 ~medium:250 ~full:1000 in
-  section
-    (Printf.sprintf "Fig 16b: JIT service instantiation (%d clients)"
-       clients)
-    "median 13ms / p90 20ms at 25ms arrivals; long timeout tail at 10ms";
-  List.iter
-    (fun (l : E.labelled) ->
-      let cdf = l.E.series in
-      let q frac =
-        let pts = Series.points cdf in
-        match List.find_opt (fun (_, f) -> f >= frac) pts with
-        | Some (x, _) -> x
-        | None -> nan
+    (fun (id, n, note) ->
+      let run =
+        match E.find ?n id with
+        | Some run -> run
+        | None -> failwith ("bench: unknown experiment " ^ id)
       in
-      Printf.printf
-        "  arrivals %-7s median %8.1f ms   p90 %8.1f ms   p99 %10.1f ms\n"
-        l.E.label (q 0.5) (q 0.9) (q 0.99))
-    (E.fig16b_jit ~clients ())
-
-let () =
-  section "Fig 16c: TLS termination throughput"
-    "bare metal and Tinyx saturate ~1.4 Kreq/s; unikernel ~1/5 (lwip)";
-  print_series ~x_label:"instances" (E.fig16c_tls ())
-
-let () =
-  let requests = pick ~quick:100 ~medium:400 ~full:1000 in
-  section
-    (Printf.sprintf "Figs 17/18: lambda compute service (%d requests)"
-       requests)
-    "overloaded host: XenStore path backs up more than noxs";
-  let service, concurrency = E.fig17_18_lambda ~requests () in
-  Printf.printf "-- Fig 17: service time of the nth request (s) --\n";
-  print_series ~x_label:"request" service;
-  Printf.printf "-- Fig 18: concurrent VMs over time --\n";
-  print_series ~x_label:"t (s)" concurrency
-
-let () =
-  let n = pick ~quick:60 ~medium:300 ~full:1000 in
-  section
-    (Printf.sprintf "Ablation: XenStore implementation (%d guests)" n)
-    "cxenstored much slower than oxenstored; disabling logging removes \
-     the spikes but not the growth";
-  print_series (E.ablation_xenstore ~n ())
-
-let () =
-  section "Migration over a 1 Gbps / 10 ms link"
-    "ClickOS guest in ~150 ms";
-  print_table (E.wan_migration ())
-
-let () =
-  section "Pause/unpause (Section 2 requirement)"
-    "must match container freeze/thaw";
-  print_table (E.pause_unpause ())
-
-let () =
-  section "Headline numbers" "";
-  print_table (E.headline_numbers ());
-  print_table (E.tinyx_table ())
+      (match n with
+      | Some n -> section (Printf.sprintf "%s (n = %d)" id n) note
+      | None -> section id note);
+      print_result (run ()))
+    experiments
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the real (wall-clock) cost of the

@@ -14,85 +14,109 @@ module Table = Lightvm_metrics.Table
 module Image = Lightvm_guest.Image
 module Mode = Lightvm_toolstack.Mode
 module Create = Lightvm_toolstack.Create
+module Trace = Lightvm_trace.Trace
+module Trace_export = Lightvm_trace.Trace_export
 
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
 (* Shared printing *)
 
-let print_labelled (series : E.labelled list) =
+let print_labelled (l : E.labelled) =
+  Printf.printf "# %s\n" l.E.label;
   List.iter
-    (fun l ->
-      Printf.printf "# %s\n" l.E.label;
-      List.iter
-        (fun (x, y) -> Printf.printf "%g\t%.3f\n" x y)
-        (Series.points l.E.series);
-      print_newline ())
-    series
+    (fun (x, y) -> Printf.printf "%g\t%.3f\n" x y)
+    (Series.points l.E.series);
+  print_newline ()
 
 let print_table t = Format.printf "%a@." Table.pp t
+
+(* The single generic renderer: every experiment comes back as an
+   [E.result], whatever mix of series/tables/notes it produced. *)
+let print_result (r : E.result) =
+  List.iter print_labelled r.E.series;
+  List.iter print_table r.E.tables;
+  List.iter print_endline r.E.notes
 
 (* ------------------------------------------------------------------ *)
 (* figure *)
 
-let figures =
-  [ "fig1"; "fig2"; "fig4"; "fig5"; "fig9"; "fig10"; "fig11"; "fig12";
-    "fig13"; "fig14"; "fig15"; "fig16a"; "fig16b"; "fig16c"; "fig17";
-    "fig18" ]
-
-let run_figure id n =
-  match id with
-  | "fig1" ->
-      let table, slope = E.fig1_syscall_growth () in
-      print_table table;
-      Printf.printf "growth: %.1f syscalls/year\n" slope
-  | "fig2" ->
-      let s = E.fig2_boot_vs_image_size () in
-      List.iter
-        (fun (x, y) -> Printf.printf "%g\t%.2f\n" x y)
-        (Series.points s)
-  | "fig4" -> print_labelled (E.fig4_instantiation ~n ())
-  | "fig5" -> print_labelled (E.fig5_breakdown ~n ())
-  | "fig9" -> print_labelled (E.fig9_create_times ~n ())
-  | "fig10" -> print_labelled (E.fig10_density ~vms:n ~containers:n ())
-  | "fig11" -> print_labelled (E.fig11_boot_compare ~n ())
-  | "fig12" ->
-      let save, restore = E.fig12_checkpoint ~n () in
-      Printf.printf "## save\n";
-      print_labelled save;
-      Printf.printf "## restore\n";
-      print_labelled restore
-  | "fig13" -> print_labelled (E.fig13_migration ~n ())
-  | "fig14" -> print_labelled (E.fig14_memory ~n ())
-  | "fig15" -> print_labelled (E.fig15_cpu_usage ~n ())
-  | "fig16a" -> print_table (E.fig16a_firewall ())
-  | "fig16b" -> print_labelled (E.fig16b_jit ~clients:n ())
-  | "fig16c" -> print_labelled (E.fig16c_tls ())
-  | "fig17" -> print_labelled (fst (E.fig17_18_lambda ~requests:n ()))
-  | "fig18" -> print_labelled (snd (E.fig17_18_lambda ~requests:n ()))
-  | other ->
-      Printf.eprintf "unknown figure %S; try: %s\n" other
-        (String.concat " " figures);
+let lookup_experiment id n =
+  match E.find ?n id with
+  | Some run -> run
+  | None ->
+      Printf.eprintf "unknown experiment %S; try: %s\n" id
+        (String.concat " " E.names);
       exit 1
+
+(* Run an experiment with tracing on, dump the Chrome JSON if asked,
+   and print the plain-text attribution summaries. *)
+let run_traced id n trace_file buffer =
+  let run = lookup_experiment id n in
+  Trace.enable ~capacity:buffer ();
+  let r = run () in
+  Trace.disable ();
+  print_result r;
+  print_table (Trace_export.summary_table ());
+  print_table (Trace_export.charged_table ());
+  print_table (Trace_export.counters_table ());
+  match trace_file with
+  | None -> ()
+  | Some path -> (
+      match Trace_export.write_chrome_json path with
+      | () ->
+          Printf.printf
+            "trace: %d spans recorded (%d evicted), Chrome JSON in %s\n"
+            (Trace.span_count ()) (Trace.evicted ()) path
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write trace: %s\n" msg;
+          exit 1)
+
+let run_experiment id n trace_file =
+  match trace_file with
+  | Some _ -> run_traced id n trace_file 2_000_000
+  | None -> print_result (lookup_experiment id n ())
+
+let n_arg =
+  Arg.(value & opt (some int) None
+       & info [ "n" ] ~docv:"N"
+           ~doc:"Scale (guests/clients/requests, figure-dependent).")
+
+let trace_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON trace to $(docv) \
+                 (load in chrome://tracing or Perfetto).")
 
 let figure_cmd =
   let id =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"FIGURE" ~doc:"Figure id, e.g. fig9.")
   in
-  let n =
-    Arg.(value & opt int 200
-         & info [ "n" ] ~docv:"N"
-             ~doc:"Scale (guests/clients/requests, figure-dependent).")
-  in
   let doc = "Reproduce one of the paper's figures." in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const run_figure $ id $ n)
+    Term.(const run_experiment $ id $ n_arg $ trace_file_arg)
+
+let trace_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig5.")
+  in
+  let buffer =
+    Arg.(value & opt int 2_000_000
+         & info [ "buffer" ] ~docv:"SPANS"
+             ~doc:"Span ring-buffer capacity (oldest evicted beyond it).")
+  in
+  let doc =
+    "Run an experiment with the tracer on and print time attribution."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_traced $ id $ n_arg $ trace_file_arg $ buffer)
 
 let list_cmd =
-  let doc = "List the reproducible figures." in
+  let doc = "List the reproducible experiments." in
   Cmd.v (Cmd.info "list" ~doc)
-    Term.(const (fun () -> List.iter print_endline figures) $ const ())
+    Term.(const (fun () -> List.iter print_endline E.names) $ const ())
 
 let headline_cmd =
   let doc = "Print the abstract's headline numbers, paper vs measured." in
@@ -294,5 +318,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figure_cmd; list_cmd; headline_cmd; tinyx_cmd; minipy_cmd;
-            boot_cmd; xenstore_cmd ]))
+          [ figure_cmd; trace_cmd; list_cmd; headline_cmd; tinyx_cmd;
+            minipy_cmd; boot_cmd; xenstore_cmd ]))

@@ -728,3 +728,120 @@ let tinyx_table () =
             ])
     [ "nginx"; "micropython"; "redis-server"; "haproxy" ];
   table
+
+(* ------------------------------------------------------------------ *)
+(* Uniform result API: every experiment is reachable through [all] and
+   returns the same record, so front ends (CLI, bench) dispatch and
+   print generically instead of pattern-matching per-figure shapes. *)
+
+type result = {
+  name : string;
+  figure : string; (* paper figure or section, e.g. "Fig 5" *)
+  series : labelled list;
+  tables : Table.t list;
+  notes : string list;
+}
+
+let result ?(series = []) ?(tables = []) ?(notes = []) ~figure name =
+  { name; figure; series; tables; notes }
+
+let relabel suffix l = { l with label = l.label ^ " " ^ suffix }
+
+let registry ?n () =
+  [
+    ( "fig1",
+      fun () ->
+        let table, slope = fig1_syscall_growth () in
+        result ~figure:"Fig 1" ~tables:[ table ]
+          ~notes:[ Printf.sprintf "growth: %.1f syscalls/year" slope ]
+          "fig1" );
+    ( "fig2",
+      fun () ->
+        result ~figure:"Fig 2"
+          ~series:
+            [
+              {
+                label = "daytime create+boot vs image size";
+                series = fig2_boot_vs_image_size ();
+              };
+            ]
+          "fig2" );
+    ( "fig4",
+      fun () ->
+        result ~figure:"Fig 4" ~series:(fig4_instantiation ?n ()) "fig4" );
+    ( "fig5",
+      fun () -> result ~figure:"Fig 5" ~series:(fig5_breakdown ?n ()) "fig5"
+    );
+    ( "fig9",
+      fun () ->
+        result ~figure:"Fig 9" ~series:(fig9_create_times ?n ()) "fig9" );
+    ( "fig10",
+      fun () ->
+        result ~figure:"Fig 10"
+          ~series:(fig10_density ?vms:n ?containers:n ())
+          "fig10" );
+    ( "fig11",
+      fun () ->
+        result ~figure:"Fig 11" ~series:(fig11_boot_compare ?n ()) "fig11"
+    );
+    ( "fig12",
+      fun () ->
+        let save, restore = fig12_checkpoint ?n () in
+        result ~figure:"Fig 12"
+          ~series:
+            (List.map (relabel "save") save
+            @ List.map (relabel "restore") restore)
+          "fig12" );
+    ( "fig13",
+      fun () ->
+        result ~figure:"Fig 13" ~series:(fig13_migration ?n ()) "fig13" );
+    ( "fig14",
+      fun () -> result ~figure:"Fig 14" ~series:(fig14_memory ?n ()) "fig14"
+    );
+    ( "fig15",
+      fun () ->
+        result ~figure:"Fig 15" ~series:(fig15_cpu_usage ?n ()) "fig15" );
+    ( "fig16a",
+      fun () ->
+        result ~figure:"Fig 16a" ~tables:[ fig16a_firewall () ] "fig16a" );
+    ( "fig16b",
+      fun () ->
+        result ~figure:"Fig 16b" ~series:(fig16b_jit ?clients:n ()) "fig16b"
+    );
+    ( "fig16c",
+      fun () -> result ~figure:"Fig 16c" ~series:(fig16c_tls ()) "fig16c" );
+    ( "fig17",
+      fun () ->
+        result ~figure:"Fig 17"
+          ~series:(fst (fig17_18_lambda ?requests:n ()))
+          "fig17" );
+    ( "fig18",
+      fun () ->
+        result ~figure:"Fig 18"
+          ~series:(snd (fig17_18_lambda ?requests:n ()))
+          "fig18" );
+    ( "ablation",
+      fun () ->
+        result ~figure:"Sec 4.2 ablation" ~series:(ablation_xenstore ?n ())
+          "ablation" );
+    ( "pause",
+      fun () ->
+        result ~figure:"Sec 2" ~tables:[ pause_unpause () ] "pause" );
+    ( "wan-migration",
+      fun () ->
+        result ~figure:"Sec 7.1" ~tables:[ wan_migration () ]
+          "wan-migration" );
+    ( "headline",
+      fun () ->
+        result ~figure:"Abstract" ~tables:[ headline_numbers () ] "headline"
+    );
+    ( "tinyx",
+      fun () ->
+        result ~figure:"Sec 3.2" ~tables:[ tinyx_table () ] "tinyx" );
+  ]
+
+let all = registry ()
+
+let names = List.map fst all
+
+let find ?n name = List.assoc_opt name (registry ?n ())

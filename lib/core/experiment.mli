@@ -94,3 +94,30 @@ val headline_numbers : unit -> Table.t
 
 val tinyx_table : unit -> Table.t
 (** Section 3.2 build-system numbers for several applications. *)
+
+(** {1 Uniform result API}
+
+    Every experiment above is also reachable through {!all} (or {!find})
+    and returns the same {!result} record, so front ends dispatch and
+    render generically instead of pattern-matching per-figure shapes. *)
+
+type result = {
+  name : string;
+  figure : string;  (** paper figure or section, e.g. ["Fig 5"] *)
+  series : labelled list;
+  tables : Table.t list;
+  notes : string list;
+}
+
+val all : (string * (unit -> result)) list
+(** Experiments at their default (laptop-friendly) scales, keyed by
+    name ([fig1] ... [fig18], [ablation], [pause], [wan-migration],
+    [headline], [tinyx]). *)
+
+val names : string list
+
+val registry : ?n:int -> unit -> (string * (unit -> result)) list
+(** Like {!all} with the scale knob (guests/clients/requests — the
+    figure's dominant axis) overridden where the experiment has one. *)
+
+val find : ?n:int -> string -> (unit -> result) option

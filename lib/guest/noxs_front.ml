@@ -9,8 +9,8 @@ exception Connect_failed of string
 let map_device_page ~xen ~domid =
   let costs = Xen.costs xen in
   (* One hypercall to get the page address, one to map it. *)
-  Xen.hypercall xen ~cost:costs.Params.devpage_op;
-  Xen.hypercall xen ~cost:costs.Params.devpage_op;
+  Xen.hypercall ~op:"devpage_op" xen ~cost:costs.Params.devpage_op;
+  Xen.hypercall ~op:"devpage_op" xen ~cost:costs.Params.devpage_op;
   match Devpage.read (Xen.devpage xen) ~caller:domid ~domid with
   | Ok entries -> entries
   | Error _ -> raise (Connect_failed "no device page")
@@ -39,7 +39,7 @@ let connect ~xen ~ctrl ~domid (dev : Device.config) =
   let costs = Xen.costs xen in
   let entry = find_entry ~xen ~domid dev in
   (* Map the device control page shared by the backend. *)
-  Xen.hypercall xen ~cost:costs.Params.gnttab_op;
+  Xen.hypercall ~op:"gnttab_op" xen ~cost:costs.Params.gnttab_op;
   (match
      Gnttab.map (Xen.gnttab xen) ~grantee:domid
        ~owner:entry.Devpage.backend_domid entry.Devpage.grant_ref
@@ -55,7 +55,7 @@ let connect ~xen ~ctrl ~domid (dev : Device.config) =
     | None -> raise (Connect_failed "no control page registered")
   in
   (* Bind to the backend's event channel. *)
-  Xen.hypercall xen ~cost:costs.Params.evtchn_op;
+  Xen.hypercall ~op:"evtchn_op" xen ~cost:costs.Params.evtchn_op;
   let port =
     match
       Evtchn.bind_interdomain (Xen.evtchn xen) ~domid

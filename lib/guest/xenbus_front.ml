@@ -58,11 +58,11 @@ let connect ~xs ~xen ~domid (dev : Device.config) =
   let costs = Xen.costs xen in
   let gnt = Xen.gnttab xen in
   let ring_gref =
-    Xen.hypercall xen ~cost:costs.Params.gnttab_op;
+    Xen.hypercall ~op:"gnttab_op" xen ~cost:costs.Params.gnttab_op;
     Gnttab.grant_access gnt ~owner:domid ~grantee:backend_id ~frame:0
   in
   let port =
-    Xen.hypercall xen ~cost:costs.Params.evtchn_op;
+    Xen.hypercall ~op:"evtchn_op" xen ~cost:costs.Params.evtchn_op;
     Evtchn.alloc_unbound (Xen.evtchn xen) ~domid ~remote:backend_id
   in
   (* 3. Publish them and flip to Initialised. *)

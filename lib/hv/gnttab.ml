@@ -16,6 +16,7 @@ type t = {
 let create () = { table = Hashtbl.create 64; next_ref = Hashtbl.create 16 }
 
 let grant_access t ~owner ~grantee ~frame =
+  Lightvm_trace.Trace.Counter.incr "hv.gnttab_ops";
   let gref =
     Option.value ~default:8 (Hashtbl.find_opt t.next_ref owner)
   in
@@ -24,6 +25,7 @@ let grant_access t ~owner ~grantee ~frame =
   gref
 
 let map t ~grantee ~owner gref =
+  Lightvm_trace.Trace.Counter.incr "hv.gnttab_ops";
   match Hashtbl.find_opt t.table (owner, gref) with
   | None -> Error Invalid_ref
   | Some entry ->
@@ -34,6 +36,7 @@ let map t ~grantee ~owner gref =
       end
 
 let unmap t ~grantee ~owner gref =
+  Lightvm_trace.Trace.Counter.incr "hv.gnttab_ops";
   match Hashtbl.find_opt t.table (owner, gref) with
   | None -> Error Invalid_ref
   | Some entry ->

@@ -1,5 +1,6 @@
 module Engine = Lightvm_sim.Engine
 module Cpu = Lightvm_sim.Cpu
+module Trace = Lightvm_trace.Trace
 
 type error = ENOMEM | ENOENT | EINVAL
 
@@ -41,9 +42,14 @@ let guest_cores t =
     (Params.guest_cores t.platform)
     (fun i -> t.platform.Params.dom0_cores + i)
 
-let hypercall t ~cost =
+(* Every hypercall is one guest->hypervisor->guest round trip: two
+   privilege crossings. *)
+let hypercall ?(op = "hypercall") t ~cost =
   t.hypercalls <- t.hypercalls + 1;
-  Engine.sleep (t.costs.Params.hypercall_base +. cost)
+  Trace.Counter.incr "hv.hypercalls";
+  Trace.Counter.incr ~by:2 "hv.crossings";
+  Trace.Span.with_ ~category:"hv" op (fun () ->
+      Engine.sleep (t.costs.Params.hypercall_base +. cost))
 
 let boot ?(platform = Params.xeon_e5_1630) ?(costs = Params.default_costs)
     ?(dom0_mem_mb = 4096) () =
@@ -97,7 +103,7 @@ let overhead_kb t ~mem_kb =
 
 let create_domain t ~name ~vcpus ~mem_mb =
   let c = t.costs in
-  hypercall t
+  hypercall ~op:"domctl_create" t
     ~cost:
       (c.Params.domctl_create
       +. (float_of_int vcpus *. c.Params.vcpu_init));
@@ -136,7 +142,7 @@ let populate_memory t ~domid =
         | None -> Domain.max_mem_kb dom
       in
       let pages = mem_kb / t.costs.Params.page_size_kb in
-      hypercall t
+      hypercall ~op:"populate_physmap" t
         ~cost:(float_of_int pages *. t.costs.Params.per_page_populate);
       match Frames.alloc t.frames ~owner:domid ~kb:mem_kb with
       | Error Frames.ENOMEM -> Error ENOMEM
@@ -148,13 +154,13 @@ let populate_memory t ~domid =
 let load_image t ~domid ~size_mb =
   with_domain t ~domid (fun _dom ->
       let pages = Params.pages_of_mb_f t.costs size_mb in
-      hypercall t
+      hypercall ~op:"load_image" t
         ~cost:(float_of_int pages *. t.costs.Params.per_page_copy);
       Ok ())
 
 let unpause t ~domid =
   with_domain t ~domid (fun dom ->
-      hypercall t ~cost:5.0e-6;
+      hypercall ~op:"domctl_unpause" t ~cost:5.0e-6;
       match Domain.state dom with
       | Domain.Paused | Domain.Running ->
           Domain.set_state dom Domain.Running;
@@ -163,7 +169,7 @@ let unpause t ~domid =
 
 let pause t ~domid =
   with_domain t ~domid (fun dom ->
-      hypercall t ~cost:5.0e-6;
+      hypercall ~op:"domctl_pause" t ~cost:5.0e-6;
       match Domain.state dom with
       | Domain.Running | Domain.Paused ->
           Domain.set_state dom Domain.Paused;
@@ -172,7 +178,7 @@ let pause t ~domid =
 
 let shutdown t ~domid ~reason =
   with_domain t ~domid (fun dom ->
-      hypercall t ~cost:10.0e-6;
+      hypercall ~op:"sched_shutdown" t ~cost:10.0e-6;
       Domain.set_state dom (Domain.Shutdown reason);
       Ok ())
 
@@ -181,7 +187,7 @@ let destroy t ~domid =
   else
     with_domain t ~domid (fun dom ->
         Domain.set_state dom Domain.Dying;
-        hypercall t ~cost:t.costs.Params.domctl_destroy;
+        hypercall ~op:"domctl_destroy" t ~cost:t.costs.Params.domctl_destroy;
         ignore (Evtchn.close_all t.evtchn ~domid);
         Devpage.teardown t.devpage ~domid;
         ignore (Frames.free_all t.frames ~owner:domid);

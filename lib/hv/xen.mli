@@ -38,8 +38,9 @@ val devpage : t -> Devpage.t
 val hypercalls : t -> int
 (** Total hypercalls performed so far. *)
 
-val hypercall : t -> cost:float -> unit
-(** Charge one generic hypercall of the given extra cost. *)
+val hypercall : ?op:string -> t -> cost:float -> unit
+(** Charge one generic hypercall of the given extra cost. [op] names
+    the operation in the trace span (default ["hypercall"]). *)
 
 (** {1 Domain control} *)
 

@@ -6,6 +6,31 @@ type eng = {
 
 type token = (unit -> unit) Heap.entry * eng
 
+(* Process identity, for tracers: every [exec]'d process (the initial
+   [main] and every [spawn]) gets a small integer id; callbacks run as
+   pid 0 ("engine"). The hooks fire on process lifecycle transitions so
+   an external tracer can count spawns/parks/wakes without the engine
+   depending on it. *)
+type trace_hooks = {
+  on_spawn : pid:int -> name:string -> unit;
+  on_park : pid:int -> unit;
+  on_wake : pid:int -> unit;
+}
+
+let trace_hooks : trace_hooks option ref = ref None
+
+let set_trace_hooks h = trace_hooks := h
+
+let next_pid = ref 1
+
+let current_pid = ref 0
+
+let current_pname = ref "engine"
+
+let self_pid () = !current_pid
+
+let self_name () = !current_pname
+
 let current : eng option ref = ref None
 
 let get_eng () =
@@ -40,39 +65,64 @@ type _ Effect.t +=
 
 let suspend register = Effect.perform (Suspend register)
 
+(* Run [f] with the process identity set to [pid]/[name]; restores the
+   caller's identity on return (also on exception), so identity always
+   reflects whichever process the scheduler is actually executing. *)
+let as_process pid name f =
+  let saved_pid = !current_pid and saved_name = !current_pname in
+  current_pid := pid;
+  current_pname := name;
+  Fun.protect
+    ~finally:(fun () ->
+      current_pid := saved_pid;
+      current_pname := saved_name)
+    f
+
 (* Each process (the initial [main] and every [spawn]) runs under its own
    deep handler. A blocked process is represented solely by its captured
    continuation, stashed wherever [register] put the resume function. *)
 let exec name f =
   let open Effect.Deep in
-  match_with f ()
-    {
-      retc = (fun () -> ());
-      exnc =
-        (fun e ->
-          (match e with
-          | Stack_overflow | Out_of_memory -> ()
-          | _ ->
-              Printf.eprintf "Sim process %S raised: %s\n%!" name
-                (Printexc.to_string e));
-          raise e);
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Suspend register ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  let fired = ref false in
-                  register (fun v ->
-                      if !fired then
-                        invalid_arg
-                          "Sim.Engine: one-shot resume called twice";
-                      fired := true;
-                      let eng = get_eng () in
-                      ignore
-                        (schedule_at eng eng.clock (fun () -> continue k v))))
-          | _ -> None);
-    }
+  let pid = !next_pid in
+  incr next_pid;
+  (match !trace_hooks with Some h -> h.on_spawn ~pid ~name | None -> ());
+  as_process pid name (fun () ->
+      match_with f ()
+        {
+          retc = (fun () -> ());
+          exnc =
+            (fun e ->
+              (match e with
+              | Stack_overflow | Out_of_memory -> ()
+              | _ ->
+                  Printf.eprintf "Sim process %S raised: %s\n%!" name
+                    (Printexc.to_string e));
+              raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Suspend register ->
+                  Some
+                    (fun (k : (a, unit) continuation) ->
+                      (match !trace_hooks with
+                      | Some h -> h.on_park ~pid
+                      | None -> ());
+                      let fired = ref false in
+                      register (fun v ->
+                          if !fired then
+                            invalid_arg
+                              "Sim.Engine: one-shot resume called twice";
+                          fired := true;
+                          let eng = get_eng () in
+                          (match !trace_hooks with
+                          | Some h -> h.on_wake ~pid
+                          | None -> ());
+                          ignore
+                            (schedule_at eng eng.clock (fun () ->
+                                 as_process pid name (fun () ->
+                                     continue k v)))))
+              | _ -> None);
+        })
 
 let spawn ?(name = "anonymous") f =
   let eng = get_eng () in
@@ -94,6 +144,7 @@ let run ?until main =
   | None -> ());
   let eng = { clock = 0.; heap = Heap.create (); stopped = false } in
   current := Some eng;
+  next_pid := 1;
   Fun.protect
     ~finally:(fun () -> current := None)
     (fun () ->

@@ -43,6 +43,28 @@ val spawn : ?name:string -> (unit -> unit) -> unit
 (** Start a new process at the current time. [name] labels error
     messages. *)
 
+val self_pid : unit -> int
+(** Small integer id of the calling simulation process; pids are
+    allocated in spawn order starting from 1 ([main] is 1) and reset on
+    each {!run}. Returns 0 from non-process callbacks ({!after}/{!at}
+    thunks) and outside any simulation. *)
+
+val self_name : unit -> string
+(** Name of the calling process ("engine" outside any process). *)
+
+(** Lifecycle callbacks for an external tracer: [on_spawn] fires when a
+    process first executes, [on_park] when it blocks on {!suspend} (and
+    everything built on it), [on_wake] when its resume function is
+    called. The engine never depends on the tracer; hooks default to
+    [None]. *)
+type trace_hooks = {
+  on_spawn : pid:int -> name:string -> unit;
+  on_park : pid:int -> unit;
+  on_wake : pid:int -> unit;
+}
+
+val set_trace_hooks : trace_hooks option -> unit
+
 val after : float -> (unit -> unit) -> token
 (** Run a callback (not a blocking process) after a delay. The callback
     must not block; to start blocking work from a callback, [spawn]. *)

@@ -51,11 +51,11 @@ let complete_handshake t ~domid (dev : Device.config) xs =
       | Some gref, Some port ->
           let costs = Xen.costs t.xen in
           (* Map the ring and bind the channel. *)
-          Xen.hypercall t.xen ~cost:costs.Params.gnttab_op;
+          Xen.hypercall ~op:"gnttab_op" t.xen ~cost:costs.Params.gnttab_op;
           ignore
             (Gnttab.map (Xen.gnttab t.xen) ~grantee:dev.Device.backend_domid
                ~owner:domid (int_of_string gref));
-          Xen.hypercall t.xen ~cost:costs.Params.evtchn_op;
+          Xen.hypercall ~op:"evtchn_op" t.xen ~cost:costs.Params.evtchn_op;
           ignore
             (Evtchn.bind_interdomain (Xen.evtchn t.xen)
                ~domid:dev.Device.backend_domid ~remote:domid
@@ -98,7 +98,7 @@ let precreate_device t ~domid (dev : Device.config) =
   let costs = Xen.costs t.xen in
   (* Allocate the device control page and grant it to the guest. *)
   t.next_ctrl_frame <- t.next_ctrl_frame + 1;
-  Xen.hypercall t.xen ~cost:costs.Params.gnttab_op;
+  Xen.hypercall ~op:"gnttab_op" t.xen ~cost:costs.Params.gnttab_op;
   let gref =
     Gnttab.grant_access (Xen.gnttab t.xen)
       ~owner:dev.Device.backend_domid ~grantee:domid
@@ -109,7 +109,7 @@ let precreate_device t ~domid (dev : Device.config) =
       ~grant_ref:gref ~mac:(fresh_mac t)
   in
   (* Unbound event channel for the frontend to bind. *)
-  Xen.hypercall t.xen ~cost:costs.Params.evtchn_op;
+  Xen.hypercall ~op:"evtchn_op" t.xen ~cost:costs.Params.evtchn_op;
   let port =
     Evtchn.alloc_unbound (Xen.evtchn t.xen)
       ~domid:dev.Device.backend_domid ~remote:domid

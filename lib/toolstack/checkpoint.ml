@@ -35,7 +35,7 @@ let trigger_suspend ts (created : Create.created) =
        kicks the event channel. *)
     let costs = Xen.costs env.Create.xen in
     Xen.consume_dom0 env.Create.xen 60.0e-6;
-    Xen.hypercall env.Create.xen ~cost:costs.Params.evtchn_op
+    Xen.hypercall ~op:"evtchn_op" env.Create.xen ~cost:costs.Params.evtchn_op
   end;
   (* Guest-side quiesce: save internal state, unbind channels/pages. *)
   Guest.shutdown created.Create.guest;
@@ -60,12 +60,12 @@ let save ts created =
   let costs = Toolstack.costs ts in
   trigger_suspend ts created;
   (* Toolstack bookkeeping around the save. *)
-  Engine.sleep
+  Costs.charge ~category:"checkpoint.save_overhead"
     (if is_xl ts then costs.Costs.xl_save_overhead
      else costs.Costs.chaos_save_overhead);
   (* Dump guest memory to the ramdisk. *)
   let mem_mb = Create.effective_mem_mb env created.Create.config in
-  Engine.sleep (mem_mb /. costs.Costs.save_dump_mbps);
+  Costs.charge ~category:"checkpoint.dump" (mem_mb /. costs.Costs.save_dump_mbps);
   let saved = { (make_saved created) with sv_mem_mb = mem_mb } in
   detach_and_destroy ts created;
   saved
@@ -84,12 +84,13 @@ let restored_image (img : Image.t) =
 let rebuild ts saved ~skip_read =
   let env = Toolstack.env ts in
   let costs = Toolstack.costs ts in
-  Engine.sleep
+  Costs.charge ~category:"checkpoint.restore_overhead"
     (if is_xl ts then costs.Costs.xl_restore_overhead
      else costs.Costs.chaos_restore_overhead);
   if not skip_read then
     (* Read the dump back from the ramdisk. *)
-    Engine.sleep (saved.sv_mem_mb /. costs.Costs.restore_read_mbps);
+    Costs.charge ~category:"checkpoint.read"
+      (saved.sv_mem_mb /. costs.Costs.restore_read_mbps);
   (* Rebuild the domain and devices through the normal create pipeline,
      with a "restored" image so the guest reconnects instead of
      rebooting. *)
@@ -103,7 +104,7 @@ let restore ts saved = rebuild ts saved ~skip_read:false
 let suspend_for_transfer ts created =
   trigger_suspend ts created;
   let costs = Toolstack.costs ts in
-  Engine.sleep
+  Costs.charge ~category:"checkpoint.save_overhead"
     (if is_xl ts then costs.Costs.xl_save_overhead
      else costs.Costs.chaos_save_overhead);
   let env = Toolstack.env ts in

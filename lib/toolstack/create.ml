@@ -11,6 +11,7 @@ module Guest = Lightvm_guest.Guest
 module Image = Lightvm_guest.Image
 module Ctrl = Lightvm_guest.Ctrl
 module Xenbus_front = Lightvm_guest.Xenbus_front
+module Trace = Lightvm_trace.Trace
 
 type category =
   | Cat_parse
@@ -48,15 +49,23 @@ let breakdown_get b cat = b.(category_index cat)
 
 let breakdown_total b = Array.fold_left ( +. ) 0. b
 
-(* Attribute the wall-clock (simulated) duration of [f] to [cat]. *)
+(* Attribute the wall-clock (simulated) duration of [f] to [cat]. The
+   measurement comes from the tracer, so the Fig 5 breakdown is a
+   consumer of trace data: when tracing is on each measured slice also
+   lands in the span ring under the category's name. *)
 let timed (b : breakdown option) cat f =
   match b with
   | None -> f ()
   | Some b ->
-      let t0 = Engine.now () in
-      let r = f () in
-      b.(category_index cat) <- b.(category_index cat) +. (Engine.now () -. t0);
+      let r, dt =
+        Trace.timed ~category:(category_name cat) (category_name cat) f
+      in
+      b.(category_index cat) <- b.(category_index cat) +. dt;
       r
+
+(* One span per pipeline phase (category "create"); a no-op unless
+   tracing is enabled. *)
+let phase ?(attrs = []) name f = Trace.Span.with_ ~attrs ~category:"create" name f
 
 type env = {
   xen : Xen.t;
@@ -125,39 +134,58 @@ let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
   let b = breakdown in
   incr shell_counter;
   let shell_name = Printf.sprintf "chaos-shell-%d" !shell_counter in
-  (* Phase 1: hypervisor reservation. *)
+  let mode_attr = ("mode", Mode.name env.mode) in
+  (* Phase 1: hypervisor reservation. The domid only exists once the
+     reservation succeeds, so it is attached to the span after the fact. *)
+  let sp1 =
+    Trace.Span.begin_ ~attrs:[ mode_attr ] ~category:"create" "phase1:reserve"
+  in
   let dom =
-    timed b Cat_hypervisor (fun () ->
-        match Xen.create_domain env.xen ~name:shell_name ~vcpus ~mem_mb with
-        | Ok dom -> dom
-        | Error Xen.ENOMEM -> raise (Create_failed "out of memory")
-        | Error _ -> raise (Create_failed "domain creation failed"))
+    Fun.protect
+      ~finally:(fun () -> Trace.Span.end_ sp1)
+      (fun () ->
+        let dom =
+          timed b Cat_hypervisor (fun () ->
+              match
+                Xen.create_domain env.xen ~name:shell_name ~vcpus ~mem_mb
+              with
+              | Ok dom -> dom
+              | Error Xen.ENOMEM -> raise (Create_failed "out of memory")
+              | Error _ -> raise (Create_failed "domain creation failed"))
+        in
+        Trace.Span.add_attr sp1 "domid" (string_of_int (Domain.domid dom));
+        dom)
   in
   let domid = Domain.domid dom in
   Domain.set_shell dom true;
+  let attrs = [ ("domid", string_of_int domid); mode_attr ] in
   (* Phase 2: compute allocation. *)
-  timed b Cat_toolstack (fun () ->
-      Engine.sleep env.costs.Costs.compute_alloc);
+  phase ~attrs "phase2:compute_alloc" (fun () ->
+      timed b Cat_toolstack (fun () ->
+          Costs.charge ~category:"toolstack.compute_alloc"
+            env.costs.Costs.compute_alloc));
   (* Phase 3: memory reservation (set maxmem). *)
-  timed b Cat_hypervisor (fun () -> Xen.hypercall env.xen ~cost:8.0e-6);
-  (* Phase 4: memory preparation. *)
-  timed b Cat_hypervisor (fun () ->
-      match Xen.populate_memory env.xen ~domid with
-      | Ok () -> ()
-      | Error _ ->
-          ignore (Xen.destroy env.xen ~domid);
-          raise (Create_failed "out of memory populating guest RAM"));
-  (* XenStore skeleton for the domain. *)
-  if uses_xenstore env then
-    timed b Cat_xenstore (fun () ->
-        let dompath = Printf.sprintf "/local/domain/%d" domid in
-        Xs_client.mkdir env.xs dompath;
-        (* The guest owns its domain directory (libxl sets this so the
-           domain can populate its own subtree). *)
-        Xs_client.set_perms env.xs dompath
-          (Lightvm_xenstore.Xs_perms.make ~owner:domid ());
-        Xs_client.mkdir env.xs (dompath ^ "/device");
-        Xs_client.mkdir env.xs (dompath ^ "/control"));
+  phase ~attrs "phase3:set_maxmem" (fun () ->
+      timed b Cat_hypervisor (fun () ->
+          Xen.hypercall ~op:"set_maxmem" env.xen ~cost:8.0e-6));
+  (* Phase 4: memory preparation, plus the domain's XenStore skeleton. *)
+  phase ~attrs "phase4:populate" (fun () ->
+      timed b Cat_hypervisor (fun () ->
+          match Xen.populate_memory env.xen ~domid with
+          | Ok () -> ()
+          | Error _ ->
+              ignore (Xen.destroy env.xen ~domid);
+              raise (Create_failed "out of memory populating guest RAM"));
+      if uses_xenstore env then
+        timed b Cat_xenstore (fun () ->
+            let dompath = Printf.sprintf "/local/domain/%d" domid in
+            Xs_client.mkdir env.xs dompath;
+            (* The guest owns its domain directory (libxl sets this so
+               the domain can populate its own subtree). *)
+            Xs_client.set_perms env.xs dompath
+              (Lightvm_xenstore.Xs_perms.make ~owner:domid ());
+            Xs_client.mkdir env.xs (dompath ^ "/device");
+            Xs_client.mkdir env.xs (dompath ^ "/control")));
   (* Phase 5: device pre-creation. Under noxs every guest also gets
      the sysctl pseudo-device for power operations (Section 5.1). *)
   let devices =
@@ -166,47 +194,48 @@ let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
     @ (if uses_xenstore env then [] else [ Device.sysctl () ])
   in
   let s_devices =
-    List.map
-      (fun dev ->
-        if uses_xenstore env then begin
-          timed b Cat_xenstore (fun () ->
-              (* Backend directory skeleton + the backend's watch. The
-                 guest's frontend must be able to read the backend's
-                 nodes (state, mac). *)
-              let be = Device.backend_dir ~domid dev in
-              let guest_readable =
-                Lightvm_xenstore.Xs_perms.make ~owner:0
-                  ~acl:[ (domid, Lightvm_xenstore.Xs_perms.Read) ]
-                  ()
+    phase ~attrs "phase5:precreate_devices" (fun () ->
+        List.map
+          (fun dev ->
+            if uses_xenstore env then begin
+              timed b Cat_xenstore (fun () ->
+                  (* Backend directory skeleton + the backend's watch.
+                     The guest's frontend must be able to read the
+                     backend's nodes (state, mac). *)
+                  let be = Device.backend_dir ~domid dev in
+                  let guest_readable =
+                    Lightvm_xenstore.Xs_perms.make ~owner:0
+                      ~acl:[ (domid, Lightvm_xenstore.Xs_perms.Read) ]
+                      ()
+                  in
+                  Xs_client.mkdir env.xs be;
+                  Xs_client.set_perms env.xs be guest_readable;
+                  Xs_client.write env.xs (be ^ "/frontend-id")
+                    (string_of_int domid);
+                  Xs_client.set_perms env.xs (be ^ "/frontend-id")
+                    guest_readable;
+                  Xs_client.write env.xs (be ^ "/state")
+                    (Xenbus_front.state_to_wire Xenbus_front.Init_wait);
+                  Xs_client.set_perms env.xs (be ^ "/state") guest_readable;
+                  Backend.watch_device env.backend ~domid dev);
+              timed b Cat_devices (fun () ->
+                  Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
+                    ~costs:env.costs dev);
+              (dev, None)
+            end
+            else begin
+              let ids =
+                timed b Cat_devices (fun () ->
+                    let gref, port =
+                      Backend.precreate_device env.backend ~domid dev
+                    in
+                    Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
+                      ~costs:env.costs dev;
+                    (gref, port))
               in
-              Xs_client.mkdir env.xs be;
-              Xs_client.set_perms env.xs be guest_readable;
-              Xs_client.write env.xs (be ^ "/frontend-id")
-                (string_of_int domid);
-              Xs_client.set_perms env.xs (be ^ "/frontend-id")
-                guest_readable;
-              Xs_client.write env.xs (be ^ "/state")
-                (Xenbus_front.state_to_wire Xenbus_front.Init_wait);
-              Xs_client.set_perms env.xs (be ^ "/state") guest_readable;
-              Backend.watch_device env.backend ~domid dev);
-          timed b Cat_devices (fun () ->
-              Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
-                ~costs:env.costs dev);
-          (dev, None)
-        end
-        else begin
-          let ids =
-            timed b Cat_devices (fun () ->
-                let gref, port =
-                  Backend.precreate_device env.backend ~domid dev
-                in
-                Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
-                  ~costs:env.costs dev;
-                (gref, port))
-          in
-          (dev, Some ids)
-        end)
-      devices
+              (dev, Some ids)
+            end)
+          devices)
   in
   { s_domid = domid; s_mem_mb = mem_mb; s_vcpus = vcpus; s_nics = nics;
     s_disks = disks; s_devices }
@@ -273,7 +302,7 @@ let init_device_noxs env ~domid (dev : Device.config) ids =
   in
   (* One hypercall writes the entry into the domain's device page. *)
   let costs = Xen.costs env.xen in
-  Xen.hypercall env.xen ~cost:costs.Params.devpage_op;
+  Xen.hypercall ~op:"devpage_op" env.xen ~cost:costs.Params.devpage_op;
   (match
      Devpage.write_entry (Xen.devpage env.xen) ~caller:0 ~domid
        {
@@ -298,86 +327,97 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
     | Some dom -> dom
     | None -> raise (Create_failed "shell domain vanished")
   in
-  (* Toolstack bookkeeping (libxl: lock files, JSON state, event
-     machinery; chaos: a small in-memory record). *)
-  timed b Cat_toolstack (fun () ->
-      Engine.sleep
-        (if is_xl env then env.costs.Costs.xl_bookkeeping
-         else env.costs.Costs.chaos_bookkeeping));
-  (* Phase 6: configuration parsing. *)
+  let attrs =
+    [ ("domid", string_of_int domid); ("mode", Mode.name env.mode) ]
+  in
+  (* Phase 6: toolstack bookkeeping (libxl: lock files, JSON state,
+     event machinery; chaos: a small in-memory record) and
+     configuration parsing. *)
   let cfg =
-    timed b Cat_parse (fun () ->
-        match config_text with
-        | None ->
-            Engine.sleep env.costs.Costs.config_parse_base;
-            cfg
-        | Some text ->
-            Engine.sleep
-              (env.costs.Costs.config_parse_base
-              +. (float_of_int (String.length text)
-                  *. env.costs.Costs.config_parse_per_byte));
-            (match Vmconfig.parse text with
-            | Ok parsed -> parsed
-            | Error msg ->
-                raise (Create_failed ("config parse error: " ^ msg))))
+    phase ~attrs "phase6:parse" (fun () ->
+        timed b Cat_toolstack (fun () ->
+            Costs.charge ~category:"toolstack.bookkeeping"
+              (if is_xl env then env.costs.Costs.xl_bookkeeping
+               else env.costs.Costs.chaos_bookkeeping));
+        timed b Cat_parse (fun () ->
+            match config_text with
+            | None ->
+                Costs.charge ~category:"toolstack.config_parse"
+                  env.costs.Costs.config_parse_base;
+                cfg
+            | Some text ->
+                Costs.charge ~category:"toolstack.config_parse"
+                  (env.costs.Costs.config_parse_base
+                  +. (float_of_int (String.length text)
+                      *. env.costs.Costs.config_parse_per_byte));
+                (match Vmconfig.parse text with
+                | Ok parsed -> parsed
+                | Error msg ->
+                    raise (Create_failed ("config parse error: " ^ msg)))))
   in
   (* Phase 7: device initialization. *)
-  Domain.set_name dom cfg.Vmconfig.name;
-  Domain.set_shell dom false;
-  if uses_xenstore env then begin
-    (* libxl resolves names by scanning every guest, several times per
-       command. *)
-    timed b Cat_xenstore (fun () ->
-        for i = 1 to
-          (if is_xl env then env.costs.Costs.xl_name_scans
-           else env.costs.Costs.chaos_name_scans)
-        do
-          let names = scan_domain_names env in
-          if i = 1 && List.mem cfg.Vmconfig.name names then begin
-            ignore (Xen.destroy env.xen ~domid);
-            raise
-              (Create_failed
-                 ("domain already exists: " ^ cfg.Vmconfig.name))
-          end
-        done;
-        (* xl registers the guest name in the store, which triggers the
-           daemon's uniqueness scan over every running guest. chaos
-           leans on the paper's observation that "the name ... is kept
-           in the XenStore but is not needed during boot": it keeps the
-           name in the hypervisor record only. *)
-        if is_xl env then
-          Xs_client.write env.xs
-            (Printf.sprintf "/local/domain/%d/name" domid)
-            cfg.Vmconfig.name;
-        if is_xl env then begin
-          Xs_client.write_many env.xs (xl_extra_entries domid);
-          (* The xl daemon watches every guest's shutdown node to track
-             domain lifecycle — one more registry entry per VM that
-             every later write must be checked against. *)
-          Xs_client.watch env.xs
-            ~path:(Printf.sprintf "/local/domain/%d/control/shutdown"
-                     domid)
-            ~token:(Printf.sprintf "xl-shutdown-%d" domid)
-            ~deliver:(fun _ -> ())
-        end)
-  end;
   let noxs_grants =
-    if uses_xenstore env then begin
-      timed b Cat_xenstore (fun () ->
-          List.iter
-            (fun (dev, _) -> init_device_xenstore env ~domid dev)
-            shell.s_devices);
-      []
-    end
-    else
-      timed b Cat_devices (fun () ->
-          List.map
-            (fun (dev, ids) -> init_device_noxs env ~domid dev ids)
-            shell.s_devices)
+    phase ~attrs "phase7:init_devices" (fun () ->
+        Domain.set_name dom cfg.Vmconfig.name;
+        Domain.set_shell dom false;
+        if uses_xenstore env then begin
+          (* libxl resolves names by scanning every guest, several
+             times per command. *)
+          timed b Cat_xenstore (fun () ->
+              for i = 1 to
+                (if is_xl env then env.costs.Costs.xl_name_scans
+                 else env.costs.Costs.chaos_name_scans)
+              do
+                let names = scan_domain_names env in
+                if i = 1 && List.mem cfg.Vmconfig.name names then begin
+                  ignore (Xen.destroy env.xen ~domid);
+                  raise
+                    (Create_failed
+                       ("domain already exists: " ^ cfg.Vmconfig.name))
+                end
+              done;
+              (* xl registers the guest name in the store, which
+                 triggers the daemon's uniqueness scan over every
+                 running guest. chaos leans on the paper's observation
+                 that "the name ... is kept in the XenStore but is not
+                 needed during boot": it keeps the name in the
+                 hypervisor record only. *)
+              if is_xl env then
+                Xs_client.write env.xs
+                  (Printf.sprintf "/local/domain/%d/name" domid)
+                  cfg.Vmconfig.name;
+              if is_xl env then begin
+                Xs_client.write_many env.xs (xl_extra_entries domid);
+                (* The xl daemon watches every guest's shutdown node to
+                   track domain lifecycle — one more registry entry per
+                   VM that every later write must be checked against. *)
+                Xs_client.watch env.xs
+                  ~path:(Printf.sprintf "/local/domain/%d/control/shutdown"
+                           domid)
+                  ~token:(Printf.sprintf "xl-shutdown-%d" domid)
+                  ~deliver:(fun _ -> ())
+              end)
+        end;
+        let noxs_grants =
+          if uses_xenstore env then begin
+            timed b Cat_xenstore (fun () ->
+                List.iter
+                  (fun (dev, _) -> init_device_xenstore env ~domid dev)
+                  shell.s_devices);
+            []
+          end
+          else
+            timed b Cat_devices (fun () ->
+                List.map
+                  (fun (dev, ids) -> init_device_noxs env ~domid dev ids)
+                  shell.s_devices)
+        in
+        (if is_xl env then
+           timed b Cat_toolstack (fun () ->
+               Costs.charge ~category:"toolstack.console_setup"
+                 env.costs.Costs.xl_console_setup));
+        noxs_grants)
   in
-  if is_xl env then
-    timed b Cat_toolstack (fun () ->
-        Engine.sleep env.costs.Costs.xl_console_setup);
   (* Phase 8: image build — parse the kernel image and lay it out in
      guest memory (linear in image size; Figure 2). *)
   let image =
@@ -390,23 +430,26 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
             raise
               (Create_failed ("unknown kernel image: " ^ cfg.Vmconfig.kernel)))
   in
-  (if is_xl env then
-     match image.Image.kind with
-     | Image.Tinyx _ | Image.Debian ->
-         timed b Cat_toolstack (fun () ->
-             Engine.sleep env.costs.Costs.xl_pv_build_extra)
-     | Image.Unikernel _ -> ());
-  timed b Cat_load (fun () ->
-      match
-        Xen.load_image env.xen ~domid ~size_mb:image.Image.kernel_mb
-      with
-      | Ok () -> ()
-      | Error _ -> raise (Create_failed "image load failed"));
+  phase ~attrs "phase8:build" (fun () ->
+      (if is_xl env then
+         match image.Image.kind with
+         | Image.Tinyx _ | Image.Debian ->
+             timed b Cat_toolstack (fun () ->
+                 Costs.charge ~category:"toolstack.pv_build"
+                   env.costs.Costs.xl_pv_build_extra)
+         | Image.Unikernel _ -> ());
+      timed b Cat_load (fun () ->
+          match
+            Xen.load_image env.xen ~domid ~size_mb:image.Image.kernel_mb
+          with
+          | Ok () -> ()
+          | Error _ -> raise (Create_failed "image load failed")));
   (* Phase 9: boot. *)
-  timed b Cat_hypervisor (fun () ->
-      match Xen.unpause env.xen ~domid with
-      | Ok () -> ()
-      | Error _ -> raise (Create_failed "unpause failed"));
+  phase ~attrs "phase9:boot" (fun () ->
+      timed b Cat_hypervisor (fun () ->
+          match Xen.unpause env.xen ~domid with
+          | Ok () -> ()
+          | Error _ -> raise (Create_failed "unpause failed")));
   let devices = List.map fst shell.s_devices in
   let registry =
     if uses_xenstore env then

@@ -14,12 +14,13 @@ let migrate ~src ~dst (created : Create.created) =
   (* 1. Open the TCP connection and ship the configuration (several
      round trips: SYN, config, acknowledgements). *)
   let config_text = Vmconfig.to_string created.Create.config in
-  Engine.sleep
+  Costs.charge ~category:"migrate.handshake"
     ((float_of_int costs.Costs.migration_handshake_rtts
       *. costs.Costs.migration_rtt)
     +. (float_of_int (String.length config_text)
         /. (costs.Costs.migration_bw_mbps *. 1.0e6)));
-  Engine.sleep costs.Costs.migration_daemon_overhead;
+  Costs.charge ~category:"migrate.daemon"
+    costs.Costs.migration_daemon_overhead;
   (* 2. Suspend at the source (the destination's pre-creation happens
      while the source works, so only the longer of the two gates the
      migration; the daemon path is modelled sequentially here and its
@@ -31,7 +32,8 @@ let migrate ~src ~dst (created : Create.created) =
   (* 3. Stream guest memory over the wire. *)
   let t_transfer0 = Engine.now () in
   let mem_mb = Checkpoint.saved_mem_mb saved in
-  Engine.sleep (mem_mb /. costs.Costs.migration_bw_mbps);
+  Costs.charge ~category:"migrate.transfer"
+    (mem_mb /. costs.Costs.migration_bw_mbps);
   let t_transfer = Engine.now () -. t_transfer0 in
   (* 4. Resume on the destination (pre-creation + reconnect). *)
   let t_resume0 = Engine.now () in

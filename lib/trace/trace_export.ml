@@ -1,0 +1,151 @@
+module Table = Lightvm_metrics.Table
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON (load in chrome://tracing or Perfetto) *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let usec t = t *. 1e6
+
+let span_event buf (sp : Trace.span) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
+       (escape sp.Trace.sp_name)
+       (escape sp.Trace.sp_category)
+       (usec sp.Trace.sp_start)
+       (usec (Trace.duration sp))
+       sp.Trace.sp_tid);
+  (match sp.Trace.sp_attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        attrs;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let counter_event buf ~ts name value =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,\"args\":{\"value\":%d}}"
+       (escape name) (usec ts) value)
+
+let to_chrome_json () =
+  let spans = Trace.spans () in
+  let t_last =
+    List.fold_left (fun acc sp -> Float.max acc sp.Trace.sp_end) 0. spans
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  List.iter
+    (fun sp ->
+      sep ();
+      span_event buf sp)
+    spans;
+  List.iter
+    (fun (name, value) ->
+      sep ();
+      counter_event buf ~ts:t_last name value)
+    (Trace.Counter.all ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text top-down summaries *)
+
+let ms t = t *. 1e3
+
+type row = {
+  mutable n : int;
+  mutable total : float;
+  mutable self : float;
+}
+
+let summary_table () =
+  let by_cat : (string, row) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let r =
+        match Hashtbl.find_opt by_cat sp.Trace.sp_category with
+        | Some r -> r
+        | None ->
+            let r = { n = 0; total = 0.; self = 0. } in
+            Hashtbl.replace by_cat sp.Trace.sp_category r;
+            r
+      in
+      r.n <- r.n + 1;
+      r.total <- r.total +. Trace.duration sp;
+      r.self <- r.self +. sp.Trace.sp_self)
+    (Trace.spans ());
+  let rows = Hashtbl.fold (fun cat r acc -> (cat, r) :: acc) by_cat [] in
+  let rows =
+    List.sort (fun (_, a) (_, b) -> compare b.self a.self) rows
+  in
+  let grand_self = List.fold_left (fun acc (_, r) -> acc +. r.self) 0. rows in
+  let table =
+    Table.create ~title:"Trace summary: time attribution by span category"
+      ~columns:[ "category"; "spans"; "total ms"; "self ms"; "self %" ]
+  in
+  List.iter
+    (fun (cat, r) ->
+      Table.add_row table
+        [
+          cat;
+          string_of_int r.n;
+          Printf.sprintf "%.3f" (ms r.total);
+          Printf.sprintf "%.3f" (ms r.self);
+          (if grand_self > 0. then
+             Printf.sprintf "%.1f" (100. *. r.self /. grand_self)
+           else "-");
+        ])
+    rows;
+  table
+
+let charged_table () =
+  let table =
+    Table.create ~title:"Trace summary: virtual time charged by category"
+      ~columns:[ "category"; "charged ms" ]
+  in
+  List.iter
+    (fun (cat, t) ->
+      Table.add_row table [ cat; Printf.sprintf "%.3f" (ms t) ])
+    (Trace.charged ());
+  table
+
+let counters_table () =
+  let table =
+    Table.create ~title:"Trace counters" ~columns:[ "counter"; "count" ]
+  in
+  List.iter
+    (fun (name, v) -> Table.add_row table [ name; string_of_int v ])
+    (Trace.Counter.all ());
+  table

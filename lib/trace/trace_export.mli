@@ -1,0 +1,24 @@
+(** Exporters over the recorded trace (see {!Trace}).
+
+    [to_chrome_json] renders the span ring and counters in the Chrome
+    [trace_event] format — an object with a [traceEvents] array of
+    complete ("ph":"X") span events (timestamps in microseconds of
+    virtual time, one thread per simulation process) and counter
+    ("ph":"C") events — loadable in [chrome://tracing] or Perfetto.
+
+    The table exporters render plain-text top-down summaries via
+    {!Lightvm_metrics.Table}. *)
+
+val to_chrome_json : unit -> string
+
+val write_chrome_json : string -> unit
+(** [write_chrome_json path] writes {!to_chrome_json} output to [path]. *)
+
+val summary_table : unit -> Lightvm_metrics.Table.t
+(** Per-category span count, total and self time (total minus child
+    spans), sorted by self time — the top-down attribution view. *)
+
+val charged_table : unit -> Lightvm_metrics.Table.t
+(** Virtual time routed through [Trace.charge], per category. *)
+
+val counters_table : unit -> Lightvm_metrics.Table.t

@@ -1,5 +1,6 @@
 module Engine = Lightvm_sim.Engine
 module Resource = Lightvm_sim.Resource
+module Trace = Lightvm_trace.Trace
 
 type request =
   | Read of Xs_path.t
@@ -77,9 +78,9 @@ let store t = t.store
 let counters t = t.counters
 let watch_count t = Xs_watch.count t.watches
 
-let charge t cost =
+let charge ?(category = "xs") t cost =
   t.counters.busy_time <- t.counters.busy_time +. cost;
-  Engine.sleep cost
+  Xs_costs.charge ~category cost
 
 let request_payload_bytes = function
   | Read p | Mkdir p | Rm p | Directory p | Get_perms p ->
@@ -109,7 +110,7 @@ let charge_logging t =
           *. p.Xs_costs.log_rotate_per_file)
     else cost
   in
-  charge t cost
+  charge ~category:"xs.logging" t cost
 
 (* Writing a guest's name triggers the daemon's uniqueness check: scan
    every running guest and compare names (paper Section 4.2). *)
@@ -124,7 +125,7 @@ let uniqueness_scan t path value =
   match Xs_store.directory t.store ~caller:0 domain_dir with
   | Error _ -> Ok ()
   | Ok domids ->
-      charge t
+      charge ~category:"xs.name_scan" t
         (float_of_int (List.length domids) *. p.Xs_costs.per_dir_entry);
       let self =
         match Xs_path.segments path with
@@ -137,7 +138,7 @@ let uniqueness_scan t path value =
             if id = self then scan rest
             else begin
               t.counters.uniqueness_cmps <- t.counters.uniqueness_cmps + 1;
-              charge t p.Xs_costs.per_name_cmp;
+              charge ~category:"xs.name_scan" t p.Xs_costs.per_name_cmp;
               let name_path =
                 Xs_path.(domain_path (int_of_string id) / "name")
               in
@@ -153,13 +154,14 @@ let uniqueness_scan t path value =
    linear in registered watches), then deliver each match. *)
 let fire_watches t modified =
   let p = t.profile in
-  charge t
+  charge ~category:"xs.watch" t
     (float_of_int (Xs_watch.count t.watches) *. p.Xs_costs.per_watch_check);
   let hits = Xs_watch.matching t.watches ~modified in
   List.iter
     (fun (_wpath, token, deliver) ->
       t.counters.watch_events <- t.counters.watch_events + 1;
-      charge t p.Xs_costs.watch_fire;
+      Trace.Counter.incr "xs.watch_fires";
+      charge ~category:"xs.watch" t p.Xs_costs.watch_fire;
       let event = { Xs_watch.event_path = modified; token } in
       Engine.spawn ~name:"xs-watch-delivery" (fun () -> deliver event))
     hits
@@ -183,7 +185,7 @@ let do_plain t ~caller req =
   | Directory path -> (
       match Xs_store.directory t.store ~caller path with
       | Ok entries ->
-          charge t
+          charge ~category:"xs.dir" t
             (float_of_int (List.length entries) *. p.Xs_costs.per_dir_entry);
           Ok_list entries
       | Error e -> Err e)
@@ -260,13 +262,13 @@ let do_in_tx t ~caller tx req =
 
 let end_transaction t tx commit =
   let p = t.profile in
-  charge t p.Xs_costs.tx_commit;
+  charge ~category:"xs.tx" t p.Xs_costs.tx_commit;
   if not commit then begin
     Xs_transaction.abort tx;
     Ok_unit
   end
   else begin
-    charge t
+    charge ~category:"xs.tx" t
       (float_of_int (Xs_transaction.op_count tx)
       *. p.Xs_costs.tx_replay_per_op);
     match Xs_transaction.commit tx ~into:t.store with
@@ -283,7 +285,7 @@ let dispatch t ~caller ~tx req =
   let p = t.profile in
   match req with
   | Transaction_start ->
-      charge t p.Xs_costs.tx_start;
+      charge ~category:"xs.tx" t p.Xs_costs.tx_start;
       let txid = t.next_txid in
       t.next_txid <- t.next_txid + 1;
       if Hashtbl.length t.txs > 256 then Err Xs_error.EBUSY
@@ -341,27 +343,71 @@ let with_daemon t f =
       t.counters.ops <- t.counters.ops + 1;
       f ())
 
+let request_kind = function
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Mkdir _ -> "mkdir"
+  | Rm _ -> "rm"
+  | Directory _ -> "directory"
+  | Get_perms _ -> "get_perms"
+  | Set_perms _ -> "set_perms"
+  | Watch _ -> "watch"
+  | Unwatch _ -> "unwatch"
+  | Transaction_start -> "transaction_start"
+  | Transaction_end _ -> "transaction_end"
+  | Get_domain_path _ -> "get_domain_path"
+  | Introduce _ -> "introduce"
+  | Release _ -> "release"
+
+(* One span per dispatched request, plus the counters the paper cares
+   about: ops by type, softirqs and privilege crossings implied by the
+   request/ack message protocol. *)
+let traced_request t ~caller req f =
+  let kind = request_kind req in
+  let payload_bytes = request_payload_bytes req in
+  Trace.Counter.incr ("xs.op." ^ kind);
+  Trace.Counter.incr ~by:t.profile.Xs_costs.irqs_per_message "xs.softirqs";
+  Trace.Counter.incr ~by:t.profile.Xs_costs.crossings_per_message
+    "xs.crossings";
+  let cmps_before = t.counters.uniqueness_cmps in
+  let sp =
+    Trace.Span.begin_ ~category:"xs"
+      ~attrs:
+        [
+          ("caller", string_of_int caller);
+          ("payload_bytes", string_of_int payload_bytes);
+        ]
+      kind
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let cmps = t.counters.uniqueness_cmps - cmps_before in
+      if cmps > 0 then Trace.Span.add_attr sp "name_cmps" (string_of_int cmps);
+      Trace.Span.end_ sp)
+    (fun () ->
+      charge ~category:"xs.message" t
+        (Xs_costs.message_cost t.profile ~payload_bytes);
+      charge_logging t;
+      f ())
+
 let op t ~caller ?tx req =
   with_daemon t (fun () ->
-      charge t
-        (Xs_costs.message_cost t.profile
-           ~payload_bytes:(request_payload_bytes req));
-      charge_logging t;
-      dispatch t ~caller ~tx req)
+      traced_request t ~caller req (fun () -> dispatch t ~caller ~tx req))
 
 let watch t ~caller ~path ~token ~deliver =
   with_daemon t (fun () ->
-      charge t
-        (Xs_costs.message_cost t.profile
-           ~payload_bytes:(request_payload_bytes (Watch (path, token))));
-      charge_logging t;
-      Xs_watch.add t.watches ~owner:caller ~path ~token ~deliver;
-      (* Registering a watch immediately fires it once (protocol rule). *)
-      t.counters.watch_events <- t.counters.watch_events + 1;
-      charge t t.profile.Xs_costs.watch_fire;
-      Engine.spawn ~name:"xs-watch-initial" (fun () ->
-          deliver { Xs_watch.event_path = path; token });
-      Ok_unit)
+      traced_request t ~caller
+        (Watch (path, token))
+        (fun () ->
+          Xs_watch.add t.watches ~owner:caller ~path ~token ~deliver;
+          (* Registering a watch immediately fires it once (protocol
+             rule). *)
+          t.counters.watch_events <- t.counters.watch_events + 1;
+          Trace.Counter.incr "xs.watch_fires";
+          charge ~category:"xs.watch" t t.profile.Xs_costs.watch_fire;
+          Engine.spawn ~name:"xs-watch-initial" (fun () ->
+              deliver { Xs_watch.event_path = path; token });
+          Ok_unit))
 
 let transaction t ~caller ?(max_retries = 8) f =
   let rec attempt n =

@@ -102,7 +102,9 @@ let test_fig5_devices_dominate () =
   let series = E.fig5_breakdown ~n:20 ~sample:5 () in
   let devices = last_y (find_label "devices" series) in
   let total =
-    List.fold_left (fun acc l -> acc +. last_y l.E.series) 0. series
+    List.fold_left
+      (fun acc (l : E.labelled) -> acc +. last_y l.E.series)
+      0. series
   in
   Alcotest.(check bool) "devices biggest early" true
     (devices > 0.3 *. total)

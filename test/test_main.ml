@@ -3,4 +3,5 @@ let () =
     (Test_sim.suites @ Test_xenstore.suites @ Test_hv.suites
     @ Test_toolstack.suites @ Test_tinyx.suites @ Test_container.suites
     @ Test_net.suites @ Test_minipy.suites @ Test_workloads.suites
-    @ Test_core.suites @ Test_metrics.suites @ Test_xenstore_model.suites @ Test_guest.suites @ Test_extra.suites)
+    @ Test_core.suites @ Test_metrics.suites @ Test_xenstore_model.suites
+    @ Test_guest.suites @ Test_extra.suites @ Test_trace.suites)
