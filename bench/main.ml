@@ -7,19 +7,45 @@
      dune exec bench/main.exe            medium scale (~1 minute)
      dune exec bench/main.exe -- quick   CI scale (seconds)
      dune exec bench/main.exe -- full    paper scale (several minutes)
+
+   Options:
+     --jobs N      worker domains for the per-curve job pool (default:
+                   the machine's recommended domain count, capped; the
+                   rendered output is identical for any value)
+     --json PATH   also write the machine-readable perf trajectory
+                   (per-experiment wall-clock, micro-bench ns/op)
 *)
 
 module E = Lightvm.Experiment
+module Pool = Lightvm_sim.Pool
 module Series = Lightvm_metrics.Series
 module Table = Lightvm_metrics.Table
 
 type scale = Quick | Medium | Full
 
-let scale =
-  match Array.to_list Sys.argv with
-  | _ :: "quick" :: _ -> Quick
-  | _ :: "full" :: _ -> Full
-  | _ -> Medium
+let usage () =
+  prerr_endline
+    "usage: main.exe [quick|medium|full] [--jobs N] [--json PATH]";
+  exit 2
+
+let scale, jobs, json_path =
+  let scale = ref Medium in
+  let jobs = ref (Pool.default_jobs ()) in
+  let json = ref None in
+  let rec go = function
+    | [] -> ()
+    | "quick" :: rest -> scale := Quick; go rest
+    | "medium" :: rest -> scale := Medium; go rest
+    | "full" :: rest -> scale := Full; go rest
+    | ("--jobs" | "-j") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j -> jobs := max 1 j; go rest
+        | None -> usage ())
+    | "--json" :: path :: rest -> json := Some path; go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!scale, !jobs, !json)
 
 let scale_name =
   match scale with Quick -> "quick" | Medium -> "medium" | Full -> "full"
@@ -74,7 +100,7 @@ let print_result (r : E.result) =
 
 (* ------------------------------------------------------------------ *)
 
-(* Every experiment dispatches through [E.registry]: one (id, scale,
+(* Every experiment dispatches through [E.plans]: one (id, scale,
    paper-note) row per entry, rendered uniformly. [None] keeps the
    experiment's own default scale. *)
 let experiments =
@@ -139,20 +165,80 @@ let experiments =
     ("tinyx", None, "");
   ]
 
-let () =
-  Printf.printf "LightVM reproduction bench (scale: %s)\n" scale_name;
-  List.iter
+let planned =
+  List.map
     (fun (id, n, note) ->
-      let run =
-        match E.find ?n id with
-        | Some run -> run
-        | None -> failwith ("bench: unknown experiment " ^ id)
-      in
+      match E.plan ?n id with
+      | Some p -> (id, n, note, p)
+      | None -> failwith ("bench: unknown experiment " ^ id))
+    experiments
+
+(* Wrap a job so its wall-clock duration rides along with its piece. *)
+let timed job () =
+  let t0 = Unix.gettimeofday () in
+  let v = job () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Run every curve-job of every experiment. With a pool, all jobs are
+   submitted up front (in registry order) so long experiments overlap
+   short ones; results are awaited per experiment, still in fixed
+   order, so the printed output matches a sequential run byte for
+   byte. Per-experiment seconds are the sum of that experiment's job
+   durations (the cost it would have alone), not elapsed time. *)
+let run_all () =
+  if jobs <= 1 then
+    List.map
+      (fun (id, n, note, p) ->
+        ( id, n, note, p,
+          List.map (fun (_, job) -> timed job ()) p.E.plan_jobs ))
+      planned
+  else begin
+    let pool = Pool.create ~workers:jobs in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        planned
+        |> List.map (fun (id, n, note, p) ->
+               ( id, n, note, p,
+                 List.map
+                   (fun (_, job) -> Pool.submit pool (timed job))
+                   p.E.plan_jobs ))
+        |> List.map (fun (id, n, note, p, handles) ->
+               ( id, n, note, p,
+                 List.map
+                   (fun h ->
+                     match Pool.await h with
+                     | Ok v -> v
+                     | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+                   handles )))
+  end
+
+let finish_result (p : E.plan) pieces =
+  let merged = p.E.plan_finish pieces in
+  {
+    E.name = p.E.plan_name;
+    figure = p.E.plan_figure;
+    series = merged.E.p_series;
+    tables = merged.E.p_tables;
+    notes = merged.E.p_notes;
+  }
+
+(* (name, job count, summed job seconds) per experiment, in order. *)
+let experiment_rows =
+  Printf.printf "LightVM reproduction bench (scale: %s, jobs: %d)\n"
+    scale_name jobs;
+  List.map
+    (fun (id, n, note, p, timed_pieces) ->
+      let pieces = List.map fst timed_pieces in
+      let secs = List.fold_left (fun a (_, s) -> a +. s) 0. timed_pieces in
       (match n with
       | Some n -> section (Printf.sprintf "%s (n = %d)" id n) note
       | None -> section id note);
-      print_result (run ()))
-    experiments
+      print_result (finish_result p pieces);
+      Printf.printf "[%s: %.2f s over %d job(s)]\n" id secs
+        (List.length timed_pieces);
+      (id, List.length timed_pieces, secs))
+    (run_all ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the real (wall-clock) cost of the
@@ -189,6 +275,15 @@ let xs_transaction () =
       ignore (Lightvm_xenstore.Xs_transaction.write tx ~caller:0 path "v");
       ignore (Lightvm_xenstore.Xs_transaction.commit tx ~into:store))
 
+let xs_path_segments () =
+  (* The store walks a path's segments on every op; they are cached in
+     the path value, so this must be a pointer read, not a re-split. *)
+  let path =
+    Lightvm_xenstore.Xs_path.of_string "/local/domain/7/device/vif/0/state"
+  in
+  Staged.stage (fun () ->
+      ignore (Lightvm_xenstore.Xs_path.segments path))
+
 let event_heap () =
   (* The simulation engine behind every figure. *)
   let heap = Lightvm_sim.Heap.create () in
@@ -197,6 +292,21 @@ let event_heap () =
       incr i;
       ignore (Lightvm_sim.Heap.push heap ~time:(float_of_int !i) ());
       if !i mod 2 = 0 then ignore (Lightvm_sim.Heap.pop heap))
+
+let event_heap_churn () =
+  (* Timeout-heavy pattern: most pushes are cancelled before they fire,
+     exercising lazy cancellation and the compaction threshold. *)
+  let heap = Lightvm_sim.Heap.create () in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      let t = float_of_int !i in
+      let a = Lightvm_sim.Heap.push heap ~time:t () in
+      ignore (Lightvm_sim.Heap.push heap ~time:(t +. 0.25) ());
+      let b = Lightvm_sim.Heap.push heap ~time:(t +. 0.5) () in
+      Lightvm_sim.Heap.cancel heap a;
+      Lightvm_sim.Heap.cancel heap b;
+      ignore (Lightvm_sim.Heap.pop heap))
 
 let minipy_run () =
   (* Fig 17/18's per-request program. *)
@@ -249,7 +359,11 @@ let micro_tests =
     Test.make ~name:"fig5/fig9: xenstore write+read" (xs_store_ops ());
     Test.make ~name:"fig5: xs wire pack/unpack" (xs_wire_roundtrip ());
     Test.make ~name:"fig17: xenstore transaction" (xs_transaction ());
+    Test.make ~name:"fig5/fig9: xs_path segments (cached)"
+      (xs_path_segments ());
     Test.make ~name:"all figs: event heap push/pop" (event_heap ());
+    Test.make ~name:"all figs: event heap push/cancel/pop"
+      (event_heap_churn ());
     Test.make ~name:"fig17/18: minipy program" (minipy_run ());
     Test.make ~name:"fig16a: firewall rule eval" (firewall_eval ());
     Test.make ~name:"fig8/9: vm config parse" (vmconfig_parse ());
@@ -257,7 +371,8 @@ let micro_tests =
     Test.make ~name:"fig16c: TLS handshake steps" (tls_handshake ());
   ]
 
-let () =
+(* (name, ns/op estimate) per micro-benchmark, in declaration order. *)
+let micro_rows =
   section "Bechamel micro-benchmarks (real time per op)" "";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -266,18 +381,78 @@ let () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let analyzed = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some (est :: _) ->
-              Printf.printf "  %-40s %12.1f ns/op\n" name est
-          | Some [] | None ->
-              Printf.printf "  %-40s (no estimate)\n" name)
-        analyzed)
-    micro_tests;
-  Printf.printf "\nbench complete in %.1f s\n"
-    (Unix.gettimeofday () -. t_start)
+      Hashtbl.fold
+        (fun name result acc ->
+          let est =
+            match Analyze.OLS.estimates result with
+            | Some (est :: _) -> Some est
+            | Some [] | None -> None
+          in
+          (match est with
+          | Some est -> Printf.printf "  %-44s %12.1f ns/op\n" name est
+          | None -> Printf.printf "  %-44s (no estimate)\n" name);
+          (name, est) :: acc)
+        analyzed [])
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable perf trajectory (--json). Hand-rolled emission:
+   the schema is flat and we avoid a JSON dependency. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~total =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"scale\": \"%s\",\n" scale_name;
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"total_wall_seconds\": %.3f,\n" total;
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, njobs, secs) ->
+      out "    { \"name\": %S, \"jobs\": %d, \"seconds\": %.3f }%s\n" id
+        njobs secs
+        (if i = List.length experiment_rows - 1 then "" else ","))
+    experiment_rows;
+  out "  ],\n";
+  out "  \"microbench\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      let value =
+        match est with
+        | Some ns -> Printf.sprintf "%.1f" ns
+        | None -> "null"
+      in
+      out "    { \"name\": \"%s\", \"ns_per_op\": %s }%s\n"
+        (json_escape name) value
+        (if i = List.length micro_rows - 1 then "" else ","))
+    micro_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let () =
+  let total = Unix.gettimeofday () -. t_start in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      write_json path ~total;
+      Printf.printf "\nperf trajectory written to %s\n" path);
+  Printf.printf "\nbench complete in %.1f s\n" total

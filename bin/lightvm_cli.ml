@@ -16,6 +16,7 @@ module Mode = Lightvm_toolstack.Mode
 module Create = Lightvm_toolstack.Create
 module Trace = Lightvm_trace.Trace
 module Trace_export = Lightvm_trace.Trace_export
+module Pool = Lightvm_sim.Pool
 
 open Cmdliner
 
@@ -72,15 +73,37 @@ let run_traced id n trace_file buffer =
           Printf.eprintf "cannot write trace: %s\n" msg;
           exit 1)
 
-let run_experiment id n trace_file =
+let lookup_plan id n =
+  match E.plan ?n id with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "unknown experiment %S; try: %s\n" id
+        (String.concat " " E.names);
+      exit 1
+
+let run_experiment id n jobs trace_file =
   match trace_file with
+  (* Tracing instruments the calling domain only, so a traced run is
+     always sequential regardless of --jobs. *)
   | Some _ -> run_traced id n trace_file 2_000_000
-  | None -> print_result (lookup_experiment id n ())
+  | None ->
+      let jobs =
+        match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+      in
+      print_result (E.run_plan ~jobs (lookup_plan id n))
 
 let n_arg =
   Arg.(value & opt (some int) None
        & info [ "n" ] ~docv:"N"
            ~doc:"Scale (guests/clients/requests, figure-dependent).")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"JOBS"
+           ~doc:"Worker domains for per-curve parallelism (default: \
+                 the machine's recommended domain count, capped). The \
+                 output is identical for any value; 1 disables the \
+                 pool.")
 
 let trace_file_arg =
   Arg.(value & opt (some string) None
@@ -95,7 +118,7 @@ let figure_cmd =
   in
   let doc = "Reproduce one of the paper's figures." in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const run_experiment $ id $ n_arg $ trace_file_arg)
+    Term.(const run_experiment $ id $ n_arg $ jobs_arg $ trace_file_arg)
 
 let trace_cmd =
   let id =

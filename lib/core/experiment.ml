@@ -1,4 +1,5 @@
 module Engine = Lightvm_sim.Engine
+module Pool = Lightvm_sim.Pool
 module Rng = Lightvm_sim.Rng
 module Cpu = Lightvm_sim.Cpu
 module Series = Lightvm_metrics.Series
@@ -43,6 +44,40 @@ let run_sim f =
 let ms x = x *. 1e3
 
 let mk label unit_label = Series.create ~unit_label ~name:label ()
+
+(* ------------------------------------------------------------------ *)
+(* Job decomposition.
+
+   Every experiment is a list of jobs; each job is one self-contained
+   simulation (or pure computation) producing a [piece], and the
+   experiment's output is the pieces merged in job order. Jobs never
+   share state — each runs its own [Engine.run] with explicit Rng
+   seeds — so a job's piece is the same whether it runs on the calling
+   domain or a Pool worker, and merged output is bit-identical whatever
+   the [jobs] count. *)
+
+type piece = {
+  p_series : labelled list;
+  p_tables : Table.t list;
+  p_notes : string list;
+}
+
+let piece ?(series = []) ?(tables = []) ?(notes = []) () =
+  { p_series = series; p_tables = tables; p_notes = notes }
+
+let piece_concat pieces =
+  {
+    p_series = List.concat_map (fun p -> p.p_series) pieces;
+    p_tables = List.concat_map (fun p -> p.p_tables) pieces;
+    p_notes = List.concat_map (fun p -> p.p_notes) pieces;
+  }
+
+type job = string * (unit -> piece)
+
+let run_jobs (jobs : job list) = List.map (fun (_, j) -> j ()) jobs
+
+let series_of_jobs jobs =
+  List.concat_map (fun p -> p.p_series) (run_jobs jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 1 *)
@@ -133,18 +168,42 @@ let process_series ~n =
       done);
   { label = "Process Create"; series }
 
-let fig4_instantiation ?(n = 200) () =
-  vm_instantiation_series ~mode:Mode.xl ~image:Image.debian ~nics:1
-    ~disks:1 ~n ~label_prefix:"Debian"
-  @ vm_instantiation_series ~mode:Mode.xl ~image:Image.tinyx ~nics:1
-      ~disks:0 ~n ~label_prefix:"Tinyx"
-  @ vm_instantiation_series ~mode:Mode.xl ~image:Image.daytime ~nics:1
-      ~disks:0 ~n ~label_prefix:"MiniOS"
-  @ [
-      docker_series ~platform:Params.xeon_e5_1630
-        ~image:Layers.micropython_image ~n ~label:"Docker Run";
-      process_series ~n;
-    ]
+let fig4_jobs ?(n = 200) () : job list =
+  [
+    ( "fig4/debian",
+      fun () ->
+        piece
+          ~series:
+            (vm_instantiation_series ~mode:Mode.xl ~image:Image.debian
+               ~nics:1 ~disks:1 ~n ~label_prefix:"Debian")
+          () );
+    ( "fig4/tinyx",
+      fun () ->
+        piece
+          ~series:
+            (vm_instantiation_series ~mode:Mode.xl ~image:Image.tinyx
+               ~nics:1 ~disks:0 ~n ~label_prefix:"Tinyx")
+          () );
+    ( "fig4/minios",
+      fun () ->
+        piece
+          ~series:
+            (vm_instantiation_series ~mode:Mode.xl ~image:Image.daytime
+               ~nics:1 ~disks:0 ~n ~label_prefix:"MiniOS")
+          () );
+    ( "fig4/docker",
+      fun () ->
+        piece
+          ~series:
+            [
+              docker_series ~platform:Params.xeon_e5_1630
+                ~image:Layers.micropython_image ~n ~label:"Docker Run";
+            ]
+          () );
+    ("fig4/process", fun () -> piece ~series:[ process_series ~n ] ());
+  ]
+
+let fig4_instantiation ?n () = series_of_jobs (fig4_jobs ?n ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig 5 *)
@@ -175,29 +234,35 @@ let fig5_breakdown ?(n = 200) ?(sample = 10) () =
 (* ------------------------------------------------------------------ *)
 (* Fig 9 *)
 
-let fig9_create_times ?(n = 200) () =
-  List.concat_map
+let fig9_mode ~n mode =
+  let label = Mode.name mode in
+  let series = mk ("fig9 " ^ label) "ms" in
+  run_sim (fun () ->
+      let host = Host.create ~mode () in
+      if mode.Mode.split then
+        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+      for i = 1 to n do
+        let _vm, t_create, t_boot =
+          Host.create_and_boot_time host ~nics:1 Image.daytime
+        in
+        Series.add series ~x:(float_of_int i)
+          ~y:(ms (t_create +. t_boot))
+      done);
+  { label; series }
+
+let fig9_jobs ?(n = 200) () : job list =
+  List.map
     (fun mode ->
-      let label = Mode.name mode in
-      let series = mk ("fig9 " ^ label) "ms" in
-      run_sim (fun () ->
-          let host = Host.create ~mode () in
-          if mode.Mode.split then
-            Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
-          for i = 1 to n do
-            let _vm, t_create, t_boot =
-              Host.create_and_boot_time host ~nics:1 Image.daytime
-            in
-            Series.add series ~x:(float_of_int i)
-              ~y:(ms (t_create +. t_boot))
-          done);
-      [ { label; series } ])
+      ( "fig9/" ^ Mode.name mode,
+        fun () -> piece ~series:[ fig9_mode ~n mode ] () ))
     Mode.all_modes
+
+let fig9_create_times ?n () = series_of_jobs (fig9_jobs ?n ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig 10 *)
 
-let fig10_density ?(vms = 4000) ?(containers = 4000) () =
+let fig10_lightvm ~vms =
   let lightvm_series = mk "fig10 LightVM" "ms" in
   run_sim (fun () ->
       let host =
@@ -213,238 +278,297 @@ let fig10_density ?(vms = 4000) ?(containers = 4000) () =
             ~y:(ms (t_create +. t_boot))
         done
       with Create.Create_failed _ -> ());
-  let docker =
-    docker_series ~platform:Params.amd_opteron_6376
-      ~image:Layers.alpine_noop ~n:containers ~label:"Docker"
-  in
-  [ { label = "LightVM"; series = lightvm_series }; docker ]
+  { label = "LightVM"; series = lightvm_series }
+
+let fig10_jobs ?(vms = 4000) ?(containers = 4000) () : job list =
+  [
+    ("fig10/lightvm", fun () -> piece ~series:[ fig10_lightvm ~vms ] ());
+    ( "fig10/docker",
+      fun () ->
+        piece
+          ~series:
+            [
+              docker_series ~platform:Params.amd_opteron_6376
+                ~image:Layers.alpine_noop ~n:containers ~label:"Docker";
+            ]
+          () );
+  ]
+
+let fig10_density ?vms ?containers () =
+  series_of_jobs (fig10_jobs ?vms ?containers ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig 11 *)
 
-let fig11_boot_compare ?(n = 200) () =
-  let unikernel =
-    vm_instantiation_series ~mode:Mode.lightvm ~image:Image.daytime
-      ~nics:1 ~disks:0 ~n ~label_prefix:"Unikernel over LightVM"
-  in
-  let tinyx =
-    vm_instantiation_series ~mode:Mode.lightvm ~image:Image.tinyx ~nics:1
-      ~disks:0 ~n ~label_prefix:"Tinyx over LightVM"
-  in
-  let total label parts =
-    (* create+boot combined, as the paper plots boot-to-usable. *)
-    let combined = mk (label ^ " total") "ms" in
-    (match parts with
-    | [ { series = create; _ }; { series = boot; _ } ] ->
-        List.iter2
-          (fun (x, c) (_, b) -> Series.add combined ~x ~y:(c +. b))
-          (Series.points create) (Series.points boot)
-    | _ -> ());
-    { label; series = combined }
-  in
+(* create+boot combined, as the paper plots boot-to-usable. *)
+let fig11_total label parts =
+  let combined = mk (label ^ " total") "ms" in
+  (match parts with
+  | [ { series = create; _ }; { series = boot; _ } ] ->
+      List.iter2
+        (fun (x, c) (_, b) -> Series.add combined ~x ~y:(c +. b))
+        (Series.points create) (Series.points boot)
+  | _ -> ());
+  { label; series = combined }
+
+let fig11_jobs ?(n = 200) () : job list =
   [
-    total "Unikernel over LightVM" unikernel;
-    total "Tinyx over LightVM" tinyx;
-    docker_series ~platform:Params.xeon_e5_1630
-      ~image:Layers.micropython_image ~n ~label:"Docker";
+    ( "fig11/unikernel",
+      fun () ->
+        piece
+          ~series:
+            [
+              fig11_total "Unikernel over LightVM"
+                (vm_instantiation_series ~mode:Mode.lightvm
+                   ~image:Image.daytime ~nics:1 ~disks:0 ~n
+                   ~label_prefix:"Unikernel over LightVM");
+            ]
+          () );
+    ( "fig11/tinyx",
+      fun () ->
+        piece
+          ~series:
+            [
+              fig11_total "Tinyx over LightVM"
+                (vm_instantiation_series ~mode:Mode.lightvm
+                   ~image:Image.tinyx ~nics:1 ~disks:0 ~n
+                   ~label_prefix:"Tinyx over LightVM");
+            ]
+          () );
+    ( "fig11/docker",
+      fun () ->
+        piece
+          ~series:
+            [
+              docker_series ~platform:Params.xeon_e5_1630
+                ~image:Layers.micropython_image ~n ~label:"Docker";
+            ]
+          () );
   ]
+
+let fig11_boot_compare ?n () = series_of_jobs (fig11_jobs ?n ())
 
 (* ------------------------------------------------------------------ *)
 (* Figs 12 and 13 *)
 
 let checkpoint_modes = [ Mode.xl; Mode.chaos_xs; Mode.chaos_noxs; Mode.lightvm ]
 
-let fig12_checkpoint ?(n = 200) ?(batch = 10) () =
-  let per_mode =
-    List.map
-      (fun mode ->
-        let label = Mode.name mode in
-        let save_series = mk ("fig12a " ^ label) "ms" in
-        let restore_series = mk ("fig12b " ^ label) "ms" in
-        run_sim (fun () ->
-            let host = Host.create ~mode () in
-            if mode.Mode.split then
-              Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
-            let ts = Host.toolstack host in
-            let rng = Rng.create 33L in
-            let rounds = n / batch in
-            for round = 1 to rounds do
-              (* Bring the population up to round*batch guests. *)
-              while Host.vm_count host < round * batch do
-                ignore (Host.boot_vm host Image.daytime)
-              done;
-              (* Checkpoint [batch] randomly chosen guests. *)
-              let victims = Array.of_list (Toolstack.vms ts) in
-              Rng.shuffle rng victims;
-              let victims =
-                Array.to_list (Array.sub victims 0 batch)
-              in
-              let t0 = Engine.now () in
-              let saved = List.map (Checkpoint.save ts) victims in
-              let t_save =
-                (Engine.now () -. t0) /. float_of_int batch
-              in
-              let t1 = Engine.now () in
-              let restored = List.map (Checkpoint.restore ts) saved in
-              List.iter
-                (fun vm -> Guest.wait_ready vm.Create.guest)
-                restored;
-              let t_restore =
-                (Engine.now () -. t1) /. float_of_int batch
-              in
-              let x = float_of_int (round * batch) in
-              Series.add save_series ~x ~y:(ms t_save);
-              Series.add restore_series ~x ~y:(ms t_restore)
-            done);
-        ( { label; series = save_series },
-          { label; series = restore_series } ))
-      checkpoint_modes
-  in
-  (List.map fst per_mode, List.map snd per_mode)
+let fig12_mode ~n ~batch mode =
+  let label = Mode.name mode in
+  let save_series = mk ("fig12a " ^ label) "ms" in
+  let restore_series = mk ("fig12b " ^ label) "ms" in
+  run_sim (fun () ->
+      let host = Host.create ~mode () in
+      if mode.Mode.split then
+        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+      let ts = Host.toolstack host in
+      let rng = Rng.create 33L in
+      let rounds = n / batch in
+      for round = 1 to rounds do
+        (* Bring the population up to round*batch guests. *)
+        while Host.vm_count host < round * batch do
+          ignore (Host.boot_vm host Image.daytime)
+        done;
+        (* Checkpoint [batch] randomly chosen guests. *)
+        let victims = Array.of_list (Toolstack.vms ts) in
+        Rng.shuffle rng victims;
+        let victims = Array.to_list (Array.sub victims 0 batch) in
+        let t0 = Engine.now () in
+        let saved = List.map (Checkpoint.save ts) victims in
+        let t_save = (Engine.now () -. t0) /. float_of_int batch in
+        let t1 = Engine.now () in
+        let restored = List.map (Checkpoint.restore ts) saved in
+        List.iter
+          (fun vm -> Guest.wait_ready vm.Create.guest)
+          restored;
+        let t_restore = (Engine.now () -. t1) /. float_of_int batch in
+        let x = float_of_int (round * batch) in
+        Series.add save_series ~x ~y:(ms t_save);
+        Series.add restore_series ~x ~y:(ms t_restore)
+      done);
+  ( { label; series = save_series },
+    { label; series = restore_series } )
 
-let fig13_migration ?(n = 200) ?(batch = 10) () =
+let fig12_jobs ?(n = 200) ?(batch = 10) () : job list =
   List.map
     (fun mode ->
-      let label = Mode.name mode in
-      let series = mk ("fig13 " ^ label) "ms" in
-      run_sim (fun () ->
-          let src = Host.create ~mode () in
-          let dst = Host.create ~mode () in
-          if mode.Mode.split then
-            Host.prefill_pool_for src Image.daytime ~nics:1 ~disks:0;
-          let rng = Rng.create 44L in
-          let rounds = n / batch in
-          for round = 1 to rounds do
-            while Host.vm_count src < round * batch do
-              ignore (Host.boot_vm src Image.daytime)
-            done;
-            let victims = Array.of_list (Toolstack.vms (Host.toolstack src)) in
-            Rng.shuffle rng victims;
-            let victims = Array.to_list (Array.sub victims 0 batch) in
-            let t0 = Engine.now () in
-            List.iter
-              (fun vm ->
-                let resumed, _stats =
-                  Migrate.migrate ~src:(Host.toolstack src)
-                    ~dst:(Host.toolstack dst) vm
-                in
-                Guest.wait_ready resumed.Create.guest)
-              victims;
-            let avg = (Engine.now () -. t0) /. float_of_int batch in
-            Series.add series ~x:(float_of_int (round * batch)) ~y:(ms avg)
-            (* The outer while-loop replaces the migrated guests on the
-               source host before the next round, as in the paper. *)
-          done);
-      { label; series })
+      ( "fig12/" ^ Mode.name mode,
+        fun () ->
+          let save, restore = fig12_mode ~n ~batch mode in
+          piece ~series:[ save; restore ] () ))
     checkpoint_modes
+
+let fig12_checkpoint ?n ?batch () =
+  let pieces = run_jobs (fig12_jobs ?n ?batch ()) in
+  ( List.map (fun p -> List.nth p.p_series 0) pieces,
+    List.map (fun p -> List.nth p.p_series 1) pieces )
+
+let fig13_mode ~n ~batch mode =
+  let label = Mode.name mode in
+  let series = mk ("fig13 " ^ label) "ms" in
+  run_sim (fun () ->
+      let src = Host.create ~mode () in
+      let dst = Host.create ~mode () in
+      if mode.Mode.split then
+        Host.prefill_pool_for src Image.daytime ~nics:1 ~disks:0;
+      let rng = Rng.create 44L in
+      let rounds = n / batch in
+      for round = 1 to rounds do
+        while Host.vm_count src < round * batch do
+          ignore (Host.boot_vm src Image.daytime)
+        done;
+        let victims = Array.of_list (Toolstack.vms (Host.toolstack src)) in
+        Rng.shuffle rng victims;
+        let victims = Array.to_list (Array.sub victims 0 batch) in
+        let t0 = Engine.now () in
+        List.iter
+          (fun vm ->
+            let resumed, _stats =
+              Migrate.migrate ~src:(Host.toolstack src)
+                ~dst:(Host.toolstack dst) vm
+            in
+            Guest.wait_ready resumed.Create.guest)
+          victims;
+        let avg = (Engine.now () -. t0) /. float_of_int batch in
+        Series.add series ~x:(float_of_int (round * batch)) ~y:(ms avg)
+        (* The outer while-loop replaces the migrated guests on the
+           source host before the next round, as in the paper. *)
+      done);
+  { label; series }
+
+let fig13_jobs ?(n = 200) ?(batch = 10) () : job list =
+  List.map
+    (fun mode ->
+      ( "fig13/" ^ Mode.name mode,
+        fun () -> piece ~series:[ fig13_mode ~n ~batch mode ] () ))
+    checkpoint_modes
+
+let fig13_migration ?n ?batch () = series_of_jobs (fig13_jobs ?n ?batch ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig 14 *)
 
-let fig14_memory ?(n = 400) ?(sample = 20) () =
-  let vm_memory ~image ~label =
-    let series = mk ("fig14 " ^ label) "MB" in
-    run_sim (fun () ->
-        let host = Host.create ~mode:Mode.lightvm () in
-        for i = 1 to n do
-          ignore (Host.boot_vm host ~nics:1 image);
-          if i mod sample = 0 || i = 1 then
-            Series.add series ~x:(float_of_int i)
-              ~y:(float_of_int (Host.guest_mem_kb host) /. 1024.)
-        done);
-    { label; series }
-  in
-  let docker_memory =
-    let series = mk "fig14 Docker" "MB" in
-    run_sim (fun () ->
-        let machine = Machine.create () in
-        let engine = Docker.create machine in
-        for i = 1 to n do
-          (match
-             Docker.run engine ~image:Layers.micropython_image
-               ~name:(Printf.sprintf "c%d" i) ()
-           with
-          | Ok _ -> ()
-          | Error _ -> ());
-          if i mod sample = 0 || i = 1 then
-            Series.add series ~x:(float_of_int i)
-              ~y:(float_of_int (Docker.rss_kb engine) /. 1024.)
-        done);
-    { label = "Docker Micropython"; series }
-  in
-  let process_memory =
-    let series = mk "fig14 process" "MB" in
-    run_sim (fun () ->
-        let machine = Machine.create () in
-        let procs = Process.create machine ~rng:(Rng.create 5L) in
-        for i = 1 to n do
-          ignore
-            (Process.fork_exec procs ~rss_kb:1_600
-               ~name:(Printf.sprintf "mpy%d" i) ());
-          if i mod sample = 0 || i = 1 then
-            Series.add series ~x:(float_of_int i)
-              ~y:(float_of_int (Process.rss_kb procs) /. 1024.)
-        done);
-    { label = "Micropython Process"; series }
+let fig14_vm_memory ~n ~sample ~image ~label =
+  let series = mk ("fig14 " ^ label) "MB" in
+  run_sim (fun () ->
+      let host = Host.create ~mode:Mode.lightvm () in
+      for i = 1 to n do
+        ignore (Host.boot_vm host ~nics:1 image);
+        if i mod sample = 0 || i = 1 then
+          Series.add series ~x:(float_of_int i)
+            ~y:(float_of_int (Host.guest_mem_kb host) /. 1024.)
+      done);
+  { label; series }
+
+let fig14_docker_memory ~n ~sample =
+  let series = mk "fig14 Docker" "MB" in
+  run_sim (fun () ->
+      let machine = Machine.create () in
+      let engine = Docker.create machine in
+      for i = 1 to n do
+        (match
+           Docker.run engine ~image:Layers.micropython_image
+             ~name:(Printf.sprintf "c%d" i) ()
+         with
+        | Ok _ -> ()
+        | Error _ -> ());
+        if i mod sample = 0 || i = 1 then
+          Series.add series ~x:(float_of_int i)
+            ~y:(float_of_int (Docker.rss_kb engine) /. 1024.)
+      done);
+  { label = "Docker Micropython"; series }
+
+let fig14_process_memory ~n ~sample =
+  let series = mk "fig14 process" "MB" in
+  run_sim (fun () ->
+      let machine = Machine.create () in
+      let procs = Process.create machine ~rng:(Rng.create 5L) in
+      for i = 1 to n do
+        ignore
+          (Process.fork_exec procs ~rss_kb:1_600
+             ~name:(Printf.sprintf "mpy%d" i) ());
+        if i mod sample = 0 || i = 1 then
+          Series.add series ~x:(float_of_int i)
+            ~y:(float_of_int (Process.rss_kb procs) /. 1024.)
+      done);
+  { label = "Micropython Process"; series }
+
+let fig14_jobs ?(n = 400) ?(sample = 20) () : job list =
+  let vm label image =
+    ( "fig14/" ^ label,
+      fun () -> piece ~series:[ fig14_vm_memory ~n ~sample ~image ~label ] ()
+    )
   in
   [
-    vm_memory ~image:Image.debian ~label:"Debian";
-    vm_memory ~image:Image.tinyx_micropython ~label:"Tinyx";
-    docker_memory;
-    vm_memory ~image:Image.minipython ~label:"Minipython";
-    process_memory;
+    vm "Debian" Image.debian;
+    vm "Tinyx" Image.tinyx_micropython;
+    ("fig14/docker", fun () -> piece ~series:[ fig14_docker_memory ~n ~sample ] ());
+    vm "Minipython" Image.minipython;
+    ("fig14/process", fun () -> piece ~series:[ fig14_process_memory ~n ~sample ] ());
   ]
+
+let fig14_memory ?n ?sample () = series_of_jobs (fig14_jobs ?n ?sample ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig 15 *)
 
-let fig15_cpu_usage ?(n = 200) ?(sample = 50) ?(window = 10.) () =
-  let vm_usage ~image ~label =
-    let series = mk ("fig15 " ^ label) "%" in
-    run_sim (fun () ->
-        let host = Host.create ~mode:Mode.lightvm () in
-        let cpu = Xen.cpu (Host.xen host) in
-        for i = 1 to n do
-          ignore (Host.boot_vm host ~nics:1 image);
-          if i mod sample = 0 || i = 1 then begin
-            Cpu.reset_stats cpu;
-            let t0 = Engine.now () in
-            Engine.sleep window;
-            Series.add series ~x:(float_of_int i)
-              ~y:(100. *. Cpu.utilization cpu ~since:t0)
-          end
-        done);
-    { label; series }
-  in
-  let docker_usage =
-    let series = mk "fig15 Docker" "%" in
-    run_sim (fun () ->
-        let machine = Machine.create () in
-        let engine = Docker.create machine in
-        let cpu = Machine.cpu machine in
-        for i = 1 to n do
-          (match
-             Docker.run engine ~image:Layers.alpine_noop
-               ~name:(Printf.sprintf "c%d" i) ()
-           with
-          | Ok _ -> ()
-          | Error _ -> ());
-          if i mod sample = 0 || i = 1 then begin
-            Cpu.reset_stats cpu;
-            let t0 = Engine.now () in
-            Engine.sleep window;
-            Series.add series ~x:(float_of_int i)
-              ~y:(100. *. Cpu.utilization cpu ~since:t0)
-          end
-        done);
-    { label = "Docker"; series }
+let fig15_vm_usage ~n ~sample ~window ~image ~label =
+  let series = mk ("fig15 " ^ label) "%" in
+  run_sim (fun () ->
+      let host = Host.create ~mode:Mode.lightvm () in
+      let cpu = Xen.cpu (Host.xen host) in
+      for i = 1 to n do
+        ignore (Host.boot_vm host ~nics:1 image);
+        if i mod sample = 0 || i = 1 then begin
+          Cpu.reset_stats cpu;
+          let t0 = Engine.now () in
+          Engine.sleep window;
+          Series.add series ~x:(float_of_int i)
+            ~y:(100. *. Cpu.utilization cpu ~since:t0)
+        end
+      done);
+  { label; series }
+
+let fig15_docker_usage ~n ~sample ~window =
+  let series = mk "fig15 Docker" "%" in
+  run_sim (fun () ->
+      let machine = Machine.create () in
+      let engine = Docker.create machine in
+      let cpu = Machine.cpu machine in
+      for i = 1 to n do
+        (match
+           Docker.run engine ~image:Layers.alpine_noop
+             ~name:(Printf.sprintf "c%d" i) ()
+         with
+        | Ok _ -> ()
+        | Error _ -> ());
+        if i mod sample = 0 || i = 1 then begin
+          Cpu.reset_stats cpu;
+          let t0 = Engine.now () in
+          Engine.sleep window;
+          Series.add series ~x:(float_of_int i)
+            ~y:(100. *. Cpu.utilization cpu ~since:t0)
+        end
+      done);
+  { label = "Docker"; series }
+
+let fig15_jobs ?(n = 200) ?(sample = 50) ?(window = 10.) () : job list =
+  let vm label image =
+    ( "fig15/" ^ label,
+      fun () ->
+        piece ~series:[ fig15_vm_usage ~n ~sample ~window ~image ~label ] ()
+    )
   in
   [
-    vm_usage ~image:Image.debian ~label:"Debian";
-    vm_usage ~image:Image.tinyx ~label:"Tinyx";
-    vm_usage ~image:Image.noop_unikernel ~label:"Unikernel";
-    docker_usage;
+    vm "Debian" Image.debian;
+    vm "Tinyx" Image.tinyx;
+    vm "Unikernel" Image.noop_unikernel;
+    ( "fig15/docker",
+      fun () -> piece ~series:[ fig15_docker_usage ~n ~sample ~window ] () );
   ]
+
+let fig15_cpu_usage ?n ?sample ?window () =
+  series_of_jobs (fig15_jobs ?n ?sample ?window ())
 
 (* ------------------------------------------------------------------ *)
 (* Section 7: use cases *)
@@ -467,63 +591,96 @@ let fig16a_firewall ?(users = [ 1; 100; 250; 500; 750; 1000 ]) () =
     (Firewall.capacity ~users ());
   table
 
-let fig16b_jit ?(arrivals = [ 0.010; 0.025; 0.050; 0.100 ])
-    ?(clients = 250) () =
+let fig16b_interval ~clients interval =
+  let label = Printf.sprintf "%.0f ms" (interval *. 1e3) in
+  let result =
+    Jit.run
+      { Jit.default_config with Jit.arrival_interval = interval; clients }
+  in
+  let series = mk ("fig16b " ^ label) "cdf" in
+  List.iter
+    (fun (rtt, frac) -> Series.add series ~x:(ms rtt) ~y:frac)
+    (Lightvm_metrics.Cdf.points result.Jit.cdf);
+  { label; series }
+
+let fig16b_jobs ?(arrivals = [ 0.010; 0.025; 0.050; 0.100 ])
+    ?(clients = 250) () : job list =
   List.map
     (fun interval ->
-      let label = Printf.sprintf "%.0f ms" (interval *. 1e3) in
-      let result =
-        Jit.run
-          { Jit.default_config with
-            Jit.arrival_interval = interval;
-            clients }
-      in
-      let series = mk ("fig16b " ^ label) "cdf" in
-      List.iter
-        (fun (rtt, frac) -> Series.add series ~x:(ms rtt) ~y:frac)
-        (Lightvm_metrics.Cdf.points result.Jit.cdf);
-      { label; series })
+      ( Printf.sprintf "fig16b/%.0fms" (interval *. 1e3),
+        fun () -> piece ~series:[ fig16b_interval ~clients interval ] () ))
     arrivals
 
-let fig16c_tls ?(instances = [ 1; 5; 10; 14; 50; 100; 250; 500; 750; 1000 ])
-    () =
+let fig16b_jit ?arrivals ?clients () =
+  series_of_jobs (fig16b_jobs ?arrivals ?clients ())
+
+let fig16c_backend ~instances backend =
+  let label = Tls_term.backend_name backend in
+  let series = mk ("fig16c " ^ label) "Kreq/s" in
+  List.iter
+    (fun (n, tput) ->
+      Series.add series ~x:(float_of_int n) ~y:(tput /. 1e3))
+    (Tls_term.sweep backend ~instances);
+  { label; series }
+
+let fig16c_jobs ?(instances = [ 1; 5; 10; 14; 50; 100; 250; 500; 750; 1000 ])
+    () : job list =
   List.map
     (fun backend ->
-      let label = Tls_term.backend_name backend in
-      let series = mk ("fig16c " ^ label) "Kreq/s" in
-      List.iter
-        (fun (n, tput) ->
-          Series.add series ~x:(float_of_int n) ~y:(tput /. 1e3))
-        (Tls_term.sweep backend ~instances);
-      { label; series })
+      ( "fig16c/" ^ Tls_term.backend_name backend,
+        fun () -> piece ~series:[ fig16c_backend ~instances backend ] () ))
     [ Tls_term.Bare_metal; Tls_term.Tinyx_vm; Tls_term.Unikernel ]
 
+let fig16c_tls ?instances () = series_of_jobs (fig16c_jobs ?instances ())
+
+(* ------------------------------------------------------------------ *)
+(* Figs 17 and 18 *)
+
+(* One mode's lambda run: service-time series (Fig 17) and concurrency
+   series (Fig 18). *)
+let lambda_mode ~requests ~label mode =
+  let result = Lambda.run { (Lambda.default_config mode) with Lambda.requests } in
+  assert result.Lambda.outputs_ok;
+  let service = mk ("fig17 " ^ label) "s" in
+  List.iter
+    (fun (i, t) -> Series.add service ~x:(float_of_int i) ~y:t)
+    result.Lambda.service_times;
+  let concurrency = mk ("fig18 " ^ label) "VMs" in
+  List.iter
+    (fun (t, c) ->
+      (* Samplers start at slightly different offsets per mode; round
+         to whole seconds so the series share an x grid. *)
+      Series.add concurrency ~x:(Float.round t) ~y:(float_of_int c))
+    result.Lambda.concurrency;
+  ( { label; series = service }, { label; series = concurrency } )
+
+let lambda_runs = [ ("chaos [XS]", Mode.chaos_xs); ("LightVM", Mode.lightvm) ]
+
+let fig17_jobs ?(requests = 400) () : job list =
+  List.map
+    (fun (label, mode) ->
+      ( "fig17/" ^ label,
+        fun () ->
+          let service, _ = lambda_mode ~requests ~label mode in
+          piece ~series:[ service ] () ))
+    lambda_runs
+
+let fig18_jobs ?(requests = 400) () : job list =
+  List.map
+    (fun (label, mode) ->
+      ( "fig18/" ^ label,
+        fun () ->
+          let _, concurrency = lambda_mode ~requests ~label mode in
+          piece ~series:[ concurrency ] () ))
+    lambda_runs
+
 let fig17_18_lambda ?(requests = 400) () =
-  let run_mode mode =
-    Lambda.run { (Lambda.default_config mode) with Lambda.requests }
+  let runs =
+    List.map
+      (fun (label, mode) -> lambda_mode ~requests ~label mode)
+      lambda_runs
   in
-  let xs = run_mode Mode.chaos_xs in
-  let lightvm = run_mode Mode.lightvm in
-  let service label (result : Lambda.result) =
-    let series = mk ("fig17 " ^ label) "s" in
-    List.iter
-      (fun (i, t) -> Series.add series ~x:(float_of_int i) ~y:t)
-      result.Lambda.service_times;
-    { label; series }
-  in
-  let concurrency label (result : Lambda.result) =
-    let series = mk ("fig18 " ^ label) "VMs" in
-    List.iter
-      (fun (t, c) ->
-        (* Samplers start at slightly different offsets per mode; round
-           to whole seconds so the series share an x grid. *)
-        Series.add series ~x:(Float.round t) ~y:(float_of_int c))
-      result.Lambda.concurrency;
-    { label; series }
-  in
-  assert (xs.Lambda.outputs_ok && lightvm.Lambda.outputs_ok);
-  ( [ service "chaos [XS]" xs; service "LightVM" lightvm ],
-    [ concurrency "chaos [XS]" xs; concurrency "LightVM" lightvm ] )
+  (List.map fst runs, List.map snd runs)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
@@ -534,28 +691,47 @@ let fig17_18_lambda ?(requests = 400) () =
    - access logging on/off ("disabling this logging would remove the
      spikes, but it would not help in improving the overall creation
      times"). *)
-let ablation_xenstore ?(n = 300) () =
-  let variant label profile =
-    let series = mk ("ablation " ^ label) "ms" in
-    run_sim (fun () ->
-        let host =
-          Host.create ~mode:Mode.chaos_xs ~xs_profile:profile ()
+let ablation_variant ~n label profile =
+  let series = mk ("ablation " ^ label) "ms" in
+  run_sim (fun () ->
+      let host = Host.create ~mode:Mode.chaos_xs ~xs_profile:profile () in
+      for i = 1 to n do
+        let _vm, t_create, t_boot =
+          Host.create_and_boot_time host ~nics:1 Image.daytime
         in
-        for i = 1 to n do
-          let _vm, t_create, t_boot =
-            Host.create_and_boot_time host ~nics:1 Image.daytime
-          in
-          Series.add series ~x:(float_of_int i) ~y:(ms (t_create +. t_boot))
-        done);
-    { label; series }
-  in
+        Series.add series ~x:(float_of_int i) ~y:(ms (t_create +. t_boot))
+      done);
+  { label; series }
+
+let ablation_jobs ?(n = 300) () : job list =
   [
-    variant "oxenstored" Lightvm_xenstore.Xs_costs.oxenstored;
-    variant "cxenstored" Lightvm_xenstore.Xs_costs.cxenstored;
-    variant "oxenstored, logging off"
-      { Lightvm_xenstore.Xs_costs.oxenstored with
-        Lightvm_xenstore.Xs_costs.logging_enabled = false };
+    ( "ablation/oxenstored",
+      fun () ->
+        piece
+          ~series:
+            [ ablation_variant ~n "oxenstored"
+                Lightvm_xenstore.Xs_costs.oxenstored ]
+          () );
+    ( "ablation/cxenstored",
+      fun () ->
+        piece
+          ~series:
+            [ ablation_variant ~n "cxenstored"
+                Lightvm_xenstore.Xs_costs.cxenstored ]
+          () );
+    ( "ablation/logging-off",
+      fun () ->
+        piece
+          ~series:
+            [
+              ablation_variant ~n "oxenstored, logging off"
+                { Lightvm_xenstore.Xs_costs.oxenstored with
+                  Lightvm_xenstore.Xs_costs.logging_enabled = false };
+            ]
+          () );
   ]
+
+let ablation_xenstore ?n () = series_of_jobs (ablation_jobs ?n ())
 
 (* Section 2's third requirement: pause/unpause as fast as container
    freeze/thaw (Amazon Lambda "freezes" and "thaws" its containers). *)
@@ -742,103 +918,118 @@ type result = {
   notes : string list;
 }
 
-let result ?(series = []) ?(tables = []) ?(notes = []) ~figure name =
-  { name; figure; series; tables; notes }
-
 let relabel suffix l = { l with label = l.label ^ " " ^ suffix }
 
-let registry ?n () =
+(* ------------------------------------------------------------------ *)
+(* Plans: the parallel execution layer. A plan is the experiment's job
+   list plus the (order-preserving) merge of the resulting pieces. *)
+
+type plan = {
+  plan_name : string;
+  plan_figure : string;
+  plan_jobs : job list;
+  plan_finish : piece list -> piece;
+}
+
+let mk_plan ?(finish = piece_concat) ~figure name jobs =
+  { plan_name = name; plan_figure = figure; plan_jobs = jobs;
+    plan_finish = finish }
+
+let single ~figure name f = mk_plan ~figure name [ (name, f) ]
+
+let plans ?n () : (string * plan) list =
   [
     ( "fig1",
-      fun () ->
-        let table, slope = fig1_syscall_growth () in
-        result ~figure:"Fig 1" ~tables:[ table ]
-          ~notes:[ Printf.sprintf "growth: %.1f syscalls/year" slope ]
-          "fig1" );
+      single ~figure:"Fig 1" "fig1" (fun () ->
+          let table, slope = fig1_syscall_growth () in
+          piece ~tables:[ table ]
+            ~notes:[ Printf.sprintf "growth: %.1f syscalls/year" slope ]
+            ()) );
     ( "fig2",
-      fun () ->
-        result ~figure:"Fig 2"
-          ~series:
-            [
-              {
-                label = "daytime create+boot vs image size";
-                series = fig2_boot_vs_image_size ();
-              };
-            ]
-          "fig2" );
-    ( "fig4",
-      fun () ->
-        result ~figure:"Fig 4" ~series:(fig4_instantiation ?n ()) "fig4" );
+      single ~figure:"Fig 2" "fig2" (fun () ->
+          piece
+            ~series:
+              [
+                {
+                  label = "daytime create+boot vs image size";
+                  series = fig2_boot_vs_image_size ();
+                };
+              ]
+            ()) );
+    ("fig4", mk_plan ~figure:"Fig 4" "fig4" (fig4_jobs ?n ()));
     ( "fig5",
-      fun () -> result ~figure:"Fig 5" ~series:(fig5_breakdown ?n ()) "fig5"
-    );
-    ( "fig9",
-      fun () ->
-        result ~figure:"Fig 9" ~series:(fig9_create_times ?n ()) "fig9" );
+      single ~figure:"Fig 5" "fig5" (fun () ->
+          piece ~series:(fig5_breakdown ?n ()) ()) );
+    ("fig9", mk_plan ~figure:"Fig 9" "fig9" (fig9_jobs ?n ()));
     ( "fig10",
-      fun () ->
-        result ~figure:"Fig 10"
-          ~series:(fig10_density ?vms:n ?containers:n ())
-          "fig10" );
-    ( "fig11",
-      fun () ->
-        result ~figure:"Fig 11" ~series:(fig11_boot_compare ?n ()) "fig11"
-    );
+      mk_plan ~figure:"Fig 10" "fig10"
+        (fig10_jobs ?vms:n ?containers:n ()) );
+    ("fig11", mk_plan ~figure:"Fig 11" "fig11" (fig11_jobs ?n ()));
     ( "fig12",
-      fun () ->
-        let save, restore = fig12_checkpoint ?n () in
-        result ~figure:"Fig 12"
-          ~series:
-            (List.map (relabel "save") save
-            @ List.map (relabel "restore") restore)
-          "fig12" );
-    ( "fig13",
-      fun () ->
-        result ~figure:"Fig 13" ~series:(fig13_migration ?n ()) "fig13" );
-    ( "fig14",
-      fun () -> result ~figure:"Fig 14" ~series:(fig14_memory ?n ()) "fig14"
-    );
-    ( "fig15",
-      fun () ->
-        result ~figure:"Fig 15" ~series:(fig15_cpu_usage ?n ()) "fig15" );
+      (* Sequential rendering lists every mode's save series first,
+         then every restore: reassemble that order from the per-mode
+         pieces ([save; restore] each). *)
+      mk_plan ~figure:"Fig 12" "fig12" (fig12_jobs ?n ())
+        ~finish:(fun pieces ->
+          let save = List.map (fun p -> List.nth p.p_series 0) pieces in
+          let restore = List.map (fun p -> List.nth p.p_series 1) pieces in
+          piece
+            ~series:
+              (List.map (relabel "save") save
+              @ List.map (relabel "restore") restore)
+            ()) );
+    ("fig13", mk_plan ~figure:"Fig 13" "fig13" (fig13_jobs ?n ()));
+    ("fig14", mk_plan ~figure:"Fig 14" "fig14" (fig14_jobs ?n ()));
+    ("fig15", mk_plan ~figure:"Fig 15" "fig15" (fig15_jobs ?n ()));
     ( "fig16a",
-      fun () ->
-        result ~figure:"Fig 16a" ~tables:[ fig16a_firewall () ] "fig16a" );
+      single ~figure:"Fig 16a" "fig16a" (fun () ->
+          piece ~tables:[ fig16a_firewall () ] ()) );
     ( "fig16b",
-      fun () ->
-        result ~figure:"Fig 16b" ~series:(fig16b_jit ?clients:n ()) "fig16b"
-    );
-    ( "fig16c",
-      fun () -> result ~figure:"Fig 16c" ~series:(fig16c_tls ()) "fig16c" );
-    ( "fig17",
-      fun () ->
-        result ~figure:"Fig 17"
-          ~series:(fst (fig17_18_lambda ?requests:n ()))
-          "fig17" );
-    ( "fig18",
-      fun () ->
-        result ~figure:"Fig 18"
-          ~series:(snd (fig17_18_lambda ?requests:n ()))
-          "fig18" );
+      mk_plan ~figure:"Fig 16b" "fig16b" (fig16b_jobs ?clients:n ()) );
+    ("fig16c", mk_plan ~figure:"Fig 16c" "fig16c" (fig16c_jobs ()));
+    ("fig17", mk_plan ~figure:"Fig 17" "fig17" (fig17_jobs ?requests:n ()));
+    ("fig18", mk_plan ~figure:"Fig 18" "fig18" (fig18_jobs ?requests:n ()));
     ( "ablation",
-      fun () ->
-        result ~figure:"Sec 4.2 ablation" ~series:(ablation_xenstore ?n ())
-          "ablation" );
+      mk_plan ~figure:"Sec 4.2 ablation" "ablation" (ablation_jobs ?n ()) );
     ( "pause",
-      fun () ->
-        result ~figure:"Sec 2" ~tables:[ pause_unpause () ] "pause" );
+      single ~figure:"Sec 2" "pause" (fun () ->
+          piece ~tables:[ pause_unpause () ] ()) );
     ( "wan-migration",
-      fun () ->
-        result ~figure:"Sec 7.1" ~tables:[ wan_migration () ]
-          "wan-migration" );
+      single ~figure:"Sec 7.1" "wan-migration" (fun () ->
+          piece ~tables:[ wan_migration () ] ()) );
     ( "headline",
-      fun () ->
-        result ~figure:"Abstract" ~tables:[ headline_numbers () ] "headline"
-    );
+      single ~figure:"Abstract" "headline" (fun () ->
+          piece ~tables:[ headline_numbers () ] ()) );
     ( "tinyx",
-      fun () ->
-        result ~figure:"Sec 3.2" ~tables:[ tinyx_table () ] "tinyx" );
+      single ~figure:"Sec 3.2" "tinyx" (fun () ->
+          piece ~tables:[ tinyx_table () ] ()) );
   ]
+
+let plan ?n name = List.assoc_opt name (plans ?n ())
+
+let job_count p = List.length p.plan_jobs
+
+let run_plan ?(jobs = 1) p =
+  let thunks = List.map snd p.plan_jobs in
+  let pieces =
+    if jobs <= 1 then List.map (fun f -> f ()) thunks
+    else Pool.run ~jobs thunks
+  in
+  let merged = p.plan_finish pieces in
+  {
+    name = p.plan_name;
+    figure = p.plan_figure;
+    series = merged.p_series;
+    tables = merged.p_tables;
+    notes = merged.p_notes;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let registry ?n () =
+  List.map
+    (fun (name, p) -> (name, fun () -> run_plan p))
+    (plans ?n ())
 
 let all = registry ()
 

@@ -121,3 +121,43 @@ val registry : ?n:int -> unit -> (string * (unit -> result)) list
     figure's dominant axis) overridden where the experiment has one. *)
 
 val find : ?n:int -> string -> (unit -> result) option
+
+(** {1 Plans: parallel execution}
+
+    A {!plan} decomposes an experiment into independent jobs — one per
+    curve or mode, each a self-contained simulation with its own
+    {!Lightvm_sim.Engine.run} and explicit Rng seeds — plus a merge of
+    the resulting pieces in fixed job order. Because jobs share no
+    state, a job's piece is identical whether it runs inline or on a
+    {!Lightvm_sim.Pool} worker, and {!run_plan}'s output is
+    bit-identical for any [jobs] count (see test/test_parallel.ml). *)
+
+type piece = {
+  p_series : labelled list;
+  p_tables : Table.t list;
+  p_notes : string list;
+}
+(** One job's contribution to an experiment's output. *)
+
+type plan = {
+  plan_name : string;
+  plan_figure : string;
+  plan_jobs : (string * (unit -> piece)) list;
+      (** labelled jobs, e.g. ["fig9/lightvm"]; label order is merge
+          order *)
+  plan_finish : piece list -> piece;
+      (** merge, given pieces in job order; usually concatenation *)
+}
+
+val plans : ?n:int -> unit -> (string * plan) list
+(** Same registry as {!registry}, as plans. *)
+
+val plan : ?n:int -> string -> plan option
+
+val job_count : plan -> int
+
+val run_plan : ?jobs:int -> plan -> result
+(** Run the plan's jobs on a fresh {!Lightvm_sim.Pool} of [jobs]
+    workers ([jobs <= 1], the default, runs them inline on the calling
+    domain) and merge. [registry]'s runners are [run_plan] with the
+    default. *)

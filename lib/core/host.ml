@@ -36,8 +36,12 @@ let config_for t ?name ?(nics = 1) ?(disks = 0) image =
 
 let override_for image =
   (* Images built on the fly (inflated or Tinyx-custom) are not in the
-     static registry; hand them to the pipeline directly. *)
-  if Image.find image.Image.name = Some image then None else Some image
+     static registry; hand them to the pipeline directly. Physical
+     equality suffices — registry images are shared values — and avoids
+     a deep structural compare on every single VM creation. *)
+  match Image.find image.Image.name with
+  | Some registered when registered == image -> None
+  | _ -> Some image
 
 let boot_vm t ?name ?nics ?disks image =
   let cfg = config_for t ?name ?nics ?disks image in

@@ -250,7 +250,7 @@ let rec eval env (e : Ast.expr) : Value.t =
   | Ast.Call (fname, args) -> (
       let args = List.map (eval env) args in
       if List.mem fname builtin_names
-         && Hashtbl.find_opt env.globals fname = None
+         && Option.is_none (Hashtbl.find_opt env.globals fname)
       then builtin env fname args
       else
         match lookup env fname with

@@ -17,28 +17,42 @@ type trace_hooks = {
   on_wake : pid:int -> unit;
 }
 
-let trace_hooks : trace_hooks option ref = ref None
+(* All engine bookkeeping is domain-local: each domain can drive (at
+   most) one simulation, and simulations on different domains never
+   share state, which is what lets Pool run independent experiments in
+   parallel with bit-identical results. *)
+type dls = {
+  mutable current : eng option;
+  mutable next_pid : int;
+  mutable current_pid : int;
+  mutable current_pname : string;
+  mutable hooks : trace_hooks option;
+}
 
-let set_trace_hooks h = trace_hooks := h
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        current = None;
+        next_pid = 1;
+        current_pid = 0;
+        current_pname = "engine";
+        hooks = None;
+      })
 
-let next_pid = ref 1
+let dls () = Domain.DLS.get dls_key
 
-let current_pid = ref 0
+let set_trace_hooks h = (dls ()).hooks <- h
 
-let current_pname = ref "engine"
+let self_pid () = (dls ()).current_pid
 
-let self_pid () = !current_pid
-
-let self_name () = !current_pname
-
-let current : eng option ref = ref None
+let self_name () = (dls ()).current_pname
 
 let get_eng () =
-  match !current with
+  match (dls ()).current with
   | Some e -> e
   | None -> invalid_arg "Sim.Engine: no simulation is running"
 
-let running () = !current <> None
+let running () = (dls ()).current <> None
 
 let now () = (get_eng ()).clock
 
@@ -69,13 +83,14 @@ let suspend register = Effect.perform (Suspend register)
    caller's identity on return (also on exception), so identity always
    reflects whichever process the scheduler is actually executing. *)
 let as_process pid name f =
-  let saved_pid = !current_pid and saved_name = !current_pname in
-  current_pid := pid;
-  current_pname := name;
+  let st = dls () in
+  let saved_pid = st.current_pid and saved_name = st.current_pname in
+  st.current_pid <- pid;
+  st.current_pname <- name;
   Fun.protect
     ~finally:(fun () ->
-      current_pid := saved_pid;
-      current_pname := saved_name)
+      st.current_pid <- saved_pid;
+      st.current_pname <- saved_name)
     f
 
 (* Each process (the initial [main] and every [spawn]) runs under its own
@@ -83,9 +98,10 @@ let as_process pid name f =
    continuation, stashed wherever [register] put the resume function. *)
 let exec name f =
   let open Effect.Deep in
-  let pid = !next_pid in
-  incr next_pid;
-  (match !trace_hooks with Some h -> h.on_spawn ~pid ~name | None -> ());
+  let st = dls () in
+  let pid = st.next_pid in
+  st.next_pid <- pid + 1;
+  (match st.hooks with Some h -> h.on_spawn ~pid ~name | None -> ());
   as_process pid name (fun () ->
       match_with f ()
         {
@@ -104,7 +120,7 @@ let exec name f =
               | Suspend register ->
                   Some
                     (fun (k : (a, unit) continuation) ->
-                      (match !trace_hooks with
+                      (match st.hooks with
                       | Some h -> h.on_park ~pid
                       | None -> ());
                       let fired = ref false in
@@ -114,7 +130,7 @@ let exec name f =
                               "Sim.Engine: one-shot resume called twice";
                           fired := true;
                           let eng = get_eng () in
-                          (match !trace_hooks with
+                          (match (dls ()).hooks with
                           | Some h -> h.on_wake ~pid
                           | None -> ());
                           ignore
@@ -139,14 +155,15 @@ let yield () = suspend (fun resume -> ignore (after 0. (fun () -> resume ())))
 let stop () = (get_eng ()).stopped <- true
 
 let run ?until main =
-  (match !current with
+  let st = dls () in
+  (match st.current with
   | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
   | None -> ());
   let eng = { clock = 0.; heap = Heap.create (); stopped = false } in
-  current := Some eng;
-  next_pid := 1;
+  st.current <- Some eng;
+  st.next_pid <- 1;
   Fun.protect
-    ~finally:(fun () -> current := None)
+    ~finally:(fun () -> st.current <- None)
     (fun () ->
       ignore (schedule_at eng 0. (fun () -> exec "main" main));
       let horizon = match until with Some t -> t | None -> infinity in

@@ -4,9 +4,11 @@
     cooperative processes on top of OCaml 5 effect handlers: calling a
     blocking primitive ([sleep], [await], [suspend], [Cpu.consume], …)
     performs an effect that captures the continuation and parks it until
-    the corresponding event fires on the virtual clock. Exactly one
-    engine can run at a time; all primitives below must be called from
-    within [run].
+    the corresponding event fires on the virtual clock. Engine state is
+    domain-local: each domain can drive at most one engine at a time, and
+    engines on different domains are fully independent (this is what lets
+    {!Pool} run simulations in parallel). All primitives below must be
+    called from within [run] on the same domain.
 
     Determinism: events at equal times fire in scheduling order, and all
     randomness flows through explicit {!Rng.t} values, so a run is a pure
@@ -64,6 +66,9 @@ type trace_hooks = {
 }
 
 val set_trace_hooks : trace_hooks option -> unit
+(** Install (or clear) the hooks for the calling domain only: worker
+    domains spawned by {!Pool} start with no hooks, so tracing a
+    sequential run never races with parallel workers. *)
 
 val after : float -> (unit -> unit) -> token
 (** Run a callback (not a blocking process) after a delay. The callback

@@ -3,10 +3,20 @@ type 'a entry = {
   seq : int;
   payload : 'a;
   mutable cancelled : bool;
+  mutable departed : bool;
+      (* returned by [pop]; cancelling it afterwards must not touch the
+         live count *)
 }
 
+(* Slots beyond [len] hold [None]; a popped slot is reset to [None] so
+   the heap never retains a payload it no longer owns. An earlier
+   version kept a dummy entry built with [Obj.magic 0] as the array
+   filler, which is undefined behaviour waiting to happen (flambda is
+   free to propagate type information through it); the option array is
+   the safe sentinel and costs nothing on the hot path because entries
+   are boxed either way. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable len : int;
   mutable next_seq : int;
   mutable live : int;
@@ -20,6 +30,11 @@ let is_empty t = t.live = 0
 
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
+let get t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> assert false (* i < len by construction *)
+
 let swap t i j =
   let tmp = t.data.(i) in
   t.data.(i) <- t.data.(j);
@@ -28,7 +43,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
+    if lt (get t i) (get t parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -37,8 +52,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.len && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.len && lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.len && lt (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
@@ -48,25 +63,45 @@ let ensure_capacity t =
   let cap = Array.length t.data in
   if t.len >= cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    (* The dummy slot is immediately overwritten by the caller. *)
-    let dummy = t.data in
-    let fresh =
-      if cap = 0 then
-        Array.make ncap
-          { time = 0.; seq = 0; payload = Obj.magic 0; cancelled = true }
-      else Array.make ncap dummy.(0)
-    in
+    let fresh = Array.make ncap None in
     Array.blit t.data 0 fresh 0 t.len;
     t.data <- fresh
   end
 
+(* Drop every cancelled entry and re-establish the heap invariant
+   (Floyd heapify). Pop order is a pure function of the [(time, seq)]
+   keys, so compaction never changes what a simulation observes. *)
+let compact t =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = get t i in
+    if not e.cancelled then begin
+      t.data.(!kept) <- t.data.(i);
+      incr kept
+    end
+  done;
+  for i = !kept to t.len - 1 do
+    t.data.(i) <- None
+  done;
+  t.len <- !kept;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+(* Cancel-heavy workloads (timeouts that almost always get cancelled,
+   long pause/resume churn) would otherwise grow [data] without bound:
+   cancelled entries are only reclaimed when they reach the top. Once
+   more than half of the stored entries are dead, sweep them eagerly. *)
+let maybe_compact t =
+  if t.len >= 64 && t.len - t.live > t.len / 2 then compact t
+
 let push t ~time payload =
   let entry =
-    { time; seq = t.next_seq; payload; cancelled = false }
+    { time; seq = t.next_seq; payload; cancelled = false; departed = false }
   in
   t.next_seq <- t.next_seq + 1;
   ensure_capacity t;
-  t.data.(t.len) <- entry;
+  t.data.(t.len) <- Some entry;
   t.len <- t.len + 1;
   t.live <- t.live + 1;
   sift_up t (t.len - 1);
@@ -75,12 +110,14 @@ let push t ~time payload =
 let pop_any t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      t.data.(t.len) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
     Some top
   end
 
@@ -90,6 +127,7 @@ let rec pop t =
   | Some entry ->
       if entry.cancelled then pop t
       else begin
+        entry.departed <- true;
         t.live <- t.live - 1;
         Some (entry.time, entry.payload)
       end
@@ -97,7 +135,7 @@ let rec pop t =
 let rec peek_time t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     if top.cancelled then begin
       ignore (pop_any t);
       peek_time t
@@ -106,9 +144,10 @@ let rec peek_time t =
   end
 
 let cancel t entry =
-  if not entry.cancelled then begin
+  if not (entry.cancelled || entry.departed) then begin
     entry.cancelled <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    maybe_compact t
   end
 
 let cancelled entry = entry.cancelled

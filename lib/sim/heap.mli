@@ -3,7 +3,11 @@
     Ties on [time] are broken by the monotonically increasing sequence
     number assigned at insertion, which makes event ordering — and hence
     every simulation — fully deterministic. Cancellation is lazy: a
-    cancelled entry stays in the heap and is skipped on [pop]. *)
+    cancelled entry stays in the heap and is skipped on [pop] — until
+    cancelled entries outnumber live ones, at which point the heap
+    compacts them away so cancel-heavy runs don't leak slots. Pop order
+    is a pure function of the [(time, seq)] keys, so compaction is
+    invisible to callers. *)
 
 type 'a t
 
@@ -25,6 +29,7 @@ val pop : 'a t -> (float * 'a) option
 val peek_time : 'a t -> float option
 
 val cancel : 'a t -> 'a entry -> unit
-(** Idempotent. A cancelled entry is never returned by [pop]. *)
+(** Idempotent. A cancelled entry is never returned by [pop];
+    cancelling an entry [pop] already returned is a no-op. *)
 
 val cancelled : 'a entry -> bool

@@ -1,0 +1,51 @@
+(** Fixed-size worker pool over OCaml 5 domains (stdlib only:
+    [Domain.spawn] + [Mutex]/[Condition] around a shared work queue).
+
+    Each job is an independent closure — typically one whole simulation
+    ({!Engine.run} is single-domain, and engine state is domain-local),
+    so parallelism is across simulations: whole experiments, or the
+    per-mode/per-curve sweeps inside one. Results are returned in
+    submission order regardless of completion order, which keeps
+    consumers' output bit-identical to a sequential run whatever the
+    worker count. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped at 8 (and at least 1):
+    the simulations are CPU-bound, so oversubscribing domains only adds
+    scheduling noise. *)
+
+val create : workers:int -> t
+(** Spawn [workers] domains blocked on the queue. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] executes every thunk and returns their results
+    in input order. With [jobs <= 1] (or a single thunk) everything runs
+    sequentially on the calling domain — no domains are spawned — so
+    [run ~jobs:1] is the reference behaviour parallel runs must match.
+    Otherwise a temporary pool of [min jobs (length thunks)] workers is
+    created and shut down around the batch. If a thunk raises, every
+    other job still runs to completion, then the first failure (in
+    submission order) is re-raised with its original backtrace. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items = run ~jobs (List.map (fun x () -> f x) items)]. *)
+
+(** {1 Lower-level interface} *)
+
+type promise
+(** A handle for one submitted job (see {!submit}/{!await}). *)
+
+val submit :
+  t -> (unit -> 'a) -> promise * 'a option ref
+(** Enqueue a job; the paired ref holds the result once the promise
+    completes. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await :
+  promise * 'a option ref ->
+  ('a, exn * Printexc.raw_backtrace) result
+(** Block the calling (OS) thread until the job finishes. *)
+
+val shutdown : t -> unit
+(** Close the queue, let the workers drain it, and join them. *)

@@ -75,6 +75,7 @@ type env = {
   backend : Backend.t;
   mode : Mode.t;
   costs : Costs.t;
+  shells : int ref;
 }
 
 type shell = {
@@ -115,8 +116,6 @@ let is_xl env = env.mode.Mode.impl = Mode.Xl
 
 let uses_xenstore env = env.mode.Mode.registry = Mode.Xenstore
 
-let shell_counter = ref 0
-
 (* Scan all running guests for a name (libxl_name_to_domid): a
    directory listing plus one read per guest, each a full round-trip to
    the daemon. This is one of the scalability killers of the standard
@@ -132,8 +131,12 @@ let scan_domain_names env =
 
 let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
   let b = breakdown in
-  incr shell_counter;
-  let shell_name = Printf.sprintf "chaos-shell-%d" !shell_counter in
+  (* The counter lives in [env], not at module level: a process-global
+     counter would be shared mutable state across worker domains and
+     would make shell names depend on whatever ran earlier in the
+     process. *)
+  incr env.shells;
+  let shell_name = Printf.sprintf "chaos-shell-%d" !(env.shells) in
   let mode_attr = ("mode", Mode.name env.mode) in
   (* Phase 1: hypervisor reservation. The domid only exists once the
      reservation succeeds, so it is attached to the span after the fact. *)

@@ -41,6 +41,7 @@ type env = {
   backend : Backend.t;
   mode : Mode.t;
   costs : Costs.t;
+  shells : int ref;  (** shells prepared so far (names shell-1, -2, …) *)
 }
 
 (** A pre-created VM shell (output of the prepare phase). *)

@@ -26,7 +26,8 @@ let make ~xen ~mode ?xs_profile ?(costs = Costs.default)
       ~ctrl ~costs
   in
   let env =
-    { Create.xen; xs_server; xs; ctrl; backend; mode; costs }
+    { Create.xen; xs_server; xs; ctrl; backend; mode; costs;
+      shells = ref 0 }
   in
   { env; pool_target; pools = Hashtbl.create 8; live = Hashtbl.create 64 }
 

@@ -1,13 +1,19 @@
-type t =
-  | Absolute of string list
-  | Special of string (* "@introduceDomain" / "@releaseDomain" *)
+(* A path caches both its canonical string and its segment list: store
+   operations walk [segs] and logging/compare use [str], so neither
+   re-splits nor re-concatenates on the hot path (every XenStore op
+   used to pay a [String.concat] in [to_string]/[compare]). *)
+type t = {
+  str : string; (* canonical form: "/", "/a/b", or "@special" *)
+  segs : string list; (* [] for the root and for specials *)
+  special : bool;
+}
 
 exception Invalid of string
 
 let max_path_length = 3072
 let max_segment_length = 256
 
-let root = Absolute []
+let root = { str = "/"; segs = []; special = false }
 
 let segment_char_ok c =
   (c >= 'a' && c <= 'z')
@@ -28,7 +34,7 @@ let check_segment s =
 let specials = [ "@introduceDomain"; "@releaseDomain" ]
 
 let of_string s =
-  if List.mem s specials then Special s
+  if List.mem s specials then { str = s; segs = []; special = true }
   else begin
     if String.length s > max_path_length then raise (Invalid "path too long");
     if s = "" then raise (Invalid "empty path");
@@ -45,63 +51,73 @@ let of_string s =
       match parts with
       | "" :: segs ->
           List.iter check_segment segs;
-          Absolute segs
+          { str = s; segs; special = false }
       | _ -> raise (Invalid ("path not absolute: " ^ s))
     end
   end
 
 let of_string_opt s = try Some (of_string s) with Invalid _ -> None
 
-let to_string = function
-  | Special s -> s
-  | Absolute [] -> "/"
-  | Absolute segs -> "/" ^ String.concat "/" segs
+let to_string t = t.str
 
-let segments = function Special _ -> [] | Absolute segs -> segs
+let segments t = t.segs
 
-let is_special = function Special _ -> true | Absolute _ -> false
+let is_special t = t.special
 
-let depth = function Special _ -> 0 | Absolute segs -> List.length segs
+let depth t = List.length t.segs
 
 let concat p seg =
-  match p with
-  | Special _ -> raise (Invalid "cannot extend a special path")
-  | Absolute segs ->
-      check_segment seg;
-      Absolute (segs @ [ seg ])
+  if p.special then raise (Invalid "cannot extend a special path");
+  check_segment seg;
+  let str = if p.segs = [] then "/" ^ seg else p.str ^ "/" ^ seg in
+  { str; segs = p.segs @ [ seg ]; special = false }
 
 let ( / ) = concat
 
-let parent = function
-  | Special _ -> None
-  | Absolute [] -> None
-  | Absolute segs ->
-      let rec drop_last = function
-        | [] | [ _ ] -> []
-        | x :: rest -> x :: drop_last rest
-      in
-      Some (Absolute (drop_last segs))
+let parent t =
+  if t.special then None
+  else
+    match t.segs with
+    | [] -> None
+    | segs ->
+        let rec drop_last = function
+          | [] | [ _ ] -> []
+          | x :: rest -> x :: drop_last rest
+        in
+        let i = String.rindex t.str '/' in
+        if i = 0 then Some root
+        else
+          Some
+            { str = String.sub t.str 0 i; segs = drop_last segs;
+              special = false }
 
-let basename = function
-  | Special _ -> None
-  | Absolute [] -> None
-  | Absolute segs -> Some (List.nth segs (List.length segs - 1))
+let basename t =
+  if t.special then None
+  else
+    match t.segs with
+    | [] -> None
+    | segs -> Some (List.nth segs (List.length segs - 1))
 
 let is_prefix p ~of_ =
-  match (p, of_) with
-  | Special a, Special b -> a = b
-  | Special _, _ | _, Special _ -> false
-  | Absolute a, Absolute b ->
+  match (p.special, of_.special) with
+  | true, true -> String.equal p.str of_.str
+  | true, false | false, true -> false
+  | false, false ->
       let rec go = function
         | [], _ -> true
         | _, [] -> false
-        | x :: xs, y :: ys -> x = y && go (xs, ys)
+        | x :: xs, y :: ys -> String.equal x y && go (xs, ys)
       in
-      go (a, b)
+      go (p.segs, of_.segs)
 
-let equal a b = a = b
-let compare a b = compare (to_string a) (to_string b)
-let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = String.equal a.str b.str
+let compare a b = String.compare a.str b.str
+let pp fmt t = Format.pp_print_string fmt t.str
 
 let domain_path domid =
-  Absolute [ "local"; "domain"; string_of_int domid ]
+  let id = string_of_int domid in
+  {
+    str = "/local/domain/" ^ id;
+    segs = [ "local"; "domain"; id ];
+    special = false;
+  }

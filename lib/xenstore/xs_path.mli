@@ -21,7 +21,9 @@ val of_string_opt : string -> t option
 val to_string : t -> string
 
 val segments : t -> string list
-(** Root has no segments. *)
+(** Root has no segments. The segment list is cached in the path value
+    (as is the canonical string), so [segments]/[to_string]/[compare]
+    are allocation-free — store operations never re-split the path. *)
 
 val is_special : t -> bool
 (** True for the [@...] watch paths. *)

@@ -76,7 +76,7 @@ let lookup t path =
   if Xs_path.is_special path then None
   else lookup_node t.root (Xs_path.segments path)
 
-let exists t path = lookup t path <> None
+let exists t path = Option.is_some (lookup t path)
 
 let read t ~caller path =
   match lookup t path with
@@ -124,7 +124,10 @@ let update t ~caller path ~(f : Node.t option -> (Node.t, Xs_error.t) result)
           match f existing with
           | Error e -> Error e
           | Ok replacement ->
-              if existing = None then created := caller :: !created;
+              (* [Option.is_none], not polymorphic [= None]: [existing]
+                 carries a whole subtree, and structural equality is a C
+                 call the compiler can't see through. *)
+              if Option.is_none existing then created := caller :: !created;
               Ok
                 {
                   node with

@@ -4,4 +4,5 @@ let () =
     @ Test_toolstack.suites @ Test_tinyx.suites @ Test_container.suites
     @ Test_net.suites @ Test_minipy.suites @ Test_workloads.suites
     @ Test_core.suites @ Test_metrics.suites @ Test_xenstore_model.suites
-    @ Test_guest.suites @ Test_extra.suites @ Test_trace.suites)
+    @ Test_guest.suites @ Test_extra.suites @ Test_trace.suites
+    @ Test_parallel.suites)

@@ -1,0 +1,200 @@
+(* Determinism of the parallel experiment runner, the Pool itself, and
+   the heap's lazy-cancellation/compaction invariants. *)
+
+module E = Lightvm.Experiment
+module Pool = Lightvm_sim.Pool
+module Heap = Lightvm_sim.Heap
+module Series = Lightvm_metrics.Series
+module Table = Lightvm_metrics.Table
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_order () =
+  let items = List.init 40 Fun.id in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.map (fun x -> x * x) items)
+    (Pool.map ~jobs:4 (fun x -> x * x) items)
+
+let test_pool_single_job_inline () =
+  (* jobs = 1 must not spawn domains: the thunk runs on this domain. *)
+  let self = Domain.self () in
+  Alcotest.(check bool)
+    "ran on the calling domain" true
+    (List.hd (Pool.run ~jobs:1 [ (fun () -> Domain.self () = self) ]))
+
+let test_pool_workers_are_domains () =
+  let self = Domain.self () in
+  let elsewhere =
+    Pool.run ~jobs:2 (List.init 4 (fun _ () -> Domain.self () <> self))
+  in
+  Alcotest.(check bool)
+    "jobs ran on worker domains" true
+    (List.for_all Fun.id elsewhere)
+
+exception Boom of int
+
+let test_pool_exception () =
+  let ran = Array.make 6 false in
+  match
+    Pool.run ~jobs:3
+      (List.init 6 (fun i () ->
+           ran.(i) <- true;
+           if i = 2 || i = 4 then raise (Boom i)))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+      (* First failure in submission order, after every job ran. *)
+      Alcotest.(check int) "first failing job" 2 i;
+      Alcotest.(check bool)
+        "all jobs still ran" true
+        (Array.for_all Fun.id ran)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment plans: byte-identical output for any jobs count. *)
+
+(* Render with exact (hex) floats: any numeric divergence between a
+   sequential and a pooled run must show up in the comparison. *)
+let render (r : E.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf r.E.name;
+  Buffer.add_char buf '/';
+  Buffer.add_string buf r.E.figure;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (l : E.labelled) ->
+      Buffer.add_string buf ("# " ^ l.E.label ^ "\n");
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%h\t%h\n" x y))
+        (Series.points l.E.series))
+    r.E.series;
+  List.iter
+    (fun t -> Buffer.add_string buf (Format.asprintf "%a@." Table.pp t))
+    r.E.tables;
+  List.iter (fun n -> Buffer.add_string buf (n ^ "\n")) r.E.notes;
+  Buffer.contents buf
+
+let test_plan_deterministic name plan () =
+  let sequential = render (E.run_plan ~jobs:1 plan) in
+  let parallel = render (E.run_plan ~jobs:4 plan) in
+  if not (String.equal sequential parallel) then
+    Alcotest.failf
+      "%s: output with jobs=4 differs from jobs=1 (%d vs %d bytes)" name
+      (String.length sequential) (String.length parallel)
+
+(* Every registry entry, at a scale small enough for the test suite. *)
+let determinism_cases =
+  List.map
+    (fun (name, plan) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%d job(s))" name (E.job_count plan))
+        `Slow
+        (test_plan_deterministic name plan))
+    (E.plans ~n:40 ())
+
+(* ------------------------------------------------------------------ *)
+(* Heap model: random push/pop/cancel against a naive reference,
+   checking pop order and the live count (which drives compaction). *)
+
+type op = Push of float | Pop | Cancel of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* few distinct times, so seq tie-breaking is exercised *)
+        (6, map (fun t -> Push (float_of_int t)) (int_bound 9));
+        (3, return Pop);
+        (* dense enough cancels to trip the compaction threshold *)
+        (4, map (fun i -> Cancel i) (int_bound 10_000));
+      ])
+
+let print_op = function
+  | Push t -> Printf.sprintf "Push %g" t
+  | Pop -> "Pop"
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck.Gen.(list_size (int_range 0 600) op_gen)
+
+type model_state = Live | Gone
+
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches model under push/pop/cancel"
+    ~count:200 ops_arb (fun ops ->
+      let h = Heap.create () in
+      (* (key, heap entry, state), oldest first; payload = seq. *)
+      let entries = ref [] in
+      let seq = ref 0 in
+      let live () =
+        List.length (List.filter (fun (_, _, st) -> !st = Live) !entries)
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push t ->
+              let e = Heap.push h ~time:t !seq in
+              entries := !entries @ [ ((t, !seq), e, ref Live) ];
+              incr seq;
+              Heap.size h = live ()
+          | Cancel i -> (
+              match !entries with
+              | [] -> Heap.size h = 0
+              | l ->
+                  let _, e, st = List.nth l (i mod List.length l) in
+                  Heap.cancel h e;
+                  (* Cancel of a popped entry must be a no-op. *)
+                  if !st = Live && Heap.cancelled e then st := Gone;
+                  Heap.size h = live ())
+          | Pop -> (
+              let expected =
+                List.filter (fun (_, _, st) -> !st = Live) !entries
+                |> List.sort (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
+              in
+              match (Heap.pop h, expected) with
+              | None, [] -> Heap.size h = 0
+              | Some (t, v), ((et, es), _, st) :: _ ->
+                  st := Gone;
+                  Float.equal t et && v = es && Heap.size h = live ()
+              | Some _, [] | None, _ :: _ -> false))
+        ops)
+
+let test_heap_compaction_shrinks () =
+  (* Push many, cancel all but one: the backing array must not keep a
+     slot per cancelled entry once past the threshold, and the
+     survivor must still pop correctly. *)
+  let h = Heap.create () in
+  let keeper = Heap.push h ~time:5000. "keeper" in
+  ignore keeper;
+  for i = 1 to 10_000 do
+    Heap.cancel h (Heap.push h ~time:(float_of_int i) "victim")
+  done;
+  Alcotest.(check int) "one live entry" 1 (Heap.size h);
+  Alcotest.(check (option (pair (float 1e-9) string)))
+    "survivor pops" (Some (5000., "keeper")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 1e-9) string)))
+    "then empty" None (Heap.pop h)
+
+let suites =
+  [
+    ( "sim.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_pool_order;
+        Alcotest.test_case "jobs=1 runs inline" `Quick
+          test_pool_single_job_inline;
+        Alcotest.test_case "workers are domains" `Quick
+          test_pool_workers_are_domains;
+        Alcotest.test_case "first exception rethrown" `Quick
+          test_pool_exception;
+      ] );
+    ("parallel.experiments", determinism_cases);
+    ( "sim.heap.compaction",
+      [
+        QCheck_alcotest.to_alcotest prop_heap_model;
+        Alcotest.test_case "cancel-heavy compaction" `Quick
+          test_heap_compaction_shrinks;
+      ] );
+  ]
