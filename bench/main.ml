@@ -119,6 +119,10 @@ let experiments =
       Some (pick ~quick:80 ~medium:400 ~full:1000),
       "xl 100ms->1s; chaos[XS] 15->80ms; +split max ~25ms; noxs 8-15ms; \
        all: 4->4.1ms" );
+    ( "scale",
+      Some (pick ~quick:10_000 ~medium:10_000 ~full:10_000),
+      "beyond the paper: host stays near-linear to 10k guests; xl capped \
+       at 2000 (its modeled libxl protocol is Theta(N^2) round trips)" );
     ( "fig10",
       Some (pick ~quick:300 ~medium:3000 ~full:8000),
       "LightVM scales to 8000 guests; Docker ~150ms->1s and wedges ~3000"
@@ -354,6 +358,67 @@ let tls_handshake () =
              | Error _ -> state)
            Lightvm_net.Tls.initial Lightvm_net.Tls.handshake_messages))
 
+(* The [scale] experiment's substrate, each next to the structure it
+   replaced so the JSON trajectory records the ratio. *)
+
+let scale_watch_trie () =
+  (* 10k registered watches (one shutdown watch per domain, as xl
+     registers them), one dispatch. The trie walks the modified path's
+     spine instead of scanning the registry. *)
+  let module W = Lightvm_xenstore.Xs_watch in
+  let module P = Lightvm_xenstore.Xs_path in
+  let t = W.create () in
+  for i = 1 to 10_000 do
+    W.add t ~owner:i
+      ~path:
+        (P.of_string (Printf.sprintf "/local/domain/%d/control/shutdown" i))
+      ~token:"shutdown"
+      ~deliver:(fun _ -> ())
+  done;
+  let modified = P.of_string "/local/domain/5000/control/shutdown" in
+  Staged.stage (fun () -> ignore (W.matching t ~modified))
+
+let scale_watch_linear () =
+  (* Reference: the pre-index registry — an is_prefix test against
+     every registered watch. *)
+  let module P = Lightvm_xenstore.Xs_path in
+  let watches =
+    Array.init 10_000 (fun i ->
+        P.of_string
+          (Printf.sprintf "/local/domain/%d/control/shutdown" (i + 1)))
+  in
+  let modified = P.of_string "/local/domain/5000/control/shutdown" in
+  Staged.stage (fun () ->
+      let hits = ref [] in
+      Array.iter
+        (fun p -> if P.is_prefix p ~of_:modified then hits := p :: !hits)
+        watches;
+      ignore !hits)
+
+let scale_snapshot_persistent () =
+  (* Transaction snapshot of a 10k-domain store: pure structural
+     sharing (immutable node tree + persistent ownership map). *)
+  let module S = Lightvm_xenstore.Xs_store in
+  let module P = Lightvm_xenstore.Xs_path in
+  let store = S.create () in
+  for i = 1 to 10_000 do
+    ignore
+      (S.write store ~caller:0
+         (P.of_string (Printf.sprintf "/local/domain/%d/name" i))
+         (Printf.sprintf "g%d" i))
+  done;
+  Staged.stage (fun () -> ignore (S.snapshot store))
+
+let scale_snapshot_copy () =
+  (* Reference: the per-transaction table copy a mutable store needs. *)
+  let tbl = Hashtbl.create 16384 in
+  for i = 1 to 10_000 do
+    Hashtbl.replace tbl
+      (Printf.sprintf "/local/domain/%d/name" i)
+      (Printf.sprintf "g%d" i)
+  done;
+  Staged.stage (fun () -> ignore (Hashtbl.copy tbl))
+
 let micro_tests =
   [
     Test.make ~name:"fig5/fig9: xenstore write+read" (xs_store_ops ());
@@ -369,6 +434,14 @@ let micro_tests =
     Test.make ~name:"fig8/9: vm config parse" (vmconfig_parse ());
     Test.make ~name:"tinyx: kconfig prune loop" (kconfig_prune ());
     Test.make ~name:"fig16c: TLS handshake steps" (tls_handshake ());
+    Test.make ~name:"scale: watch dispatch (trie, 10k watches)"
+      (scale_watch_trie ());
+    Test.make ~name:"scale: watch dispatch (linear ref, 10k watches)"
+      (scale_watch_linear ());
+    Test.make ~name:"scale: tx snapshot (persistent, 10k domains)"
+      (scale_snapshot_persistent ());
+    Test.make ~name:"scale: tx snapshot (copying ref, 10k domains)"
+      (scale_snapshot_copy ());
   ]
 
 (* (name, ns/op estimate) per micro-benchmark, in declaration order. *)

@@ -35,6 +35,14 @@ val fig9_create_times : ?n:int -> unit -> labelled list
 (** Creation+boot of the daytime unikernel under all five toolstack
     combinations. *)
 
+val scale_creation : ?n:int -> unit -> labelled list
+(** The Fig 9 creation sweep pushed to the simulator's 10,000-guest
+    design target for xl, chaos [XS] and chaos [NoXS]; each mode runs
+    at 2000/5000/10000 guests (capped by [?n]), sampled to ~20 points
+    per curve. xl stops at 2000: its modeled libxl protocol is Θ(N²)
+    simulated round trips, so the quadratic trend is established early
+    and chaos [XS] carries the full-scale XenStore stress. *)
+
 val fig10_density :
   ?vms:int -> ?containers:int -> unit -> labelled list
 (** LightVM (noop unikernel, no devices) vs Docker on the 64-core AMD
@@ -111,8 +119,8 @@ type result = {
 
 val all : (string * (unit -> result)) list
 (** Experiments at their default (laptop-friendly) scales, keyed by
-    name ([fig1] ... [fig18], [ablation], [pause], [wan-migration],
-    [headline], [tinyx]). *)
+    name ([fig1] ... [fig18], [scale], [ablation], [pause],
+    [wan-migration], [headline], [tinyx]). *)
 
 val names : string list
 

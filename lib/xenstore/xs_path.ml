@@ -33,7 +33,28 @@ let check_segment s =
 
 let specials = [ "@introduceDomain"; "@releaseDomain" ]
 
-let of_string s =
+(* Segment interning: one canonical string per distinct segment, so
+   equal segments are physically equal and map/trie comparisons on the
+   store walk take the pointer fast path before falling back to a real
+   compare. The table is domain-local rather than global-with-a-mutex:
+   simulations run one per domain (pool workers included), and physical
+   equality only ever needs to hold within a domain. *)
+let intern_tbl : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let intern seg =
+  let tbl = Domain.DLS.get intern_tbl in
+  match Hashtbl.find_opt tbl seg with
+  | Some canonical -> canonical
+  | None ->
+      Hashtbl.add tbl seg seg;
+      seg
+
+let seg_equal a b = a == b || String.equal a b
+
+let seg_compare a b = if a == b then 0 else String.compare a b
+
+let parse s =
   if List.mem s specials then { str = s; segs = []; special = true }
   else begin
     if String.length s > max_path_length then raise (Invalid "path too long");
@@ -51,10 +72,30 @@ let of_string s =
       match parts with
       | "" :: segs ->
           List.iter check_segment segs;
-          { str = s; segs; special = false }
+          { str = s; segs = List.map intern segs; special = false }
       | _ -> raise (Invalid ("path not absolute: " ^ s))
     end
   end
+
+(* Parsing is pure, and clients re-parse the same strings constantly
+   (every simulated round trip starts from a string path), so memoize
+   successful parses per domain. The cap is a safety valve against a
+   pathological workload filling memory with distinct paths; clearing
+   just costs re-parses. *)
+let memo_tbl : (string, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let memo_cap = 1_000_000
+
+let of_string s =
+  let tbl = Domain.DLS.get memo_tbl in
+  match Hashtbl.find_opt tbl s with
+  | Some p -> p
+  | None ->
+      let p = parse s in
+      if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+      Hashtbl.add tbl s p;
+      p
 
 let of_string_opt s = try Some (of_string s) with Invalid _ -> None
 
@@ -70,7 +111,7 @@ let concat p seg =
   if p.special then raise (Invalid "cannot extend a special path");
   check_segment seg;
   let str = if p.segs = [] then "/" ^ seg else p.str ^ "/" ^ seg in
-  { str; segs = p.segs @ [ seg ]; special = false }
+  { str; segs = p.segs @ [ intern seg ]; special = false }
 
 let ( / ) = concat
 
@@ -106,7 +147,7 @@ let is_prefix p ~of_ =
       let rec go = function
         | [], _ -> true
         | _, [] -> false
-        | x :: xs, y :: ys -> String.equal x y && go (xs, ys)
+        | x :: xs, y :: ys -> seg_equal x y && go (xs, ys)
       in
       go (p.segs, of_.segs)
 
@@ -115,9 +156,9 @@ let compare a b = String.compare a.str b.str
 let pp fmt t = Format.pp_print_string fmt t.str
 
 let domain_path domid =
-  let id = string_of_int domid in
+  let id = intern (string_of_int domid) in
   {
     str = "/local/domain/" ^ id;
-    segs = [ "local"; "domain"; id ];
+    segs = [ intern "local"; intern "domain"; id ];
     special = false;
   }

@@ -23,7 +23,21 @@ val to_string : t -> string
 val segments : t -> string list
 (** Root has no segments. The segment list is cached in the path value
     (as is the canonical string), so [segments]/[to_string]/[compare]
-    are allocation-free — store operations never re-split the path. *)
+    are allocation-free — store operations never re-split the path.
+    Segments are interned (see {!intern}), so two paths sharing a
+    segment share the same string value. *)
+
+val intern : string -> string
+(** The canonical (physically shared) copy of a segment string, per
+    domain. Every path constructor interns its segments, so segment
+    comparisons in the store and watch trie can test physical equality
+    first ({!seg_equal}, {!seg_compare}). *)
+
+val seg_equal : string -> string -> bool
+(** [String.equal] with a pointer fast path for interned segments. *)
+
+val seg_compare : string -> string -> int
+(** [String.compare] with a pointer fast path for interned segments. *)
 
 val is_special : t -> bool
 (** True for the [@...] watch paths. *)

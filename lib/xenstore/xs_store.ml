@@ -1,4 +1,14 @@
-module SMap = Map.Make (String)
+(* Children are keyed by interned path segments (Xs_path.intern), so
+   the map's compare hits the pointer fast path on the common case of
+   walking with a segment that already names an existing child. Order
+   agrees with String.compare, so [bindings] stays sorted by name. *)
+module SMap = Map.Make (struct
+  type t = string
+
+  let compare = Xs_path.seg_compare
+end)
+
+module IMap = Map.Make (Int)
 
 module Node = struct
   type t = {
@@ -17,11 +27,15 @@ module Node = struct
   let make ~value ~perms = { value; perms; children = SMap.empty }
 end
 
+(* [owned] is a persistent map (not a Hashtbl) so that snapshots are
+   pure structural sharing: [snapshot]/[of_snapshot] copy four words
+   whatever the number of owners, where a Hashtbl would cost an O(n)
+   copy per transaction start and per scratch validation. *)
 type t = {
   mutable root : Node.t;
   mutable generation : int;
   mutable count : int;
-  owned : (int, int) Hashtbl.t;
+  mutable owned : int IMap.t;
 }
 
 type 'a r = ('a, Xs_error.t) result
@@ -30,15 +44,15 @@ type snapshot = {
   snap_root : Node.t;
   snap_generation : int;
   snap_count : int;
-  snap_owned : (int, int) Hashtbl.t;
+  snap_owned : int IMap.t;
 }
 
 let adjust_owned t domid delta =
-  let cur = Option.value ~default:0 (Hashtbl.find_opt t.owned domid) in
-  Hashtbl.replace t.owned domid (cur + delta)
+  let cur = Option.value ~default:0 (IMap.find_opt domid t.owned) in
+  t.owned <- IMap.add domid (cur + delta) t.owned
 
 let owned_count t ~domid =
-  Option.value ~default:0 (Hashtbl.find_opt t.owned domid)
+  Option.value ~default:0 (IMap.find_opt domid t.owned)
 
 let node_count t = t.count
 let generation t = t.generation
@@ -59,9 +73,7 @@ let create () =
              [ ("local", local); ("tool", leaf); ("vm", leaf) ]);
     }
   in
-  let t =
-    { root; generation = 0; count = 5; owned = Hashtbl.create 16 }
-  in
+  let t = { root; generation = 0; count = 5; owned = IMap.empty } in
   adjust_owned t 0 5;
   t
 
@@ -214,14 +226,17 @@ let set_perms t ~caller path perms =
   | _ -> ());
   result
 
-let count_owners node tbl =
-  let rec go (n : Node.t) =
+let count_owners node =
+  let rec go acc (n : Node.t) =
     let owner = Xs_perms.owner (Node.perms n) in
-    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl owner) in
-    Hashtbl.replace tbl owner (cur + 1);
-    SMap.iter (fun _ c -> go c) n.Node.children
+    let acc =
+      IMap.add owner
+        (1 + Option.value ~default:0 (IMap.find_opt owner acc))
+        acc
+    in
+    SMap.fold (fun _ c acc -> go acc c) n.Node.children acc
   in
-  go node
+  go IMap.empty node
 
 let rm t ~caller path =
   if Xs_path.is_special path then Error Xs_error.EINVAL
@@ -255,11 +270,9 @@ let rm t ~caller path =
             in
             (match go t.root segs with
             | root' ->
-                let removed_owned = Hashtbl.create 8 in
-                count_owners target removed_owned;
-                Hashtbl.iter
+                IMap.iter
                   (fun owner n -> adjust_owned t owner (-n))
-                  removed_owned;
+                  (count_owners target);
                 t.count <- t.count - Node.subtree_size target;
                 t.root <- root';
                 t.generation <- t.generation + 1;
@@ -278,12 +291,16 @@ let iter t f =
   in
   go Xs_path.root t.root
 
+(* Both O(1): the node tree is immutable and [owned] is persistent, so
+   a snapshot is four words and restoring one shares all structure.
+   Mutations on either side replace fields; they never leak across
+   (pinned by the snapshot-independence test in test_xenstore.ml). *)
 let snapshot t =
   {
     snap_root = t.root;
     snap_generation = t.generation;
     snap_count = t.count;
-    snap_owned = Hashtbl.copy t.owned;
+    snap_owned = t.owned;
   }
 
 let of_snapshot s =
@@ -291,5 +308,5 @@ let of_snapshot s =
     root = s.snap_root;
     generation = s.snap_generation;
     count = s.snap_count;
-    owned = Hashtbl.copy s.snap_owned;
+    owned = s.snap_owned;
   }

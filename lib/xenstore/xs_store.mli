@@ -74,7 +74,10 @@ val iter :
 type snapshot
 
 val snapshot : t -> snapshot
+(** O(1): the node tree is immutable and the ownership counts are a
+    persistent map, so a snapshot is pure structural sharing — no
+    copies, whatever the store size. *)
 
 val of_snapshot : snapshot -> t
 (** An independent store seeded from the snapshot; mutations do not
-    affect the original. *)
+    affect the original. Also O(1) — restoring shares all structure. *)

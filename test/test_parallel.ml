@@ -94,6 +94,25 @@ let determinism_cases =
     (E.plans ~n:40 ())
 
 (* ------------------------------------------------------------------ *)
+(* Regression pin: the exact fig9 render at the paper's n = 1000, as
+   produced by the seed's linear-scan watch registry and copying
+   snapshots. The indexed registry, persistent snapshots, interned
+   paths and the engine's sleep fast path are host-cost optimisations
+   only — if this digest ever changes, simulated behaviour changed and
+   the optimisation broke the modeled-cost invariant (see DESIGN.md
+   "Scaling"). *)
+
+let fig9_1000_digest = "2b80ee104c48c228384b816e1380814c"
+
+let test_fig9_digest_pinned () =
+  match E.plan ~n:1000 "fig9" with
+  | None -> Alcotest.fail "fig9 plan missing"
+  | Some p ->
+      Alcotest.(check string)
+        "fig9@1000 render digest" fig9_1000_digest
+        (Digest.to_hex (Digest.string (render (E.run_plan ~jobs:1 p))))
+
+(* ------------------------------------------------------------------ *)
 (* Heap model: random push/pop/cancel against a naive reference,
    checking pop order and the live count (which drives compaction). *)
 
@@ -191,6 +210,11 @@ let suites =
           test_pool_exception;
       ] );
     ("parallel.experiments", determinism_cases);
+    ( "experiment.regression",
+      [
+        Alcotest.test_case "fig9@1000 digest pinned" `Slow
+          test_fig9_digest_pinned;
+      ] );
     ( "sim.heap.compaction",
       [
         QCheck_alcotest.to_alcotest prop_heap_model;

@@ -266,6 +266,31 @@ let test_store_snapshot_isolation () =
     (Xs_store.read s ~caller:0 (p "/orig"));
   Alcotest.(check bool) "no leak" false (Xs_store.exists s (p "/extra"))
 
+let test_store_snapshot_owned_independent () =
+  (* Snapshots are pure structural sharing (immutable tree + persistent
+     ownership counts), so the bookkeeping must be as independent as
+     the data: neither direction of mutation may leak, including the
+     per-domain owned counts quotas rely on. *)
+  let s = Xs_store.create () in
+  ignore (Xs_store.write s ~caller:0 (p "/g") "");
+  ignore (Xs_store.set_perms s ~caller:0 (p "/g") (Xs_perms.owned_default 5));
+  let before = Xs_store.owned_count s ~domid:5 in
+  let view = Xs_store.of_snapshot (Xs_store.snapshot s) in
+  ignore (Xs_store.write view ~caller:5 (p "/g/name") "g5");
+  Alcotest.(check int) "original owned_count(5) untouched" before
+    (Xs_store.owned_count s ~domid:5);
+  Alcotest.(check int) "view owned_count(5) grew" (before + 1)
+    (Xs_store.owned_count view ~domid:5);
+  (* And the other direction: mutating the original after the snapshot
+     must not show through the view. *)
+  ignore (Xs_store.rm s ~caller:0 (p "/g"));
+  Alcotest.(check int) "original freed its nodes" 0
+    (Xs_store.owned_count s ~domid:5);
+  Alcotest.(check int) "view owned_count(5) unaffected by rm" (before + 1)
+    (Xs_store.owned_count view ~domid:5);
+  Alcotest.(check bool) "view still has the node" true
+    (Xs_store.exists view (p "/g/name"))
+
 let prop_store_node_count =
   (* node_count always equals the actual size of the tree. *)
   QCheck.Test.make ~name:"store node count consistent" ~count:100
@@ -737,6 +762,8 @@ let suites =
         Alcotest.test_case "generation" `Quick test_store_generation;
         Alcotest.test_case "snapshot isolation" `Quick
           test_store_snapshot_isolation;
+        Alcotest.test_case "snapshot owned counts independent" `Quick
+          test_store_snapshot_owned_independent;
         QCheck_alcotest.to_alcotest prop_store_node_count;
       ] );
     ( "xenstore.transaction",

@@ -155,8 +155,151 @@ let prop_store_matches_model =
       in
       go Model.initial ops)
 
+(* ------------------------------------------------------------------ *)
+(* Watch-registry model: the indexed (trie + per-owner) registry must
+   agree with the obvious linear reference — a registration-order list
+   filtered with is_prefix — on every observable, for random add /
+   remove / remove_owner sequences probed at random modified paths. *)
+
+module Xs_watch = Lightvm_xenstore.Xs_watch
+
+module Watch_model = struct
+  (* (owner, path, token) in registration order. *)
+  type t = (int * Xs_path.t * string) list
+
+  let add model ~owner ~path ~token = model @ [ (owner, path, token) ]
+
+  let remove model ~owner ~path ~token =
+    let keep (o, p, tk) =
+      not (o = owner && Xs_path.equal p path && tk = token)
+    in
+    let model' = List.filter keep model in
+    (model', List.length model' <> List.length model)
+
+  let remove_owner model ~owner =
+    let model' = List.filter (fun (o, _, _) -> o <> owner) model in
+    (model', List.length model - List.length model')
+
+  let count model = List.length model
+
+  let count_for model ~owner =
+    List.length (List.filter (fun (o, _, _) -> o = owner) model)
+
+  let matching model ~modified =
+    List.filter_map
+      (fun (_, p, tk) ->
+        let hit =
+          if Xs_path.is_special p || Xs_path.is_special modified then
+            Xs_path.equal p modified
+          else Xs_path.is_prefix p ~of_:modified
+        in
+        if hit then Some (Xs_path.to_string p, tk) else None)
+      model
+end
+
+type watch_op =
+  | W_add of int * string * string
+  | W_remove of int * string * string
+  | W_remove_owner of int
+
+let watch_path_gen =
+  let open QCheck.Gen in
+  let seg = oneofl [ "a"; "b"; "c" ] in
+  frequency
+    [
+      ( 6,
+        map
+          (fun segs -> "/" ^ String.concat "/" segs)
+          (list_size (int_range 1 4) seg) );
+      (1, return "/");
+      (1, oneofl [ "@introduceDomain"; "@releaseDomain" ]);
+    ]
+
+let watch_op_gen =
+  let open QCheck.Gen in
+  let owner = int_range 0 3 in
+  let token = oneofl [ "t0"; "t1"; "t2" ] in
+  frequency
+    [
+      (5, map3 (fun o p tk -> W_add (o, p, tk)) owner watch_path_gen token);
+      (2, map3 (fun o p tk -> W_remove (o, p, tk)) owner watch_path_gen token);
+      (1, map (fun o -> W_remove_owner o) owner);
+    ]
+
+let prop_watch_matches_model =
+  QCheck.Test.make
+    ~name:"indexed watch registry agrees with the linear reference"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 40) watch_op_gen)
+           (list_size (int_range 1 8) watch_path_gen)))
+    (fun (ops, probes) ->
+      let t = Xs_watch.create () in
+      let model =
+        List.fold_left
+          (fun model op ->
+            match op with
+            | W_add (owner, path, token) ->
+                let path = Xs_path.of_string path in
+                Xs_watch.add t ~owner ~path ~token ~deliver:(fun _ -> ());
+                Watch_model.add model ~owner ~path ~token
+            | W_remove (owner, path, token) ->
+                let path = Xs_path.of_string path in
+                let removed = Xs_watch.remove t ~owner ~path ~token in
+                let model', removed' =
+                  Watch_model.remove model ~owner ~path ~token
+                in
+                if removed <> removed' then
+                  QCheck.Test.fail_report
+                    (Printf.sprintf "remove %d %s diverged" owner
+                       (Xs_path.to_string path));
+                model'
+            | W_remove_owner owner ->
+                let n = Xs_watch.remove_owner t ~owner in
+                let model', n' = Watch_model.remove_owner model ~owner in
+                if n <> n' then
+                  QCheck.Test.fail_report
+                    (Printf.sprintf "remove_owner %d: %d <> %d" owner n n');
+                model')
+          [] ops
+      in
+      if Xs_watch.count t <> Watch_model.count model then
+        QCheck.Test.fail_report "count diverged";
+      for owner = 0 to 3 do
+        if
+          Xs_watch.count_for t ~owner <> Watch_model.count_for model ~owner
+        then
+          QCheck.Test.fail_report
+            (Printf.sprintf "count_for %d diverged" owner)
+      done;
+      (* Probe both the random paths and the specials: matching must
+         agree in content *and* registration order. *)
+      List.iter
+        (fun probe ->
+          let modified = Xs_path.of_string probe in
+          let real =
+            List.map
+              (fun (p, tk, _) -> (Xs_path.to_string p, tk))
+              (Xs_watch.matching t ~modified)
+          in
+          let expected = Watch_model.matching model ~modified in
+          if real <> expected then
+            QCheck.Test.fail_report
+              (Printf.sprintf "matching %s diverged: [%s] <> [%s]" probe
+                 (String.concat "; "
+                    (List.map (fun (p, tk) -> p ^ ":" ^ tk) real))
+                 (String.concat "; "
+                    (List.map (fun (p, tk) -> p ^ ":" ^ tk) expected))))
+        (probes @ [ "@introduceDomain"; "@releaseDomain"; "/" ]);
+      true)
+
 let suites =
   [
     ( "xenstore.model",
-      [ QCheck_alcotest.to_alcotest prop_store_matches_model ] );
+      [
+        QCheck_alcotest.to_alcotest prop_store_matches_model;
+        QCheck_alcotest.to_alcotest prop_watch_matches_model;
+      ] );
   ]
