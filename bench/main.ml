@@ -123,6 +123,10 @@ let experiments =
       Some (pick ~quick:10_000 ~medium:10_000 ~full:10_000),
       "beyond the paper: host stays near-linear to 10k guests; xl capped \
        at 2000 (its modeled libxl protocol is Theta(N^2) round trips)" );
+    ( "reliability",
+      Some (pick ~quick:20 ~medium:100 ~full:200),
+      "success rates fall as fault rates rise; [NoXS] immune to xs.* \
+       points; no resource leaks after failed creations" );
     ( "fig10",
       Some (pick ~quick:300 ~medium:3000 ~full:8000),
       "LightVM scales to 8000 guests; Docker ~150ms->1s and wedges ~3000"

@@ -136,6 +136,57 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run_traced $ id $ n_arg $ trace_file_arg $ buffer)
 
+(* ------------------------------------------------------------------ *)
+(* reliability: creation under deterministic fault injection *)
+
+module Fault = Lightvm_sim.Fault
+
+let run_reliability n jobs spec_str fault_seed =
+  let spec =
+    match spec_str with
+    | None -> None
+    | Some s -> (
+        match Fault.parse_spec s with
+        | Ok spec -> Some spec
+        | Error msg ->
+            Printf.eprintf "bad --faults spec: %s\nfault points:\n%s\n" msg
+              (String.concat "\n"
+                 (List.map
+                    (fun (name, doc) -> Printf.sprintf "  %-16s %s" name doc)
+                    Fault.points));
+            exit 1)
+  in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  print_result (E.run_plan ~jobs (E.reliability_plan ?n ?spec ~fault_seed ()))
+
+let reliability_cmd =
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Comma-separated fault spec: $(i,point)$(b,:)$(i,P) \
+                   injects with probability P, $(i,point)$(b,:@)$(i,K) \
+                   every Kth check, a bare $(i,point) always; \
+                   $(i,prefix)$(b,*) configures every matching point, \
+                   e.g. $(b,xs.eagain:0.1,create.phase*:0.01). Default: \
+                   the built-in mixed spec; the empty string disables \
+                   every point.")
+  in
+  let seed_arg =
+    Arg.(value & opt int64 42L
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the per-point fault streams. One (spec, \
+                   seed) pair reproduces the exact same failures on \
+                   every run and for any --jobs value.")
+  in
+  let doc =
+    "Creation success rates and latency CDFs under fault injection \
+     (xl vs chaos, fault rates x0/x1/x2/x4)."
+  in
+  Cmd.v (Cmd.info "reliability" ~doc)
+    Term.(const run_reliability $ n_arg $ jobs_arg $ faults_arg $ seed_arg)
+
 let list_cmd =
   let doc = "List the reproducible experiments." in
   Cmd.v (Cmd.info "list" ~doc)
@@ -341,5 +392,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figure_cmd; trace_cmd; list_cmd; headline_cmd; tinyx_cmd;
-            minipy_cmd; boot_cmd; xenstore_cmd ]))
+          [ figure_cmd; trace_cmd; reliability_cmd; list_cmd; headline_cmd;
+            tinyx_cmd; minipy_cmd; boot_cmd; xenstore_cmd ]))

@@ -1,6 +1,7 @@
 module Engine = Lightvm_sim.Engine
 module Pool = Lightvm_sim.Pool
 module Rng = Lightvm_sim.Rng
+module Fault = Lightvm_sim.Fault
 module Cpu = Lightvm_sim.Cpu
 module Series = Lightvm_metrics.Series
 module Table = Lightvm_metrics.Table
@@ -9,6 +10,7 @@ module Xen = Lightvm_hv.Xen
 module Image = Lightvm_guest.Image
 module Guest = Lightvm_guest.Guest
 module Mode = Lightvm_toolstack.Mode
+module Vmconfig = Lightvm_toolstack.Vmconfig
 module Create = Lightvm_toolstack.Create
 module Toolstack = Lightvm_toolstack.Toolstack
 module Checkpoint = Lightvm_toolstack.Checkpoint
@@ -323,6 +325,148 @@ let scale_jobs ?(n = 10_000) () : job list =
     scale_modes
 
 let scale_creation ?n () = series_of_jobs (scale_jobs ?n ())
+
+(* ------------------------------------------------------------------ *)
+(* Reliability (no paper figure): creation under fault injection.
+
+   For each toolstack mode and fault multiplier, attempt [n] creations
+   with the base fault spec scaled by the multiplier, and report the
+   success rate plus the CDF of successful creation times. Faults draw
+   only from the per-point streams seeded from [fault_seed] (see
+   lib/sim/fault.ml), so a given (spec, seed) pair reproduces the exact
+   same failures whatever the [--jobs] count. After every failed
+   attempt the host's resource counts are compared against a snapshot
+   taken just before it: a leaked domain, frame, grant, event channel,
+   control page, XenStore node or watch surfaces as a "LEAK" note (the
+   test suite additionally asserts there are none). *)
+
+(* A little of everything: XenStore transaction conflicts and quota
+   rejections, mid-pipeline phase failures on both the prepare and
+   execute side, hotplug hangs and backend allocation failures. The
+   [NoXS] column is naturally immune to the xs.* points — its creations
+   never touch the store — which is part of the point. *)
+let reliability_default_spec =
+  "xs.eagain:0.05,xs.equota:0.005,create.phase2:0.004,create.phase4:0.004,\
+   create.phase7:0.004,hotplug.hang:0.03,evtchn.alloc:0.004,gnttab.alloc:0.004"
+
+let reliability_levels = [ 0.; 1.; 2.; 4. ]
+let reliability_modes = [ Mode.xl; Mode.chaos_xs; Mode.chaos_noxs ]
+
+(* Distinct per-cell stream seed, a pure function of the user-visible
+   fault seed and the cell's position, so cells stay independent and
+   the whole sweep is reproducible from [fault_seed] alone. *)
+let reliability_cell_seed ~fault_seed mi li =
+  Int64.add fault_seed (Int64.of_int (((mi + 1) * 257) + li))
+
+let reliability_cell ~n ~mode ~spec ~seed ~level =
+  let label = Printf.sprintf "%s x%g" (Mode.name mode) level in
+  let cdf = mk ("reliability cdf " ^ label) "ms" in
+  let success = mk (Printf.sprintf "reliability success %s" (Mode.name mode)) "%" in
+  let injector = Fault.create ~seed (Fault.scale spec level) in
+  let ok = ref 0 and times = ref [] and leaks = ref [] in
+  run_sim (fun () ->
+      let host = Host.create ~mode () in
+      let ts = Host.toolstack host in
+      (* Warm up outside the injector: the first creation on a fresh
+         host materialises shared store directories (/vm, the backend
+         kind levels) that persist for the host's lifetime, so resource
+         snapshots are only stable from the second creation on. *)
+      let warm = Host.boot_vm host ~name:"rel-warmup" Image.daytime in
+      Host.destroy_vm host warm;
+      Fault.with_injector injector (fun () ->
+          for i = 1 to n do
+            let before = Host.resources host in
+            let cfg =
+              Vmconfig.for_image ~nics:1 ~disks:0
+                ~name:(Printf.sprintf "rel-%d" i) Image.daytime
+            in
+            let t0 = Engine.now () in
+            match Toolstack.create_vm ts cfg with
+            | Ok created ->
+                incr ok;
+                times := (Engine.now () -. t0) :: !times;
+                Guest.wait_ready created.Create.guest
+            | Error _ -> (
+                match Host.check_leak host ~before with
+                | Ok () -> ()
+                | Error leaked ->
+                    leaks :=
+                      Printf.sprintf "LEAK %s attempt %d: %s" label i leaked
+                      :: !leaks)
+          done));
+  (* CDF over successful creations only: x in ms, y the percentile. *)
+  let sorted = List.sort compare (List.rev !times) in
+  List.iteri
+    (fun i t ->
+      Series.add cdf ~x:(ms t)
+        ~y:(100. *. float_of_int (i + 1) /. float_of_int (max 1 !ok)))
+    sorted;
+  Series.add success ~x:level ~y:(100. *. float_of_int !ok /. float_of_int n);
+  let fired =
+    Fault.counts injector
+    |> List.filter (fun (_, (_, injected)) -> injected > 0)
+    |> List.map (fun (pt, (checks, injected)) ->
+           Printf.sprintf "%s %d/%d" pt injected checks)
+  in
+  let note =
+    Printf.sprintf "reliability %s: %d/%d created ok, %d faults injected%s"
+      label !ok n
+      (Fault.injected_total injector)
+      (match fired with
+      | [] -> ""
+      | l -> " (" ^ String.concat ", " l ^ ")")
+  in
+  piece
+    ~series:[ { label = "cdf " ^ label; series = cdf };
+              { label = "success " ^ Mode.name mode; series = success } ]
+    ~notes:(note :: List.rev !leaks)
+    ()
+
+let reliability_jobs ?(n = 200) ?spec ?(fault_seed = 42L) () : job list =
+  let spec =
+    match spec with
+    | Some s -> s
+    | None -> (
+        match Fault.parse_spec reliability_default_spec with
+        | Ok s -> s
+        | Error m -> invalid_arg ("reliability_default_spec: " ^ m))
+  in
+  List.concat
+    (List.mapi
+       (fun mi mode ->
+         List.mapi
+           (fun li level ->
+             ( Printf.sprintf "reliability/%s/x%g" (Mode.name mode) level,
+               fun () ->
+                 reliability_cell ~n ~mode ~spec
+                   ~seed:(reliability_cell_seed ~fault_seed mi li)
+                   ~level ))
+           reliability_levels)
+       reliability_modes)
+
+(* Collapse the per-cell single-point success series into one series
+   per mode (points arrive in job order, i.e. ascending fault level);
+   the CDF labels are unique per cell and pass through untouched. *)
+let reliability_finish pieces =
+  let merged = piece_concat pieces in
+  let out = ref [] in
+  List.iter
+    (fun l ->
+      match List.find_opt (fun l' -> String.equal l'.label l.label) !out with
+      | Some existing ->
+          List.iter
+            (fun (x, y) -> Series.add existing.series ~x ~y)
+            (Series.points l.series)
+      | None ->
+          let s =
+            Series.create
+              ~unit_label:(Series.unit_label l.series)
+              ~name:(Series.name l.series) ()
+          in
+          List.iter (fun (x, y) -> Series.add s ~x ~y) (Series.points l.series);
+          out := { l with series = s } :: !out)
+    merged.p_series;
+  { merged with p_series = List.rev !out }
 
 (* ------------------------------------------------------------------ *)
 (* Fig 10 *)
@@ -1002,6 +1146,10 @@ let mk_plan ?(finish = piece_concat) ~figure name jobs =
 
 let single ~figure name f = mk_plan ~figure name [ (name, f) ]
 
+let reliability_plan ?n ?spec ?fault_seed () =
+  mk_plan ~figure:"Failure model" "reliability" ~finish:reliability_finish
+    (reliability_jobs ?n ?spec ?fault_seed ())
+
 let plans ?n () : (string * plan) list =
   [
     ( "fig1",
@@ -1027,6 +1175,7 @@ let plans ?n () : (string * plan) list =
           piece ~series:(fig5_breakdown ?n ()) ()) );
     ("fig9", mk_plan ~figure:"Fig 9" "fig9" (fig9_jobs ?n ()));
     ("scale", mk_plan ~figure:"Fig 9 at 10k" "scale" (scale_jobs ?n ()));
+    ("reliability", reliability_plan ?n ());
     ( "fig10",
       mk_plan ~figure:"Fig 10" "fig10"
         (fig10_jobs ?vms:n ?containers:n ()) );

@@ -43,6 +43,13 @@ val scale_creation : ?n:int -> unit -> labelled list
     simulated round trips, so the quadratic trend is established early
     and chaos [XS] carries the full-scale XenStore stress. *)
 
+val reliability_default_spec : string
+(** The fault spec the [reliability] experiment runs when none is given
+    on the command line: XenStore conflicts and quota rejections,
+    mid-pipeline phase failures, hotplug hangs and backend allocation
+    failures, each at a low base probability (see DESIGN.md "Failure
+    model"). Parses with [Lightvm_sim.Fault.parse_spec]. *)
+
 val fig10_density :
   ?vms:int -> ?containers:int -> unit -> labelled list
 (** LightVM (noop unikernel, no devices) vs Docker on the 64-core AMD
@@ -159,6 +166,21 @@ type plan = {
 
 val plans : ?n:int -> unit -> (string * plan) list
 (** Same registry as {!registry}, as plans. *)
+
+val reliability_plan :
+  ?n:int ->
+  ?spec:Lightvm_sim.Fault.spec ->
+  ?fault_seed:int64 ->
+  unit ->
+  plan
+(** The [reliability] experiment with an explicit fault spec and seed
+    (defaults: {!reliability_default_spec} parsed, seed 42). For each
+    of xl, chaos [XS] and chaos [NoXS] at fault multipliers 0/1/2/4 it
+    attempts [n] creations (default 200) and reports a per-mode success
+    -rate series, per-cell creation-time CDFs, and notes with injected
+    -fault counts. Output is a pure function of [(n, spec, fault_seed)]
+    — identical for any [jobs] count. An empty [spec] consumes no
+    randomness and leaves every digest byte-identical. *)
 
 val plan : ?n:int -> string -> plan option
 

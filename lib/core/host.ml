@@ -66,6 +66,62 @@ let destroy_vm t created = Toolstack.destroy_vm t.ts created
 
 let vm_count t = Toolstack.vm_count t.ts
 
+(* ------------------------------------------------------------------ *)
+(* Resource accounting.
+
+   A snapshot of every countable resource a VM creation can acquire.
+   The invariant behind the fault-injection experiments: a failed
+   creation must leave every one of these exactly where it found them
+   (the rollback in Create releases XenStore subtrees, watches, grants,
+   control pages, event channels and frames). [diff_resources] renders
+   what leaked; the reliability experiment and the leak test assert it
+   is empty after every injected failure. *)
+
+type resources = {
+  r_domains : int;  (* guest domains, shells included *)
+  r_mem_kb : int;  (* frames allocated, all owners *)
+  r_evtchns : int;  (* open event-channel endpoints *)
+  r_grants : int;  (* outstanding grant-table entries *)
+  r_ctrl_pages : int;  (* registered noxs control pages *)
+  r_xs_nodes : int;  (* XenStore nodes *)
+  r_xs_watches : int;  (* registered XenStore watches *)
+}
+
+let resources t =
+  let env = Toolstack.env t.ts in
+  {
+    r_domains = Xen.guest_count t.xen;
+    r_mem_kb = Xen.used_mem_kb t.xen;
+    r_evtchns = Lightvm_hv.Evtchn.count (Xen.evtchn t.xen);
+    r_grants = Lightvm_hv.Gnttab.count (Xen.gnttab t.xen);
+    r_ctrl_pages = Lightvm_guest.Ctrl.count env.Create.ctrl;
+    r_xs_nodes =
+      Lightvm_xenstore.Xs_store.node_count
+        (Lightvm_xenstore.Xs_server.store env.Create.xs_server);
+    r_xs_watches =
+      Lightvm_xenstore.Xs_server.watch_count env.Create.xs_server;
+  }
+
+let diff_resources ~before ~after =
+  let d name get acc =
+    let b = get before and a = get after in
+    if a = b then acc else Printf.sprintf "%s %+d (%d -> %d)" name (a - b) b a :: acc
+  in
+  List.rev
+    ([]
+    |> d "domains" (fun r -> r.r_domains)
+    |> d "mem_kb" (fun r -> r.r_mem_kb)
+    |> d "evtchns" (fun r -> r.r_evtchns)
+    |> d "grants" (fun r -> r.r_grants)
+    |> d "ctrl_pages" (fun r -> r.r_ctrl_pages)
+    |> d "xs_nodes" (fun r -> r.r_xs_nodes)
+    |> d "xs_watches" (fun r -> r.r_xs_watches))
+
+let check_leak t ~before =
+  match diff_resources ~before ~after:(resources t) with
+  | [] -> Ok ()
+  | leaks -> Error (String.concat ", " leaks)
+
 let guest_mem_kb t =
   List.fold_left
     (fun acc dom ->

@@ -50,4 +50,32 @@ val guest_mem_kb : t -> int
 (** Memory held by guests (excluding Dom0/Xen), for the Fig 14
     accounting. *)
 
+(** A snapshot of every countable resource a VM creation acquires:
+    guest domains, allocated frames, event-channel endpoints,
+    grant-table entries, noxs control pages, XenStore nodes and
+    watches. Two snapshots are comparable with [( = )]. *)
+type resources = {
+  r_domains : int;
+  r_mem_kb : int;
+  r_evtchns : int;
+  r_grants : int;
+  r_ctrl_pages : int;
+  r_xs_nodes : int;
+  r_xs_watches : int;
+}
+
+val resources : t -> resources
+(** The host's current resource counts. Deterministic: a pure function
+    of the simulation state, usable inside digest-pinned experiments. *)
+
+val diff_resources : before:resources -> after:resources -> string list
+(** Human-readable list of counters that changed, empty when none did. *)
+
+val check_leak : t -> before:resources -> (unit, string) result
+(** Post-failure invariant check (see DESIGN.md "Failure model"): [Ok]
+    when the host's resource counts match [before] exactly, [Error s]
+    naming every leaked counter otherwise. Call with a snapshot taken
+    before a creation attempt to assert that a failed create released
+    everything it had acquired. *)
+
 val prefill_pool_for : t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> unit

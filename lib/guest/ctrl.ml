@@ -54,3 +54,5 @@ let state_to_string = function
   | Connected -> "connected"
   | Closing -> "closing"
   | Closed -> "closed"
+
+let count t = Hashtbl.length t.pages

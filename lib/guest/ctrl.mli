@@ -41,4 +41,8 @@ val front_port : page -> int option
 val await_connected : page -> unit
 (** Block (simulated time) until the back-end reports [Connected]. *)
 
+val count : t -> int
+(** Registered control pages. For leak accounting — see
+    [Lightvm.Host.resources]. *)
+
 val state_to_string : state -> string

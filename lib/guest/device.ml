@@ -34,6 +34,10 @@ let backend_dir ~domid c =
   Printf.sprintf "/local/domain/%d/backend/%s/%d/%d" c.backend_domid
     (kind_to_string c.kind) domid c.devid
 
+let backend_domain_dir ~domid c =
+  Printf.sprintf "/local/domain/%d/backend/%s/%d" c.backend_domid
+    (kind_to_string c.kind) domid
+
 let equal a b = a = b
 
 let pp fmt c =

@@ -28,6 +28,12 @@ val frontend_dir : domid:int -> config -> string
 val backend_dir : domid:int -> config -> string
 (** XenStore backend directory, e.g. [/local/domain/0/backend/vif/5/0]. *)
 
+val backend_domain_dir : domid:int -> config -> string
+(** The per-guest level above {!backend_dir}, e.g.
+    [/local/domain/0/backend/vif/5]. Created implicitly by the first
+    write under it; rollback removes this whole level so a failed
+    creation leaves no empty parent behind. *)
+
 val equal : config -> config -> bool
 
 val pp : Format.formatter -> config -> unit

@@ -104,3 +104,6 @@ let close_all t ~domid =
   let ports = ports_of t ~domid in
   List.iter (fun port -> ignore (close t ~domid ~port)) ports;
   List.length ports
+
+(* Open endpoints across all domains, for leak accounting. *)
+let count t = Hashtbl.length t.table

@@ -36,3 +36,7 @@ val close_all : t -> domid:int -> int
 (** Close every port owned by the domain; returns how many. *)
 
 val ports_of : t -> domid:int -> port list
+
+val count : t -> int
+(** Open endpoints across all domains (unbound ports count one; a bound
+    pair counts two). For leak accounting — see [Lightvm.Host.resources]. *)

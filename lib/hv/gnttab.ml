@@ -66,3 +66,5 @@ let mapped_count t ~owner gref =
   match Hashtbl.find_opt t.table (owner, gref) with
   | None -> 0
   | Some entry -> entry.mapped
+
+let count t = Hashtbl.length t.table

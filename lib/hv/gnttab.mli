@@ -24,5 +24,10 @@ val end_access : t -> owner:int -> gref -> (unit, error) result
 (** Fails with [Still_mapped] while the grantee holds a mapping. *)
 
 val active_grants : t -> owner:int -> int
+(** Outstanding grant entries owned by [owner]. *)
 
 val mapped_count : t -> owner:int -> gref -> int
+
+val count : t -> int
+(** Outstanding grant entries across all owners. For leak accounting —
+    see [Lightvm.Host.resources]. *)

@@ -1,9 +1,11 @@
 module Engine = Lightvm_sim.Engine
+module Fault = Lightvm_sim.Fault
 module Xen = Lightvm_hv.Xen
 module Evtchn = Lightvm_hv.Evtchn
 module Gnttab = Lightvm_hv.Gnttab
 module Params = Lightvm_hv.Params
 module Xs_client = Lightvm_xenstore.Xs_client
+module Xs_error = Lightvm_xenstore.Xs_error
 module Device = Lightvm_guest.Device
 module Ctrl = Lightvm_guest.Ctrl
 module Xenbus_front = Lightvm_guest.Xenbus_front
@@ -17,6 +19,8 @@ type t = {
   mutable connected : int;
   mutable next_ctrl_frame : int;
 }
+
+exception Alloc_failed of string
 
 let create ~xen ~xs ~ctrl ~costs =
   { xen; xs; ctrl; costs; mac_counter = 0; connected = 0;
@@ -62,8 +66,23 @@ let complete_handshake t ~domid (dev : Device.config) xs =
                ~remote_port:(int_of_string port));
           (* Backend-side driver work on a Dom0 core. *)
           Xen.consume_dom0 t.xen t.costs.Costs.backend_connect_work;
-          Xs_client.write xs (be ^ "/state")
-            (Xenbus_front.state_to_wire Xenbus_front.Connected);
+          (* The daemon degrades gracefully under store pressure: a
+             quota rejection (natural or injected, see lib/sim/fault.ml)
+             is retried after a backoff rather than wedging the device —
+             a frontend blocked on this write would otherwise never see
+             Connected. Unbounded on purpose: real netback loops until
+             the store accepts, and any fault probability < 1 terminates. *)
+          let rec publish_connected attempt =
+            try
+              Xs_client.write xs (be ^ "/state")
+                (Xenbus_front.state_to_wire Xenbus_front.Connected)
+            with Xs_error.Error Xs_error.EQUOTA ->
+              Costs.charge ~category:"devices.requeue"
+                (t.costs.Costs.xendevd_requeue_delay
+                *. float_of_int (1 lsl Stdlib.min attempt 6));
+              publish_connected (attempt + 1)
+          in
+          publish_connected 0;
           t.connected <- t.connected + 1
       | _ -> () (* frontend not ready yet; wait for the next event *))
 
@@ -99,6 +118,10 @@ let precreate_device t ~domid (dev : Device.config) =
   (* Allocate the device control page and grant it to the guest. *)
   t.next_ctrl_frame <- t.next_ctrl_frame + 1;
   Xen.hypercall ~op:"gnttab_op" t.xen ~cost:costs.Params.gnttab_op;
+  (* Fault point: the hypercall did its work but the backend's grant
+     table is full. Nothing allocated yet, so nothing to undo. *)
+  if Fault.fire "gnttab.alloc" then
+    raise (Alloc_failed "grant table full pre-creating device");
   let gref =
     Gnttab.grant_access (Xen.gnttab t.xen)
       ~owner:dev.Device.backend_domid ~grantee:domid
@@ -110,6 +133,16 @@ let precreate_device t ~domid (dev : Device.config) =
   in
   (* Unbound event channel for the frontend to bind. *)
   Xen.hypercall ~op:"evtchn_op" t.xen ~cost:costs.Params.evtchn_op;
+  (* Fault point: out of event channels. The grant and control page
+     were already allocated — release them before reporting, so a
+     failed pre-creation never leaks Dom0-owned resources (Xen.destroy
+     of the guest would not reclaim them). *)
+  if Fault.fire "evtchn.alloc" then begin
+    Ctrl.unregister t.ctrl ~backend_domid:dev.Device.backend_domid
+      ~grant_ref:gref;
+    ignore (Gnttab.end_access (Xen.gnttab t.xen) ~owner:dev.Device.backend_domid gref);
+    raise (Alloc_failed "out of event channels pre-creating device")
+  end;
   let port =
     Evtchn.alloc_unbound (Xen.evtchn t.xen)
       ~domid:dev.Device.backend_domid ~remote:domid
@@ -136,5 +169,19 @@ let destroy_device t ~domid (dev : Device.config) ~grant_ref =
   Xen.consume_dom0 t.xen t.costs.Costs.noxs_device_destroy;
   Ctrl.unregister t.ctrl ~backend_domid:dev.Device.backend_domid
     ~grant_ref
+
+let abort_precreated t ~domid (dev : Device.config) ~grant_ref ~port =
+  ignore domid;
+  (* Tearing down a pre-created device whose guest never booted. All
+     three resources are owned by the backend domain, so destroying the
+     guest would not release them — this is the cleanup the creation
+     rollback runs. Same (unoptimized) cost as a live-device destroy. *)
+  Xen.consume_dom0 t.xen t.costs.Costs.noxs_device_destroy;
+  ignore
+    (Evtchn.close (Xen.evtchn t.xen) ~domid:dev.Device.backend_domid ~port);
+  Ctrl.unregister t.ctrl ~backend_domid:dev.Device.backend_domid ~grant_ref;
+  ignore
+    (Gnttab.end_access (Xen.gnttab t.xen) ~owner:dev.Device.backend_domid
+       grant_ref)
 
 let connected_count t = t.connected

@@ -14,6 +14,14 @@
 
 type t
 
+exception Alloc_failed of string
+(** A backend resource allocation (grant-table slot or event channel)
+    failed during {!precreate_device}. Raised only at the fault points
+    [gnttab.alloc] / [evtchn.alloc] (see [Lightvm_sim.Fault]); the
+    backend releases anything it had already allocated for the device
+    before raising, so the caller only has to undo fully pre-created
+    devices. *)
+
 val create :
   xen:Lightvm_hv.Xen.t ->
   xs:Lightvm_xenstore.Xs_client.t option ->
@@ -34,11 +42,29 @@ val watch_device :
 val precreate_device :
   t -> domid:int -> Lightvm_guest.Device.config -> int * int
 (** noxs path (the ioctl): returns [(grant_ref, evtchn_port)] to be
-    written into the domain's device page. *)
+    written into the domain's device page.
+
+    @raise Alloc_failed under injected grant-table or event-channel
+    allocation failure; partially-allocated resources are released
+    first. *)
 
 val destroy_device :
   t -> domid:int -> Lightvm_guest.Device.config -> grant_ref:int -> unit
-(** noxs teardown (unoptimized, per Section 6.2). *)
+(** noxs teardown of a live device (unoptimized, per Section 6.2):
+    charges the destroy cost and unregisters the control page. *)
+
+val abort_precreated :
+  t ->
+  domid:int ->
+  Lightvm_guest.Device.config ->
+  grant_ref:int ->
+  port:int ->
+  unit
+(** Rollback of a {!precreate_device} whose guest never booted: closes
+    the unbound event channel, unregisters the control page and revokes
+    the grant. All three are owned by the backend domain, so destroying
+    the guest would not reclaim them — the creation pipeline calls this
+    for every pre-created device when a create fails mid-way. *)
 
 val connected_count : t -> int
 (** Devices brought to Connected so far (both paths). *)

@@ -17,7 +17,11 @@ val save : Toolstack.t -> Create.created -> saved
 (** Blocks for the save duration; the domain is gone afterwards. *)
 
 val restore : Toolstack.t -> saved -> Create.created
-(** Blocks until the toolstack hands off to the resumed guest. *)
+(** Blocks until the toolstack hands off to the resumed guest. The
+    domain is rebuilt through the normal creation pipeline.
+    @raise Create.Create_failed as {!Create.create} does (out of
+    memory, injected fault); the partial domain is rolled back and the
+    saved image remains valid for another attempt. *)
 
 val suspend_for_transfer : Toolstack.t -> Create.created -> saved
 (** Migration helper: quiesce and detach the guest, leaving the memory
@@ -28,4 +32,5 @@ val resume_from_transfer :
   Toolstack.t -> saved -> Create.created
 (** Migration helper: finish an incoming migration on a host where the
     domain shell was pre-created (memory transfer is charged by the
-    caller). *)
+    caller).
+    @raise Create.Create_failed as {!restore} does. *)

@@ -35,6 +35,13 @@ type t = {
   hotplug_script_vbd : float;
   udev_settle : float;
   xendevd_per_device : float;
+  (* Failure handling: the toolstack's watchdog on a wedged hotplug
+     script (xl's real default is tens of seconds; scaled down so fault
+     experiments stay in the creation-time regime), and xendevd's
+     requeue-on-failure behaviour. *)
+  hotplug_timeout : float;
+  xendevd_requeue_delay : float;
+  xendevd_requeue_limit : int;
   (* Backend work. *)
   backend_ioctl : float; (* noxs device pre-creation ioctl *)
   backend_connect_work : float; (* Dom0 CPU per device handshake *)
@@ -72,6 +79,9 @@ let default =
     hotplug_script_vbd = 160.0e-3;
     udev_settle = 14.0e-3;
     xendevd_per_device = 0.45e-3;
+    hotplug_timeout = 250.0e-3;
+    xendevd_requeue_delay = 1.0e-3;
+    xendevd_requeue_limit = 3;
     backend_ioctl = 0.12e-3;
     backend_connect_work = 0.18e-3;
     min_mem_mb = 4.0;

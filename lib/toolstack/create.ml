@@ -1,4 +1,5 @@
 module Engine = Lightvm_sim.Engine
+module Fault = Lightvm_sim.Fault
 module Xen = Lightvm_hv.Xen
 module Domain = Lightvm_hv.Domain
 module Devpage = Lightvm_hv.Devpage
@@ -108,6 +109,20 @@ type created = {
 
 exception Create_failed of string
 
+(* Injected phase failure (fault point "create.phaseN"): the phase's
+   dominant operation reports an error after the toolstack has already
+   committed to the phase, so the caller must roll back. *)
+let inject_phase n =
+  if Fault.fire (Printf.sprintf "create.phase%d" n) then
+    raise (Create_failed (Printf.sprintf "injected fault: phase %d failed" n))
+
+(* Lower layers report their own failures; the pipeline presents every
+   abort to callers as [Create_failed] so the retry/cleanup contract has
+   a single exception to document. *)
+let as_create_failed = function
+  | Backend.Alloc_failed msg | Hotplug.Timeout msg -> Create_failed msg
+  | e -> e
+
 let effective_mem_mb env (cfg : Vmconfig.t) =
   if env.mode.Mode.min_mem_patch then cfg.Vmconfig.memory_mb
   else Float.max cfg.Vmconfig.memory_mb env.costs.Costs.min_mem_mb
@@ -125,6 +140,78 @@ let scan_domain_names env =
   List.filter_map
     (fun id -> Xs_client.read_opt env.xs ("/local/domain/" ^ id ^ "/name"))
     domids
+
+(* ------------------------------------------------------------------ *)
+(* Rollback *)
+
+let device_watch_token ~domid (dev : Device.config) =
+  Printf.sprintf "be-%d-%s-%d" domid
+    (Device.kind_to_string dev.Device.kind)
+    dev.Device.devid
+
+(* Undo a partially-built domain. Arguments say exactly how far the
+   pipeline got — the rollback must release precisely what was acquired,
+   nothing more, so that a failure early in the pipeline (e.g. the
+   pre-existing out-of-memory abort in phase 4) performs the same
+   operations it always did:
+
+   - [devices]: devices whose phase-5 pre-creation started (backend
+     directory + watch under XenStore; grant + ctrl page + event channel
+     under noxs). May include a half-built last device — every step
+     tolerates "was never created".
+   - [skeleton]: the /local/domain/<domid> subtree exists (phase 4).
+   - [xl_nodes]/[xl_watch]: xl's name registration, /vm/<domid> subtree
+     and shutdown watch exist (phase 7, xl only).
+
+   Frontend entries (phase 7) live under the domain subtree and are
+   removed with it; guest-owned frames, event channels and the device
+   page are released by [Xen.destroy]. Dom0-owned resources are not —
+   hence the explicit per-device teardown. *)
+let rollback env ~domid ~skeleton ~devices ~xl_nodes ~xl_watch =
+  phase
+    ~attrs:[ ("domid", string_of_int domid) ]
+    "rollback"
+    (fun () ->
+      if uses_xenstore env then begin
+        List.iter
+          (fun ((dev : Device.config), _) ->
+            let fe = Device.frontend_dir ~domid dev in
+            (try
+               Xs_client.unwatch env.xs ~path:(fe ^ "/state")
+                 ~token:(device_watch_token ~domid dev)
+             with Xs_error.Error _ -> ());
+            (* Remove the per-guest level, not just the device node:
+               the first backend write implicitly created
+               .../backend/<kind>/<domid>, which would otherwise leak
+               one empty directory per failed creation. *)
+            try Xs_client.rm env.xs (Device.backend_domain_dir ~domid dev)
+            with Xs_error.Error _ -> ())
+          devices;
+        (if xl_watch then
+           try
+             Xs_client.unwatch env.xs
+               ~path:(Printf.sprintf "/local/domain/%d/control/shutdown" domid)
+               ~token:(Printf.sprintf "xl-shutdown-%d" domid)
+           with Xs_error.Error _ -> ());
+        (if xl_nodes then
+           try Xs_client.rm env.xs (Printf.sprintf "/vm/%d" domid)
+           with Xs_error.Error _ -> ());
+        if skeleton then begin
+          (try Xs_client.rm env.xs (Printf.sprintf "/local/domain/%d" domid)
+           with Xs_error.Error _ -> ());
+          Xs_client.release env.xs domid
+        end
+      end
+      else
+        List.iter
+          (fun (dev, ids) ->
+            match ids with
+            | Some (gref, port) ->
+                Backend.abort_precreated env.backend ~domid dev
+                  ~grant_ref:gref ~port
+            | None -> ())
+          devices;
+      ignore (Xen.destroy env.xen ~domid))
 
 (* ------------------------------------------------------------------ *)
 (* Prepare: phases 1-5 *)
@@ -149,6 +236,7 @@ let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
       (fun () ->
         let dom =
           timed b Cat_hypervisor (fun () ->
+              inject_phase 1;
               match
                 Xen.create_domain env.xen ~name:shell_name ~vcpus ~mem_mb
               with
@@ -162,86 +250,100 @@ let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
   let domid = Domain.domid dom in
   Domain.set_shell dom true;
   let attrs = [ ("domid", string_of_int domid); mode_attr ] in
-  (* Phase 2: compute allocation. *)
-  phase ~attrs "phase2:compute_alloc" (fun () ->
-      timed b Cat_toolstack (fun () ->
-          Costs.charge ~category:"toolstack.compute_alloc"
-            env.costs.Costs.compute_alloc));
-  (* Phase 3: memory reservation (set maxmem). *)
-  phase ~attrs "phase3:set_maxmem" (fun () ->
-      timed b Cat_hypervisor (fun () ->
-          Xen.hypercall ~op:"set_maxmem" env.xen ~cost:8.0e-6));
-  (* Phase 4: memory preparation, plus the domain's XenStore skeleton. *)
-  phase ~attrs "phase4:populate" (fun () ->
-      timed b Cat_hypervisor (fun () ->
-          match Xen.populate_memory env.xen ~domid with
-          | Ok () -> ()
-          | Error _ ->
-              ignore (Xen.destroy env.xen ~domid);
-              raise (Create_failed "out of memory populating guest RAM"));
-      if uses_xenstore env then
-        timed b Cat_xenstore (fun () ->
-            let dompath = Printf.sprintf "/local/domain/%d" domid in
-            Xs_client.mkdir env.xs dompath;
-            (* The guest owns its domain directory (libxl sets this so
-               the domain can populate its own subtree). *)
-            Xs_client.set_perms env.xs dompath
-              (Lightvm_xenstore.Xs_perms.make ~owner:domid ());
-            Xs_client.mkdir env.xs (dompath ^ "/device");
-            Xs_client.mkdir env.xs (dompath ^ "/control")));
-  (* Phase 5: device pre-creation. Under noxs every guest also gets
-     the sysctl pseudo-device for power operations (Section 5.1). *)
-  let devices =
-    List.init nics (fun i -> Device.vif ~devid:i ())
-    @ List.init disks (fun i -> Device.vbd ~devid:i ())
-    @ (if uses_xenstore env then [] else [ Device.sysctl () ])
-  in
-  let s_devices =
-    phase ~attrs "phase5:precreate_devices" (fun () ->
-        List.map
-          (fun dev ->
-            if uses_xenstore env then begin
-              timed b Cat_xenstore (fun () ->
-                  (* Backend directory skeleton + the backend's watch.
-                     The guest's frontend must be able to read the
-                     backend's nodes (state, mac). *)
-                  let be = Device.backend_dir ~domid dev in
-                  let guest_readable =
-                    Lightvm_xenstore.Xs_perms.make ~owner:0
-                      ~acl:[ (domid, Lightvm_xenstore.Xs_perms.Read) ]
-                      ()
-                  in
-                  Xs_client.mkdir env.xs be;
-                  Xs_client.set_perms env.xs be guest_readable;
-                  Xs_client.write env.xs (be ^ "/frontend-id")
-                    (string_of_int domid);
-                  Xs_client.set_perms env.xs (be ^ "/frontend-id")
-                    guest_readable;
-                  Xs_client.write env.xs (be ^ "/state")
-                    (Xenbus_front.state_to_wire Xenbus_front.Init_wait);
-                  Xs_client.set_perms env.xs (be ^ "/state") guest_readable;
-                  Backend.watch_device env.backend ~domid dev);
-              timed b Cat_devices (fun () ->
-                  Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
-                    ~costs:env.costs dev);
-              (dev, None)
-            end
-            else begin
-              let ids =
-                timed b Cat_devices (fun () ->
-                    let gref, port =
-                      Backend.precreate_device env.backend ~domid dev
+  (* From here on the domain exists, so any failure — injected or
+     natural — must release what has been acquired. The two refs record
+     how far we got; the handler below rolls back exactly that. *)
+  let skeleton = ref false in
+  let precreated = ref [] in
+  try
+    (* Phase 2: compute allocation. *)
+    phase ~attrs "phase2:compute_alloc" (fun () ->
+        timed b Cat_toolstack (fun () ->
+            inject_phase 2;
+            Costs.charge ~category:"toolstack.compute_alloc"
+              env.costs.Costs.compute_alloc));
+    (* Phase 3: memory reservation (set maxmem). *)
+    phase ~attrs "phase3:set_maxmem" (fun () ->
+        timed b Cat_hypervisor (fun () ->
+            inject_phase 3;
+            Xen.hypercall ~op:"set_maxmem" env.xen ~cost:8.0e-6));
+    (* Phase 4: memory preparation, plus the domain's XenStore skeleton. *)
+    phase ~attrs "phase4:populate" (fun () ->
+        timed b Cat_hypervisor (fun () ->
+            inject_phase 4;
+            match Xen.populate_memory env.xen ~domid with
+            | Ok () -> ()
+            | Error _ ->
+                raise (Create_failed "out of memory populating guest RAM"));
+        if uses_xenstore env then
+          timed b Cat_xenstore (fun () ->
+              let dompath = Printf.sprintf "/local/domain/%d" domid in
+              skeleton := true;
+              Xs_client.mkdir env.xs dompath;
+              (* The guest owns its domain directory (libxl sets this so
+                 the domain can populate its own subtree). *)
+              Xs_client.set_perms env.xs dompath
+                (Lightvm_xenstore.Xs_perms.make ~owner:domid ());
+              Xs_client.mkdir env.xs (dompath ^ "/device");
+              Xs_client.mkdir env.xs (dompath ^ "/control")));
+    (* Phase 5: device pre-creation. Under noxs every guest also gets
+       the sysctl pseudo-device for power operations (Section 5.1). *)
+    let devices =
+      List.init nics (fun i -> Device.vif ~devid:i ())
+      @ List.init disks (fun i -> Device.vbd ~devid:i ())
+      @ (if uses_xenstore env then [] else [ Device.sysctl () ])
+    in
+    let s_devices =
+      phase ~attrs "phase5:precreate_devices" (fun () ->
+          inject_phase 5;
+          List.map
+            (fun dev ->
+              if uses_xenstore env then begin
+                precreated := (dev, None) :: !precreated;
+                timed b Cat_xenstore (fun () ->
+                    (* Backend directory skeleton + the backend's watch.
+                       The guest's frontend must be able to read the
+                       backend's nodes (state, mac). *)
+                    let be = Device.backend_dir ~domid dev in
+                    let guest_readable =
+                      Lightvm_xenstore.Xs_perms.make ~owner:0
+                        ~acl:[ (domid, Lightvm_xenstore.Xs_perms.Read) ]
+                        ()
                     in
+                    Xs_client.mkdir env.xs be;
+                    Xs_client.set_perms env.xs be guest_readable;
+                    Xs_client.write env.xs (be ^ "/frontend-id")
+                      (string_of_int domid);
+                    Xs_client.set_perms env.xs (be ^ "/frontend-id")
+                      guest_readable;
+                    Xs_client.write env.xs (be ^ "/state")
+                      (Xenbus_front.state_to_wire Xenbus_front.Init_wait);
+                    Xs_client.set_perms env.xs (be ^ "/state") guest_readable;
+                    Backend.watch_device env.backend ~domid dev);
+                timed b Cat_devices (fun () ->
                     Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
-                      ~costs:env.costs dev;
-                    (gref, port))
-              in
-              (dev, Some ids)
-            end)
-          devices)
-  in
-  { s_domid = domid; s_mem_mb = mem_mb; s_vcpus = vcpus; s_nics = nics;
-    s_disks = disks; s_devices }
+                      ~costs:env.costs dev);
+                (dev, None)
+              end
+              else begin
+                let ids =
+                  timed b Cat_devices (fun () ->
+                      Backend.precreate_device env.backend ~domid dev)
+                in
+                precreated := (dev, Some ids) :: !precreated;
+                timed b Cat_devices (fun () ->
+                    Hotplug.run env.mode.Mode.hotplug ~xen:env.xen
+                      ~costs:env.costs dev);
+                (dev, Some ids)
+              end)
+            devices)
+    in
+    { s_domid = domid; s_mem_mb = mem_mb; s_vcpus = vcpus; s_nics = nics;
+      s_disks = disks; s_devices }
+  with e ->
+    rollback env ~domid ~skeleton:!skeleton ~devices:!precreated
+      ~xl_nodes:false ~xl_watch:false;
+    raise (as_create_failed e)
 
 (* ------------------------------------------------------------------ *)
 (* Execute: phases 6-9 *)
@@ -333,12 +435,20 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
   let attrs =
     [ ("domid", string_of_int domid); ("mode", Mode.name env.mode) ]
   in
+  (* The shell arrives here owning phases 1-5's resources (under the
+     split toolstack it was prepared long ago by the pool daemon), so
+     any failure in phases 6-9 must release all of them plus whatever
+     phase 7 added. *)
+  let xl_nodes = ref false in
+  let xl_watch = ref false in
+  try
   (* Phase 6: toolstack bookkeeping (libxl: lock files, JSON state,
      event machinery; chaos: a small in-memory record) and
      configuration parsing. *)
   let cfg =
     phase ~attrs "phase6:parse" (fun () ->
         timed b Cat_toolstack (fun () ->
+            inject_phase 6;
             Costs.charge ~category:"toolstack.bookkeeping"
               (if is_xl env then env.costs.Costs.xl_bookkeeping
                else env.costs.Costs.chaos_bookkeeping));
@@ -361,6 +471,7 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
   (* Phase 7: device initialization. *)
   let noxs_grants =
     phase ~attrs "phase7:init_devices" (fun () ->
+        inject_phase 7;
         Domain.set_name dom cfg.Vmconfig.name;
         Domain.set_shell dom false;
         if uses_xenstore env then begin
@@ -372,12 +483,10 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
                  else env.costs.Costs.chaos_name_scans)
               do
                 let names = scan_domain_names env in
-                if i = 1 && List.mem cfg.Vmconfig.name names then begin
-                  ignore (Xen.destroy env.xen ~domid);
+                if i = 1 && List.mem cfg.Vmconfig.name names then
                   raise
                     (Create_failed
                        ("domain already exists: " ^ cfg.Vmconfig.name))
-                end
               done;
               (* xl registers the guest name in the store, which
                  triggers the daemon's uniqueness scan over every
@@ -385,15 +494,18 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
                  that "the name ... is kept in the XenStore but is not
                  needed during boot": it keeps the name in the
                  hypervisor record only. *)
-              if is_xl env then
+              if is_xl env then begin
+                xl_nodes := true;
                 Xs_client.write env.xs
                   (Printf.sprintf "/local/domain/%d/name" domid)
-                  cfg.Vmconfig.name;
+                  cfg.Vmconfig.name
+              end;
               if is_xl env then begin
                 Xs_client.write_many env.xs (xl_extra_entries domid);
                 (* The xl daemon watches every guest's shutdown node to
                    track domain lifecycle — one more registry entry per
                    VM that every later write must be checked against. *)
+                xl_watch := true;
                 Xs_client.watch env.xs
                   ~path:(Printf.sprintf "/local/domain/%d/control/shutdown"
                            domid)
@@ -434,6 +546,7 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
               (Create_failed ("unknown kernel image: " ^ cfg.Vmconfig.kernel)))
   in
   phase ~attrs "phase8:build" (fun () ->
+      inject_phase 8;
       (if is_xl env then
          match image.Image.kind with
          | Image.Tinyx _ | Image.Debian ->
@@ -450,6 +563,7 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
   (* Phase 9: boot. *)
   phase ~attrs "phase9:boot" (fun () ->
       timed b Cat_hypervisor (fun () ->
+          inject_phase 9;
           match Xen.unpause env.xen ~domid with
           | Ok () -> ()
           | Error _ -> raise (Create_failed "unpause failed")));
@@ -474,6 +588,10 @@ let execute env shell ?config_text ?image_override (cfg : Vmconfig.t)
     breakdown =
       (match b with Some b -> b | None -> breakdown_create ());
   }
+  with e ->
+    rollback env ~domid ~skeleton:(uses_xenstore env)
+      ~devices:shell.s_devices ~xl_nodes:!xl_nodes ~xl_watch:!xl_watch;
+    raise (as_create_failed e)
 
 let create_gen env ?config_text ?image_override cfg =
   let b = breakdown_create () in

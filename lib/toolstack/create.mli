@@ -66,6 +66,19 @@ type created = {
 }
 
 exception Create_failed of string
+(** The single failure exit of the pipeline. Lower-level aborts
+    ([Backend.Alloc_failed], [Hotplug.Timeout]) and injected faults
+    (the [create.phase1]..[create.phase9] points, plus [evtchn.alloc],
+    [gnttab.alloc] and [hotplug.hang] firing inside phases 5 and 7 —
+    see [lib/sim/fault.ml]) are all normalised to it, so callers have
+    one retry/cleanup contract. By the time it reaches the caller the
+    partially-built domain has been rolled back: devices pre-created
+    in phase 5 are torn down (backend nodes and watches, or noxs
+    grants/ctrl pages/event channels), the [/local/domain/<domid>]
+    subtree, xl's [/vm/<domid>] registration and shutdown watch are
+    removed, and the domain is destroyed — a failed creation leaks
+    nothing ([Lightvm.Host.check_leak] asserts this; see DESIGN.md
+    "Failure model"). *)
 
 val effective_mem_mb : env -> Vmconfig.t -> float
 (** Applies the 4 MB toolstack floor unless the mode carries the
@@ -74,7 +87,9 @@ val effective_mem_mb : env -> Vmconfig.t -> float
 val prepare :
   env -> mem_mb:float -> vcpus:int -> nics:int -> disks:int ->
   ?breakdown:breakdown -> unit -> shell
-(** Phases 1-5. Raises {!Create_failed} (e.g. out of memory). *)
+(** Phases 1-5.
+    @raise Create_failed on out-of-memory, an allocation failure or an
+    injected fault; the partial shell is rolled back first. *)
 
 val execute :
   env -> shell -> ?config_text:string ->
@@ -82,12 +97,17 @@ val execute :
   ?breakdown:breakdown -> unit -> created
 (** Phases 6-9. The guest's boot process is spawned; use
     [Guest.wait_ready created.guest] to block until it is up.
-    [image_override] bypasses the kernel-name lookup (restore path). *)
+    [image_override] bypasses the kernel-name lookup (restore path).
+    @raise Create_failed on a config parse error, unknown kernel,
+    hotplug timeout or injected fault; the shell {e and} everything
+    this call built are rolled back first, so the shell must not be
+    reused. *)
 
 val create :
   env -> ?config_text:string -> ?image_override:Lightvm_guest.Image.t ->
   Vmconfig.t -> created
-(** prepare + execute inline (the non-split path). *)
+(** prepare + execute inline (the non-split path).
+    @raise Create_failed as {!prepare} and {!execute} do. *)
 
 val create_with_image :
   env -> Vmconfig.t -> image:Lightvm_guest.Image.t -> created

@@ -6,6 +6,13 @@
     replaces this with a pre-compiled daemon reacting to udev events
     without forking. *)
 
+exception Timeout of string
+(** Device setup never completed: a hung script (fault point
+    [hotplug.hang]) outlived the toolstack's watchdog
+    ([Costs.hotplug_timeout]), or — under xendevd — the setup kept
+    failing through every requeue. The device is not set up; the
+    creation pipeline rolls the domain back. *)
+
 val run :
   Mode.hotplug_kind ->
   xen:Lightvm_hv.Xen.t ->
@@ -13,9 +20,22 @@ val run :
   Lightvm_guest.Device.config ->
   unit
 (** Perform the setup for one device, charging Dom0 CPU. Blocks for the
-    script/daemon duration. *)
+    script/daemon duration.
+
+    Failure behaviour differs by kind, mirroring the real daemons:
+    - [Script] (xl): one attempt; a hang waits out the watchdog and
+      raises {!Timeout}.
+    - [Xendevd]: a failed attempt is requeued like a lost udev event
+      (after [Costs.xendevd_requeue_delay]), up to
+      [Costs.xendevd_requeue_limit] retries, so transient faults
+      degrade creation time instead of failing it; only a persistent
+      fault raises {!Timeout}.
+
+    @raise Timeout as described above; only possible under an
+    installed fault injector. *)
 
 val estimate :
   Mode.hotplug_kind -> costs:Costs.t -> Lightvm_guest.Device.config ->
   float
-(** The cost that {!run} will charge (for tests and documentation). *)
+(** The cost that one fault-free {!run} attempt will charge (for tests
+    and documentation). *)

@@ -1,4 +1,10 @@
 module Engine = Lightvm_sim.Engine
+module Fault = Lightvm_sim.Fault
+
+exception Migration_failed of string
+
+(* Retransfer attempts before giving up on a corrupted stream. *)
+let max_transfer_attempts = 3
 
 type stats = {
   total : float;
@@ -29,11 +35,29 @@ let migrate ~src ~dst (created : Create.created) =
   let t_suspend0 = Engine.now () in
   let saved = Checkpoint.suspend_for_transfer src created in
   let t_suspend = Engine.now () -. t_suspend0 in
-  (* 3. Stream guest memory over the wire. *)
+  (* 3. Stream guest memory over the wire. A corrupted stream (fault
+     point "migrate.corrupt") is caught by the receiver's checksum and
+     retransmitted whole, at most [max_transfer_attempts] times; past
+     that the migration fails — note the source was already destroyed
+     at suspend, so the guest is lost, exactly the xl failure mode. *)
   let t_transfer0 = Engine.now () in
   let mem_mb = Checkpoint.saved_mem_mb saved in
-  Costs.charge ~category:"migrate.transfer"
-    (mem_mb /. costs.Costs.migration_bw_mbps);
+  let rec stream attempt =
+    Costs.charge ~category:"migrate.transfer"
+      (mem_mb /. costs.Costs.migration_bw_mbps);
+    if Fault.fire "migrate.corrupt" then
+      if attempt < max_transfer_attempts then begin
+        (* Receiver NACK + sender restart: one extra round trip. *)
+        Costs.charge ~category:"migrate.handshake" costs.Costs.migration_rtt;
+        stream (attempt + 1)
+      end
+      else
+        raise
+          (Migration_failed
+             (Printf.sprintf "stream corrupted %d times; giving up"
+                max_transfer_attempts))
+  in
+  stream 1;
   let t_transfer = Engine.now () -. t_transfer0 in
   (* 4. Resume on the destination (pre-creation + reconnect). *)
   let t_resume0 = Engine.now () in

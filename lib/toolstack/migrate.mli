@@ -5,12 +5,19 @@
     the domain and its devices; the source then suspends the guest and
     streams its memory; the destination resumes it. *)
 
+exception Migration_failed of string
+(** The memory stream was corrupted (fault point [migrate.corrupt]) on
+    every one of the bounded retransfer attempts. By this point the
+    source domain has already been destroyed at suspend, so the guest
+    is lost — the same failure mode as [xl migrate] dying mid-stream.
+    Only possible under an installed fault injector. *)
+
 type stats = {
   total : float;  (** wall-clock migration time *)
   precreate : float;  (** remote domain + device pre-creation *)
-  suspend : float;
-  transfer : float;
-  resume : float;
+  suspend : float;  (** source-side quiesce + save *)
+  transfer : float;  (** memory stream, including any retransfers *)
+  resume : float;  (** destination-side restore + reconnect *)
 }
 
 val migrate :
@@ -19,5 +26,13 @@ val migrate :
   Create.created ->
   Create.created * stats
 (** Returns the VM handle on the destination host. Both hosts should
-    run the same toolstack mode. Raises {!Create.Create_failed} when
-    the destination cannot host the guest. *)
+    run the same toolstack mode.
+
+    A corrupted stream is retransmitted in full up to 3 times (each
+    adding one transfer's worth of virtual time plus a NACK round
+    trip) before the migration is abandoned.
+
+    @raise Create.Create_failed when the destination cannot host the
+    guest (e.g. out of memory pre-creating the domain).
+    @raise Migration_failed when the stream stays corrupted through
+    every retransfer attempt. *)

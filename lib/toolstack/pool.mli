@@ -8,7 +8,8 @@
 type 'a t
 
 val create : target:int -> make:(unit -> 'a) -> 'a t
-(** [target] is the low-water mark the daemon maintains. *)
+(** [target] is the low-water mark the daemon maintains.
+    @raise Invalid_argument when [target < 1]. *)
 
 val prefill : 'a t -> unit
 (** Synchronously build shells up to [target] (daemon start-up). *)
@@ -19,7 +20,10 @@ val target : 'a t -> int
 
 val take : 'a t -> 'a
 (** Pop a shell; falls back to building one synchronously when the
-    pool is empty (and still triggers the background refill). *)
+    pool is empty (and still triggers the background refill). Whatever
+    [make] raises (e.g. {!Create.Create_failed} for shell pools)
+    propagates from the synchronous fallback; background refill
+    failures are contained in the refill process. *)
 
 val made_total : 'a t -> int
 (** Shells built over the pool's lifetime (for tests). *)

@@ -32,12 +32,18 @@ val create_vm :
   Vmconfig.t -> (Create.created, string) result
 (** Full creation via the mode's path. In split mode, takes a shell
     from the pool (background-refilled) so [create_time] covers only
-    the execute phase. *)
+    the execute phase. [Error msg] is a caught {!Create.Create_failed}
+    — out of memory, hotplug timeout, or an injected fault — and
+    implies the partial domain was already rolled back (nothing to
+    clean up, the VM is not registered). *)
 
 val create_vm_exn :
   t -> ?config_text:string ->
   ?image_override:Lightvm_guest.Image.t ->
   Vmconfig.t -> Create.created
+(** {!create_vm} for callers that treat failure as fatal.
+    @raise Create.Create_failed under the same conditions (and with
+    the same already-rolled-back guarantee). *)
 
 val destroy_vm : t -> Create.created -> unit
 

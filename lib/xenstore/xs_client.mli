@@ -1,44 +1,90 @@
 (** Convenience client over {!Xs_server} — the moral equivalent of
     libxs. Raises {!Xs_error.Error} instead of returning results, and
-    adds the small helpers toolstacks lean on. *)
+    adds the small helpers toolstacks lean on.
+
+    Every operation below that talks to the daemon can raise
+    {!Xs_error.Error} with the code the daemon answered ([EACCES] on a
+    permission failure, [EQUOTA] when a node-creating request is over
+    quota — natural or injected, see [lib/sim/fault.ml] — and so on);
+    the codes worth special handling are called out per function. *)
 
 type t
 
 val connect : Xs_server.t -> domid:int -> t
+(** A connection speaking as [domid] (0 for the toolstack and Dom0
+    daemons, the guest's own domid for frontends). Permissions and
+    quotas are enforced against this identity. *)
 
 val domid : t -> int
 
 val server : t -> Xs_server.t
 
 val read : t -> ?tx:int -> string -> string
-(** Raises [Error ENOENT] etc. *)
+(** @raise Xs_error.Error [ENOENT] when the node does not exist,
+    [EACCES] when it is not readable by this connection's domid. *)
 
 val read_opt : t -> ?tx:int -> string -> string option
+(** [read] with [ENOENT] mapped to [None]; other errors still raise
+    {!Xs_error.Error}. *)
 
 val write : t -> ?tx:int -> string -> string -> unit
+(** Creates missing intermediate nodes implicitly, owned by the
+    caller, as the real daemon does.
+    @raise Xs_error.Error [EACCES] on a write-protected existing node,
+    [EQUOTA] when creating the node would exceed the caller's quota,
+    [EEXIST] when a toolstack name-registration write collides with a
+    running guest's name. *)
 
 val mkdir : t -> ?tx:int -> string -> unit
+(** Silent success when the node already exists, like [XS_MKDIR].
+    @raise Xs_error.Error [EACCES] or [EQUOTA]. *)
 
 val rm : t -> ?tx:int -> string -> unit
+(** Removes the node and its whole subtree.
+    @raise Xs_error.Error [ENOENT] when the node does not exist,
+    [EACCES] when neither the parent nor the target is writable by the
+    caller, [EINVAL] on special paths. *)
 
 val directory : t -> ?tx:int -> string -> string list
+(** Child names of a node.
+    @raise Xs_error.Error [ENOENT] or [EACCES]. *)
 
 val set_perms : t -> ?tx:int -> string -> Xs_perms.t -> unit
+(** @raise Xs_error.Error [ENOENT], or [EACCES] when the caller is
+    neither Dom0 nor the node's owner. *)
 
 val watch :
   t -> path:string -> token:string -> deliver:(Xs_watch.event -> unit) ->
   unit
+(** Register a watch. [deliver] runs in a fresh simulation process per
+    event, starting with the immediate synthetic firing the protocol
+    mandates on registration. Never raises. *)
 
 val unwatch : t -> path:string -> token:string -> unit
+(** @raise Xs_error.Error [ENOENT] when no such [(path, token)] watch
+    is registered by this caller. *)
 
 val with_transaction : t -> (int -> unit) -> unit
-(** Retries on conflict; raises on other errors. *)
+(** Run the body in a transaction and commit. A commit conflict
+    ([EAGAIN], natural or injected) is retried with exponential
+    backoff up to the daemon's retry bound, re-running the body
+    against a fresh snapshot each time (see DESIGN.md "Failure
+    model").
+    @raise Xs_error.Error [EAGAIN] when the retry bound is exhausted,
+    [EBUSY] when the daemon has too many open transactions, or
+    whatever error the body itself raised. *)
 
 val get_domain_path : t -> int -> string
+(** The daemon's [/local/domain/<domid>] answer; never raises. *)
 
 val introduce : t -> int -> unit
+(** Announce a domain to the daemon (fires the [@introduceDomain]
+    special watch). Never raises. *)
 
 val release : t -> int -> unit
+(** Forget a domain: drops its watch registrations, aborts its open
+    transactions and fires [@releaseDomain]. Never raises. *)
 
 val write_many : t -> ?tx:int -> (string * string) list -> unit
-(** One write per pair, in order. *)
+(** One {!write} per pair, in order; raises like {!write} and stops at
+    the first failure. *)

@@ -28,6 +28,7 @@ type profile = {
   tx_start : float;
   tx_commit : float;
   tx_replay_per_op : float; (* validation cost per journaled op *)
+  tx_backoff_base : float; (* client retry backoff: base * 2^attempt *)
   log_lines_per_op : int;
   log_line : float;
   log_rotate_per_file : float; (* rotation stall, per file in the ring *)
@@ -51,6 +52,7 @@ let oxenstored =
     tx_start = 20.0e-6;
     tx_commit = 35.0e-6;
     tx_replay_per_op = 6.0e-6;
+    tx_backoff_base = 50.0e-6;
     log_lines_per_op = 2;
     log_line = 1.5e-6;
     log_rotate_per_file = 9.0e-3; (* 20 files -> ~180ms spike *)
@@ -72,6 +74,7 @@ let cxenstored =
     tx_start = 60.0e-6;
     tx_commit = 120.0e-6;
     tx_replay_per_op = 25.0e-6;
+    tx_backoff_base = 150.0e-6;
     log_line = 5.0e-6;
   }
 

@@ -45,7 +45,9 @@ val is_special : t -> bool
 val depth : t -> int
 
 val concat : t -> string -> t
-(** [concat p seg] appends one validated segment. *)
+(** [concat p seg] appends one validated segment.
+    @raise Invalid on illegal characters, an empty or oversized
+    segment, or when the result would exceed {!max_path_length}. *)
 
 val ( / ) : t -> string -> t
 (** Alias for {!concat}. *)

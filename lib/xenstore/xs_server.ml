@@ -1,4 +1,5 @@
 module Engine = Lightvm_sim.Engine
+module Fault = Lightvm_sim.Fault
 module Resource = Lightvm_sim.Resource
 module Trace = Lightvm_trace.Trace
 
@@ -177,7 +178,15 @@ let fire_watches t modified =
     hits
 
 let check_quota t ~caller path =
-  if caller = 0 then Ok ()
+  (* Fault point: a spurious EQUOTA on a node-creating request, as a
+     real oxenstored returns when another domain's allocations race the
+     caller past its quota. Injected only for Dom0 clients — the
+     toolstack and backend daemons, which own the retry/rollback
+     machinery — never for guest frontends, whose drivers treat store
+     errors as fatal. Checked before the store so the injection
+     schedule depends only on the request sequence, not on contents. *)
+  if caller = 0 then
+    if Fault.fire "xs.equota" then Error Xs_error.EQUOTA else Ok ()
   else if Xs_store.exists t.store path then Ok ()
   else if Xs_store.owned_count t.store ~domid:caller >= t.quota_nodes then
     Error Xs_error.EQUOTA
@@ -281,7 +290,18 @@ let end_transaction t tx commit =
     charge ~category:"xs.tx" t
       (float_of_int (Xs_transaction.op_count tx)
       *. p.Xs_costs.tx_replay_per_op);
-    match Xs_transaction.commit tx ~into:t.store with
+    (* Fault point: the snapshot is declared stale exactly as if a
+       concurrent commit had invalidated the read set — the journal is
+       discarded and the caller sees EAGAIN, the same path a genuine
+       conflict takes. *)
+    let commit_result =
+      if Fault.fire "xs.eagain" then begin
+        Xs_transaction.abort tx;
+        Error Xs_error.EAGAIN
+      end
+      else Xs_transaction.commit tx ~into:t.store
+    in
+    match commit_result with
     | Ok modified ->
         t.counters.tx_commits <- t.counters.tx_commits + 1;
         List.iter (fun path -> fire_watches t path) modified;
@@ -445,7 +465,18 @@ let transaction t ~caller ?(max_retries = 8) f =
         | Ok v -> (
             match op t ~caller ~tx:txid (Transaction_end true) with
             | Ok_unit -> Ok v
-            | Err Xs_error.EAGAIN when n < max_retries -> attempt (n + 1)
+            | Err Xs_error.EAGAIN when n < max_retries ->
+                (* Bounded retry with exponential backoff: the caller
+                   sleeps base * 2^n before re-reading the snapshot, so
+                   conflicting writers decorrelate instead of livelocking
+                   the daemon with immediate replays. Client-side wait —
+                   the daemon mutex is not held and busy_time does not
+                   accrue. Only taken on an actual conflict, so
+                   conflict-free runs are unchanged. *)
+                Xs_costs.charge ~category:"xs.backoff"
+                  (t.profile.Xs_costs.tx_backoff_base
+                  *. float_of_int (1 lsl Stdlib.min n 6));
+                attempt (n + 1)
             | Err e -> Error e
             | _ -> Error Xs_error.EINVAL))
     | Err e -> Error e

@@ -67,7 +67,11 @@ val watch_count : t -> int
 val op : t -> caller:int -> ?tx:int -> request -> response
 (** Perform one operation as domain [caller]. Blocks (simulated time)
     for queueing plus the operation's cost. [tx] routes reads and
-    writes through an open transaction. *)
+    writes through an open transaction. Never raises: failures come
+    back as [Err] — including injected ones (the [xs.equota] fault
+    point can fail any node-creating request from Dom0, and
+    [xs.eagain] can abort a [Transaction_end true]; see
+    [lib/sim/fault.ml]). *)
 
 val watch :
   t ->
@@ -78,14 +82,22 @@ val watch :
   response
 (** Register a watch with a delivery callback (the wire protocol's
     WATCH_EVENT push, as a function). The callback runs in a fresh
-    simulation process after the delivery cost has elapsed. *)
+    simulation process after the delivery cost has elapsed, starting
+    with the synthetic initial event the protocol mandates on
+    registration. Watches are not quota'd; registration always returns
+    [Ok_unit]. *)
 
 val transaction :
   t -> caller:int -> ?max_retries:int -> (int -> ('a, Xs_error.t) result) ->
   ('a, Xs_error.t) result
 (** [transaction t ~caller f] runs [f txid], committing afterwards and
     retrying the whole body on [EAGAIN] (the paper's retried
-    transactions), up to [max_retries] (default 8). *)
+    transactions) with exponential client-side backoff, up to
+    [max_retries] (default 8) — after which [Error EAGAIN] is
+    returned. An [Error] from the body itself aborts the transaction
+    and is returned without retrying. Conflicts may be natural (a
+    concurrent commit bumped the store generation) or injected via the
+    [xs.eagain] fault point; both take the same retry path. *)
 
 val handle_packet : t -> caller:int -> bytes -> bytes
 (** Wire-level entry point: decode a {!Xs_wire} packet, perform the

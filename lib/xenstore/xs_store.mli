@@ -44,6 +44,9 @@ val exists : t -> Xs_path.t -> bool
 val lookup : t -> Xs_path.t -> Node.t option
 
 val read : t -> caller:int -> Xs_path.t -> string r
+(** [Error ENOENT] when absent, [Error EACCES] when not readable by
+    [caller]. No operation in this module raises; failures are
+    returned as {!Xs_error.t} codes. *)
 
 val write : t -> caller:int -> Xs_path.t -> string -> unit r
 (** Creates the node (and any missing ancestors, owned by [caller]) if
@@ -58,8 +61,10 @@ val rm : t -> caller:int -> Xs_path.t -> unit r
 (** Removes the whole subtree. ENOENT when absent; EINVAL on the root. *)
 
 val directory : t -> caller:int -> Xs_path.t -> string list r
+(** Child names, sorted; [Error ENOENT] or [Error EACCES]. *)
 
 val get_perms : t -> caller:int -> Xs_path.t -> Xs_perms.t r
+(** [Error ENOENT] when absent (perms are readable by anyone). *)
 
 val set_perms : t -> caller:int -> Xs_path.t -> Xs_perms.t -> unit r
 (** Only the owner (or Dom0) may change permissions. *)
