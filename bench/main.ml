@@ -167,6 +167,11 @@ let experiments =
       Some (pick ~quick:60 ~medium:300 ~full:1000),
       "cxenstored much slower than oxenstored; disabling logging removes \
        the spikes but not the growth" );
+    ( "cluster",
+      Some (pick ~quick:60 ~medium:300 ~full:500),
+      "beyond the paper: 3 placement policies on a multi-host cluster, \
+       plus drain/rebalance under injected migration corruption \
+       (leak-free accounting)" );
     ("wan-migration", None, "ClickOS guest in ~150 ms");
     ("pause", None, "must match container freeze/thaw");
     ("headline", None, "");

@@ -6,9 +6,11 @@
      lightvm_cli tinyx --app nginx       run the Tinyx build system
      lightvm_cli minipy -e 'print(1+2)'  run the mini-Python interpreter
      lightvm_cli boot --image daytime --mode lightvm
+     lightvm_cli cluster -n 500 --faults 'migrate.corrupt:0.6'
 *)
 
 module E = Lightvm.Experiment
+module Vmm = Lightvm_cluster.Vmm
 module Series = Lightvm_metrics.Series
 module Table = Lightvm_metrics.Table
 module Image = Lightvm_guest.Image
@@ -141,51 +143,69 @@ let trace_cmd =
 
 module Fault = Lightvm_sim.Fault
 
+let parse_spec_or_exit s =
+  match Fault.parse_spec s with
+  | Ok spec -> spec
+  | Error msg ->
+      Printf.eprintf "bad --faults spec: %s\nfault points:\n%s\n" msg
+        (String.concat "\n"
+           (List.map
+              (fun (name, doc) -> Printf.sprintf "  %-16s %s" name doc)
+              Fault.points));
+      exit 1
+
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Comma-separated fault spec: $(i,point)$(b,:)$(i,P) \
+                 injects with probability P, $(i,point)$(b,:@)$(i,K) \
+                 every Kth check, a bare $(i,point) always; \
+                 $(i,prefix)$(b,*) configures every matching point, \
+                 e.g. $(b,xs.eagain:0.1,create.phase*:0.01). Default: \
+                 the built-in mixed spec; the empty string disables \
+                 every point.")
+
+let seed_arg =
+  Arg.(value & opt int64 42L
+       & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the per-point fault streams. One (spec, \
+                 seed) pair reproduces the exact same failures on \
+                 every run and for any --jobs value.")
+
 let run_reliability n jobs spec_str fault_seed =
-  let spec =
-    match spec_str with
-    | None -> None
-    | Some s -> (
-        match Fault.parse_spec s with
-        | Ok spec -> Some spec
-        | Error msg ->
-            Printf.eprintf "bad --faults spec: %s\nfault points:\n%s\n" msg
-              (String.concat "\n"
-                 (List.map
-                    (fun (name, doc) -> Printf.sprintf "  %-16s %s" name doc)
-                    Fault.points));
-            exit 1)
-  in
+  let spec = Option.map parse_spec_or_exit spec_str in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   print_result (E.run_plan ~jobs (E.reliability_plan ?n ?spec ~fault_seed ()))
 
 let reliability_cmd =
-  let faults_arg =
-    Arg.(value & opt (some string) None
-         & info [ "faults" ] ~docv:"SPEC"
-             ~doc:"Comma-separated fault spec: $(i,point)$(b,:)$(i,P) \
-                   injects with probability P, $(i,point)$(b,:@)$(i,K) \
-                   every Kth check, a bare $(i,point) always; \
-                   $(i,prefix)$(b,*) configures every matching point, \
-                   e.g. $(b,xs.eagain:0.1,create.phase*:0.01). Default: \
-                   the built-in mixed spec; the empty string disables \
-                   every point.")
-  in
-  let seed_arg =
-    Arg.(value & opt int64 42L
-         & info [ "fault-seed" ] ~docv:"SEED"
-             ~doc:"Seed of the per-point fault streams. One (spec, \
-                   seed) pair reproduces the exact same failures on \
-                   every run and for any --jobs value.")
-  in
   let doc =
     "Creation success rates and latency CDFs under fault injection \
      (xl vs chaos, fault rates x0/x1/x2/x4)."
   in
   Cmd.v (Cmd.info "reliability" ~doc)
     Term.(const run_reliability $ n_arg $ jobs_arg $ faults_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cluster: the multi-host control plane *)
+
+let run_cluster n jobs spec_str fault_seed =
+  let spec = Option.map parse_spec_or_exit spec_str in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  print_result (E.run_plan ~jobs (E.cluster_plan ?n ?spec ~fault_seed ()))
+
+let cluster_cmd =
+  let doc =
+    "Place guests across a multi-host cluster (bin-pack, spread, \
+     pool-everywhere), then drain a host by live migration under \
+     injected migration faults and rebalance. --faults overrides the \
+     drain job's default spec (migrate.corrupt:0.6)."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(const run_cluster $ n_arg $ jobs_arg $ faults_arg $ seed_arg)
 
 let list_cmd =
   let doc = "List the reproducible experiments." in
@@ -310,14 +330,30 @@ let run_boot image_name mode_name count =
   in
   ignore
     (Lightvm_sim.Engine.run (fun () ->
-         let host = Lightvm.Host.create ~mode () in
+         let host = Vmm.create ~mode () in
          if mode.Mode.split then
-           Lightvm.Host.prefill_pool_for host image ~nics:1 ~disks:0;
+           Vmm.prefill_pool host image ~nics:1 ~disks:0;
          for i = 1 to count do
-           let vm, c, b = Lightvm.Host.create_and_boot_time host image in
-           Printf.printf
-             "vm %3d %-14s domid %4d  create %8.2f ms  boot %8.2f ms\n" i
-             vm.Create.vm_name vm.Create.domid (c *. 1e3) (b *. 1e3)
+           let vi =
+             match Vmm.vm_create host (Vmm.vm_request image) with
+             | Ok vi -> vi
+             | Error e ->
+                 Printf.eprintf "create failed: %s\n" (Vmm.error_to_string e);
+                 exit 1
+           in
+           (match Vmm.vm_boot host ~domid:vi.Vmm.vi_domid with
+           | Ok () -> ()
+           | Error e ->
+               Printf.eprintf "boot failed: %s\n" (Vmm.error_to_string e);
+               exit 1);
+           match Vmm.vm_counters host ~domid:vi.Vmm.vi_domid with
+           | Error _ -> assert false
+           | Ok c ->
+               Printf.printf
+                 "vm %3d %-14s domid %4d  create %8.2f ms  boot %8.2f ms\n" i
+                 vi.Vmm.vi_name vi.Vmm.vi_domid
+                 (c.Vmm.vc_create_s *. 1e3)
+                 (c.Vmm.vc_boot_s *. 1e3)
          done;
          Lightvm_sim.Engine.stop ()))
 
@@ -344,13 +380,14 @@ let boot_cmd =
 let run_xenstore count =
   ignore
     (Lightvm_sim.Engine.run (fun () ->
-         let host = Lightvm.Host.create ~mode:Mode.chaos_xs () in
+         let host = Vmm.create ~mode:Mode.chaos_xs () in
          for _ = 1 to count do
-           ignore (Lightvm.Host.boot_vm host Image.daytime)
+           match Vmm.vm_create host (Vmm.vm_request Image.daytime) with
+           | Ok vi -> ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid)
+           | Error e -> failwith (Vmm.error_to_string e)
          done;
          let server =
-           Lightvm_toolstack.Toolstack.xs_server
-             (Lightvm.Host.toolstack host)
+           Lightvm_toolstack.Toolstack.xs_server (Vmm.toolstack host)
          in
          let store = Lightvm_xenstore.Xs_server.store server in
          Printf.printf
@@ -392,5 +429,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figure_cmd; trace_cmd; reliability_cmd; list_cmd; headline_cmd;
-            tinyx_cmd; minipy_cmd; boot_cmd; xenstore_cmd ]))
+          [ figure_cmd; trace_cmd; reliability_cmd; cluster_cmd; list_cmd;
+            headline_cmd; tinyx_cmd; minipy_cmd; boot_cmd; xenstore_cmd ]))

@@ -7,7 +7,7 @@ module Engine = Lightvm_sim.Engine
 module Image = Lightvm_guest.Image
 module Build = Lightvm_tinyx.Build
 module Kconfig = Lightvm_tinyx.Kconfig
-module Host = Lightvm.Host
+module Vmm = Lightvm_cluster.Vmm
 
 let () =
   (* Build a Tinyx image around nginx, for the Xen platform, with the
@@ -36,21 +36,26 @@ let () =
   (* Boot the image we just built. *)
   ignore
     (Engine.run (fun () ->
-         let host = Host.create () in
-         let vm, t_create, t_boot =
-           Host.create_and_boot_time host report.Build.image
+         let host = Vmm.create () in
+         let boot image =
+           match Vmm.vm_create host (Vmm.vm_request image) with
+           | Error e -> failwith (Vmm.error_to_string e)
+           | Ok vi -> (
+               ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid);
+               match Vmm.vm_counters host ~domid:vi.Vmm.vi_domid with
+               | Ok c -> (vi, c.Vmm.vc_create_s +. c.Vmm.vc_boot_s)
+               | Error e -> failwith (Vmm.error_to_string e))
          in
+         let vi, t_total = boot report.Build.image in
          Printf.printf
            "Booted %S: image %.1f MB, %.1f MB RAM, create+boot %.0f ms\n"
-           vm.Lightvm_toolstack.Create.vm_name
-           report.Build.image.Image.disk_mb report.Build.image.Image.mem_mb
-           ((t_create +. t_boot) *. 1e3);
+           vi.Vmm.vi_name report.Build.image.Image.disk_mb
+           report.Build.image.Image.mem_mb (t_total *. 1e3);
          (* Compare with the paper's pre-calibrated guests. *)
          List.iter
            (fun image ->
-             let _vm, c, b = Host.create_and_boot_time host image in
+             let _vi, t = boot image in
              Printf.printf "  vs %-18s %8.1f ms create+boot\n"
-               image.Image.name
-               ((c +. b) *. 1e3))
+               image.Image.name (t *. 1e3))
            [ Image.daytime; Image.tinyx; Image.debian ];
          Engine.stop ()))

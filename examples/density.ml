@@ -12,7 +12,7 @@ module Create = Lightvm_toolstack.Create
 module Machine = Lightvm_container.Machine
 module Docker = Lightvm_container.Docker
 module Layers = Lightvm_container.Layers
-module Host = Lightvm.Host
+module Vmm = Lightvm_cluster.Vmm
 
 (* A deliberately small host so the example finishes instantly: 16 GB. *)
 let platform = { Params.xeon_e5_1630 with Params.ram_mb = 16 * 1024 }
@@ -21,19 +21,25 @@ let () =
   ignore
     (Engine.run (fun () ->
          (* LightVM guests until out of memory. *)
-         let host = Host.create ~platform ~mode:Mode.lightvm () in
+         let host = Vmm.create ~platform ~mode:Mode.lightvm () in
          let booted = ref 0 in
          (try
             while true do
-              ignore (Host.boot_vm host ~nics:0 Image.noop_unikernel);
-              incr booted
+              match
+                Vmm.vm_create host
+                  (Vmm.vm_request ~nics:0 Image.noop_unikernel)
+              with
+              | Ok vi ->
+                  ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid);
+                  incr booted
+              | Error _ -> raise Exit
             done
-          with Create.Create_failed _ -> ());
+          with Exit -> ());
          Printf.printf
            "LightVM: %d noop unikernels on a 16 GB host (%.1f MB/guest \
             incl. hypervisor overhead)\n"
            !booted
-           (float_of_int (Host.guest_mem_kb host)
+           (float_of_int (Vmm.guest_mem_kb host)
            /. 1024. /. float_of_int !booted);
 
          (* Docker on the same hardware. *)

@@ -1,64 +1,69 @@
 (* Quickstart: boot a LightVM host, create a unikernel in a few
-   milliseconds, checkpoint it, and migrate it to a second host.
+   milliseconds through the cloud-hypervisor-style Vmm API, checkpoint
+   it, and live-migrate it to a second host.
 
    Run with: dune exec examples/quickstart.exe *)
 
 module Engine = Lightvm_sim.Engine
 module Image = Lightvm_guest.Image
-module Guest = Lightvm_guest.Guest
 module Mode = Lightvm_toolstack.Mode
-module Create = Lightvm_toolstack.Create
-module Checkpoint = Lightvm_toolstack.Checkpoint
 module Migrate = Lightvm_toolstack.Migrate
-module Host = Lightvm.Host
+module Vmm = Lightvm_cluster.Vmm
 
 let ms t = t *. 1e3
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Vmm.error_to_string e)
 
 let () =
   ignore
     (Engine.run (fun () ->
          (* A host with every LightVM mechanism on: chaos toolstack,
             noxs instead of the XenStore, split toolstack, xendevd. *)
-         let host = Host.create ~mode:Mode.lightvm () in
-         Printf.printf "Booted a %s host in mode %S\n"
-           (Host.platform host).Lightvm_hv.Params.name
-           (Mode.name (Host.mode host));
+         let host = Vmm.create ~mode:Mode.lightvm () in
+         Printf.printf "Booted a %s host in mode %S (API %s)\n"
+           (Vmm.platform host).Lightvm_hv.Params.name
+           (Mode.name (Vmm.mode host))
+           Vmm.api_version;
 
          (* Warm the chaos daemon's shell pool, then create a VM. *)
-         Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
-         let vm, t_create, t_boot =
-           Host.create_and_boot_time host Image.daytime
-         in
+         Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
+         let vi = ok (Vmm.vm_create host (Vmm.vm_request Image.daytime)) in
+         ok (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid);
+         let c = ok (Vmm.vm_counters host ~domid:vi.Vmm.vi_domid) in
          Printf.printf
            "Created %S (domid %d): create %.2f ms + boot %.2f ms = %.2f ms\n"
-           vm.Create.vm_name vm.Create.domid (ms t_create) (ms t_boot)
-           (ms (t_create +. t_boot));
+           vi.Vmm.vi_name vi.Vmm.vi_domid (ms c.Vmm.vc_create_s)
+           (ms c.Vmm.vc_boot_s)
+           (ms (c.Vmm.vc_create_s +. c.Vmm.vc_boot_s));
          Printf.printf "  %d device(s) connected, %.1f MB of guest memory\n"
-           (List.length vm.Create.devices)
+           (vi.Vmm.vi_nics + vi.Vmm.vi_disks)
            (float_of_int
-              (Lightvm_hv.Xen.domain_mem_kb (Host.xen host)
-                 ~domid:vm.Create.domid)
+              (Lightvm_hv.Xen.domain_mem_kb (Vmm.xen host)
+                 ~domid:vi.Vmm.vi_domid)
            /. 1024.);
 
-         (* Checkpoint: save + restore. *)
-         let ts = Host.toolstack host in
+         (* Checkpoint: snapshot + restore. *)
          let t0 = Engine.now () in
-         let saved = Checkpoint.save ts vm in
-         Printf.printf "Saved to ramdisk in %.1f ms\n" (ms (Engine.now () -. t0));
+         let saved = ok (Vmm.vm_snapshot host ~domid:vi.Vmm.vi_domid) in
+         Printf.printf "Saved to ramdisk in %.1f ms\n"
+           (ms (Engine.now () -. t0));
          let t0 = Engine.now () in
-         let restored = Checkpoint.restore ts saved in
-         Guest.wait_ready restored.Create.guest;
+         let restored = ok (Vmm.vm_restore host saved) in
+         ok (Vmm.vm_boot host ~domid:restored.Vmm.vi_domid);
          Printf.printf "Restored in %.1f ms\n" (ms (Engine.now () -. t0));
 
-         (* Migrate to a second host. *)
-         let dst = Host.create ~mode:Mode.lightvm () in
-         let _vm', stats =
-           Migrate.migrate ~src:ts ~dst:(Host.toolstack dst) restored
+         (* Live-migrate to a second host. *)
+         let dst = Vmm.create ~host_id:1 ~mode:Mode.lightvm () in
+         let moved, stats =
+           ok (Vmm.vm_migrate ~src:host ~dst ~domid:restored.Vmm.vi_domid)
          in
+         ok (Vmm.vm_boot dst ~domid:moved.Vmm.vi_domid);
          Printf.printf
            "Migrated in %.1f ms (suspend %.1f + transfer %.1f + resume %.1f)\n"
            (ms stats.Migrate.total) (ms stats.Migrate.suspend)
            (ms stats.Migrate.transfer) (ms stats.Migrate.resume);
          Printf.printf "Guests now: source %d, destination %d\n"
-           (Host.vm_count host) (Host.vm_count dst);
+           (Vmm.vm_count host) (Vmm.vm_count dst);
          Engine.stop ()))

@@ -1,0 +1,158 @@
+(** The replicated-host control plane.
+
+    A cluster is N identical hosts — each a full {!Vmm} endpoint —
+    wired to a modeled top-of-rack switch, plus a {!Scheduler} that
+    decides placement and a migration engine built on the toolstack's
+    live migration. Hosts are grouped into racks (failure domains) that
+    the spread policy respects.
+
+    {b Determinism.} Cluster construction, placement, migration and
+    rebalancing are all pure functions of the constructor arguments and
+    the call sequence: host iteration is always in id order, migration
+    victims are chosen by lowest domid, and the only randomness in the
+    system stays inside the caller's explicitly-seeded fault injector.
+    Equal seeds therefore give bit-identical cluster timelines for any
+    [--jobs] (the cluster experiments pin this with digests).
+
+    {b Loss accounting.} A migration that fails past every retransfer
+    attempt loses the guest (see {!Vmm.vm_migrate}); that is a modeled
+    outcome, not a resource leak. The cluster keeps a running total of
+    the footprint freed by lost guests and {!resources} reports
+    {e accounted} resources — live plus lost — so {!check_leak} stays
+    an exact equality even across failed migrations. *)
+
+type t
+
+val create :
+  hosts:int ->
+  ?racks:int ->
+  ?platform:Lightvm_hv.Params.platform ->
+  ?mode:Lightvm_toolstack.Mode.t ->
+  ?xs_profile:Lightvm_xenstore.Xs_costs.profile ->
+  ?costs:Lightvm_toolstack.Costs.t ->
+  ?pool_target:int ->
+  policy:Scheduler.policy ->
+  unit ->
+  t
+(** Boot [hosts] identical hosts (defaults as {!Vmm.create}) inside a
+    running simulation, split into [racks] contiguous failure domains
+    (default 1), and attach each to the switch on the port matching its
+    id. Every host is warmed with one create+destroy cycle so that the
+    shared store directories the first creation materialises exist
+    everywhere — without this, resource snapshots would differ between
+    a host that has hosted a VM and one that has not, and migration
+    would look like a phantom on a fresh destination (see DESIGN.md
+    "Failure model").
+
+    @raise Invalid_argument when [hosts < 1] or [racks] is not in
+    [1..hosts]. *)
+
+val host_count : t -> int
+
+val host : t -> int -> Vmm.t
+(** The lifecycle endpoint of host [i].
+    @raise Invalid_argument when [i] is out of range. *)
+
+val hosts : t -> Vmm.t list
+(** All endpoints, by ascending host id. *)
+
+val rack_of : t -> int -> int
+(** The failure domain of host [i] (contiguous blocks of
+    [hosts / racks] rounded up). *)
+
+val policy : t -> Scheduler.policy
+
+val switch : t -> Lightvm_net.Switch.t
+(** The modeled top-of-rack switch (control-plane traffic statistics
+    live here). *)
+
+val vm_count : t -> int
+(** Live VMs across all hosts. *)
+
+val views : t -> Scheduler.host_view list
+(** The scheduler's current picture of the cluster, by host id. *)
+
+(** {1 Placement} *)
+
+type placement = {
+  pl_host : int;  (** chosen host id *)
+  pl_vm : Vmm.vm_info;
+}
+
+type error =
+  | No_capacity of string  (** the scheduler found no feasible host *)
+  | Api of { host : int; err : Vmm.error }
+      (** a host-level API call failed *)
+
+val error_to_string : error -> string
+
+val launch : t -> Vmm.vm_create_request -> (placement, error) result
+(** Place the request with the scheduler, then create the VM through
+    the chosen host's {!Vmm} endpoint (announcing the placement on the
+    switch). The guest's boot is in flight on return; await it with
+    [Vmm.vm_boot (Cluster.host t pl.pl_host) ~domid:pl.pl_vm.vi_domid]. *)
+
+val prefill_pools : t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> unit
+(** Warm the split-toolstack shell pool on {e every} host (the
+    [Pool_everywhere] deployment; no-op in non-split modes). *)
+
+(** {1 Migration, drain, rebalance} *)
+
+val migrate_vm :
+  t ->
+  src:int ->
+  dst:int ->
+  domid:int ->
+  (Vmm.vm_info * Lightvm_toolstack.Migrate.stats, error) result
+(** Live-migrate one VM between two hosts over the modeled network and
+    block until the resumed guest is running again on [dst] (its
+    frontends reconnected), so the cluster is settled on return and the
+    returned [vm_info] reflects the running guest. On
+    [Error (Api { err = Vm_migration_failed _; _ })] the guest is lost;
+    its freed footprint is added to {!lost_resources} so the loss is
+    accounted, not leaked.
+    @raise Invalid_argument when [src] or [dst] is out of range or
+    [src = dst]. *)
+
+(** Outcome of a multi-VM operation ({!drain} or {!rebalance}). *)
+type move_report = {
+  mv_attempted : int;  (** migrations tried *)
+  mv_moved : int;  (** completed *)
+  mv_lost : int;  (** guests lost to terminally-corrupted streams *)
+  mv_stranded : int;  (** left in place (no feasible destination) *)
+  mv_seconds : float;  (** simulated time the whole operation took *)
+}
+
+val drain : t -> host:int -> move_report
+(** Evacuate every VM from [host], destinations chosen by the
+    scheduler among the other hosts (lowest domid first, so the order
+    is deterministic). The host itself stays up — refill it by
+    launching or rebalancing. *)
+
+val rebalance : t -> ?max_moves:int -> unit -> move_report
+(** Move VMs one at a time from the fullest host to the emptiest
+    (lowest-domid victim) until the spread between any two hosts is at
+    most one VM, or [max_moves] migrations have been attempted
+    (default [4 * vm_count], a safety bound — the loop converges long
+    before it on any real imbalance). *)
+
+(** {1 Cluster-wide resource accounting} *)
+
+val resources : t -> Vmm.resources
+(** Accounted resources: the componentwise sum of every host's
+    {!Vmm.resources} plus {!lost_resources}. Two snapshots around any
+    self-contained workload (everything created was destroyed, losses
+    only via failed migrations) must be equal — that is the cluster
+    no-leak invariant. *)
+
+val lost_resources : t -> Vmm.resources
+(** Cumulative footprint of guests lost in failed migrations, measured
+    as the resources the loss actually freed (source and destination
+    inspected around the failing migration). *)
+
+val check_leak : t -> before:Vmm.resources -> (unit, string) result
+(** [Ok] when accounted {!resources} match [before] exactly, [Error s]
+    naming every counter that drifted. A VM in flight between hosts
+    when [before] was taken never trips this: migration moves its
+    footprint between addends of the same sum, and a lost guest moves
+    it into {!lost_resources}. *)

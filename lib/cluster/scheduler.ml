@@ -1,0 +1,83 @@
+type policy = Binpack | Spread | Pool_everywhere
+
+let policies = [ Binpack; Spread; Pool_everywhere ]
+
+let policy_name = function
+  | Binpack -> "binpack"
+  | Spread -> "spread"
+  | Pool_everywhere -> "pool-everywhere"
+
+let parse_policy s =
+  match List.find_opt (fun p -> policy_name p = s) policies with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (expected %s)" s
+           (String.concat ", " (List.map policy_name policies)))
+
+type host_view = {
+  hv_id : int;
+  hv_rack : int;
+  hv_vms : int;
+  hv_free_kb : int;
+}
+
+type t = { pol : policy; mutable cursor : int }
+
+let make pol = { pol; cursor = 0 }
+
+let policy t = t.pol
+
+(* Pick the view minimising [key] (hosts can arrive in any order, so
+   the id is always the last tie-breaker). *)
+let min_by key feasible =
+  List.fold_left
+    (fun best h ->
+      match best with
+      | None -> Some h
+      | Some b -> if compare (key h) (key b) < 0 then Some h else best)
+    None feasible
+
+let place t ~hosts ~mem_kb =
+  let feasible = List.filter (fun h -> h.hv_free_kb >= mem_kb) hosts in
+  match feasible with
+  | [] ->
+      Error
+        (Printf.sprintf "no host with %d kB free (cluster of %d)" mem_kb
+           (List.length hosts))
+  | _ -> (
+      match t.pol with
+      | Binpack ->
+          (* Tightest fit: least free memory, then lowest id. *)
+          let chosen =
+            min_by (fun h -> (h.hv_free_kb, h.hv_id)) feasible
+          in
+          Ok (Option.get chosen).hv_id
+      | Spread ->
+          (* Least-loaded rack first (failure-domain spreading), then
+             least-loaded host, then most free memory, then id. *)
+          let rack_vms rack =
+            List.fold_left
+              (fun acc h -> if h.hv_rack = rack then acc + h.hv_vms else acc)
+              0 hosts
+          in
+          let chosen =
+            min_by
+              (fun h -> (rack_vms h.hv_rack, h.hv_vms, -h.hv_free_kb, h.hv_id))
+              feasible
+          in
+          Ok (Option.get chosen).hv_id
+      | Pool_everywhere ->
+          (* Round-robin over host ids, skipping infeasible hosts: the
+             cursor walks the id space so consecutive VMs land on
+             consecutive warm pools. *)
+          let sorted =
+            List.sort (fun a b -> compare a.hv_id b.hv_id) feasible
+          in
+          let chosen =
+            match List.find_opt (fun h -> h.hv_id >= t.cursor) sorted with
+            | Some h -> h
+            | None -> List.hd sorted
+          in
+          t.cursor <- chosen.hv_id + 1;
+          Ok chosen.hv_id)

@@ -1,0 +1,429 @@
+module Engine = Lightvm_sim.Engine
+module Params = Lightvm_hv.Params
+module Xen = Lightvm_hv.Xen
+module Image = Lightvm_guest.Image
+module Guest = Lightvm_guest.Guest
+module Mode = Lightvm_toolstack.Mode
+module Vmconfig = Lightvm_toolstack.Vmconfig
+module Toolstack = Lightvm_toolstack.Toolstack
+module Create = Lightvm_toolstack.Create
+module Checkpoint = Lightvm_toolstack.Checkpoint
+module Migrate = Lightvm_toolstack.Migrate
+
+let api_version = "lightvm-vmm/0.1"
+
+type vm_state = Created | Running | Paused
+
+let vm_state_name = function
+  | Created -> "created"
+  | Running -> "running"
+  | Paused -> "paused"
+
+type error =
+  | Vm_not_found of int
+  | Vm_bad_state of { domid : int; state : vm_state; op : string }
+  | Vm_create_failed of string
+  | Vm_migration_failed of string
+
+let error_to_string = function
+  | Vm_not_found domid -> Printf.sprintf "no such VM: domid %d" domid
+  | Vm_bad_state { domid; state; op } ->
+      Printf.sprintf "%s: domid %d is %s" op domid (vm_state_name state)
+  | Vm_create_failed msg -> "create failed: " ^ msg
+  | Vm_migration_failed msg -> "migration failed: " ^ msg
+
+type vm_create_request = {
+  req_name : string option;
+  req_image : Image.t;
+  req_nics : int;
+  req_disks : int;
+  req_config_text : string option;
+}
+
+let vm_request ?name ?(nics = 1) ?(disks = 0) ?config_text image =
+  {
+    req_name = name;
+    req_image = image;
+    req_nics = nics;
+    req_disks = disks;
+    req_config_text = config_text;
+  }
+
+type vm_info = {
+  vi_domid : int;
+  vi_name : string;
+  vi_state : vm_state;
+  vi_image : string;
+  vi_memory_mb : float;
+  vi_vcpus : int;
+  vi_nics : int;
+  vi_disks : int;
+}
+
+type vm_counters = {
+  vc_create_s : float;
+  vc_boot_s : float;
+  vc_breakdown : (string * float) list;
+}
+
+type ping = { pg_version : string; pg_host_id : int; pg_vm_count : int }
+
+type host_info = {
+  hi_host_id : int;
+  hi_platform : string;
+  hi_mode : string;
+  hi_vm_count : int;
+  hi_shell_count : int;
+  hi_free_mem_kb : int;
+  hi_total_mem_kb : int;
+  hi_guest_mem_kb : int;
+}
+
+(* Per-VM API-side bookkeeping. [created] is the pipeline handle;
+   [awaited] distinguishes a VM whose guest has been waited for (so a
+   resume returns it to [Running] rather than [Created]). *)
+type vm_record = {
+  created : Create.created;
+  t_created : float;  (* Engine.now at registration, for boot_s *)
+  mutable state : vm_state;
+  mutable awaited : bool;
+  mutable boot_s : float;
+}
+
+type t = {
+  host_id : int;
+  xen : Xen.t;
+  ts : Toolstack.t;
+  mutable counter : int;
+  vms : (int, vm_record) Hashtbl.t;
+}
+
+let create ?(host_id = 0) ?(platform = Params.xeon_e5_1630)
+    ?(mode = Mode.lightvm) ?xs_profile ?costs ?pool_target () =
+  let xen = Xen.boot ~platform () in
+  let ts = Toolstack.make ~xen ~mode ?xs_profile ?costs ?pool_target () in
+  { host_id; xen; ts; counter = 0; vms = Hashtbl.create 64 }
+
+let xen t = t.xen
+let toolstack t = t.ts
+let mode t = Toolstack.mode t.ts
+let platform t = Xen.platform t.xen
+let host_id t = t.host_id
+let vm_count t = Toolstack.vm_count t.ts
+
+let fresh_name t image =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s-%d" image.Image.name t.counter
+
+let config_for t ?name ?(nics = 1) ?(disks = 0) image =
+  let name = match name with Some n -> n | None -> fresh_name t image in
+  Vmconfig.for_image ~nics ~disks ~name image
+
+let override_for image =
+  (* Images built on the fly (inflated or Tinyx-custom) are not in the
+     static registry; hand them to the pipeline directly. Physical
+     equality suffices — registry images are shared values — and avoids
+     a deep structural compare on every single VM creation. *)
+  match Image.find image.Image.name with
+  | Some registered when registered == image -> None
+  | _ -> Some image
+
+let adopt_record (created : Create.created) =
+  (* A VM registered behind the API's back (restore or an incoming
+     migration through the toolstack plumbing): synthesise its record
+     from the guest's own state so every endpoint still works on it. *)
+  let booted = Guest.booted created.Create.guest in
+  {
+    created;
+    t_created = Engine.now ();
+    state = (if booted then Running else Created);
+    awaited = booted;
+    boot_s = (if booted then Guest.boot_time created.Create.guest else 0.);
+  }
+
+(* The toolstack registry is the source of truth for which domains are
+   alive; the API table only carries lifecycle state on top of it. A
+   domid the toolstack no longer knows is dropped, an unknown one is
+   adopted. *)
+let lookup t ~domid =
+  match Toolstack.vm t.ts ~domid with
+  | None ->
+      Hashtbl.remove t.vms domid;
+      Error (Vm_not_found domid)
+  | Some created -> (
+      match Hashtbl.find_opt t.vms domid with
+      | Some r when r.created == created -> Ok r
+      | _ ->
+          let r = adopt_record created in
+          Hashtbl.replace t.vms domid r;
+          Ok r)
+
+let info_of (r : vm_record) =
+  let cfg = r.created.Create.config in
+  {
+    vi_domid = r.created.Create.domid;
+    vi_name = r.created.Create.vm_name;
+    vi_state = r.state;
+    vi_image = cfg.Vmconfig.kernel;
+    vi_memory_mb = cfg.Vmconfig.memory_mb;
+    vi_vcpus = cfg.Vmconfig.vcpus;
+    vi_nics = List.length cfg.Vmconfig.vifs;
+    vi_disks = List.length cfg.Vmconfig.disks;
+  }
+
+let register t (created : Create.created) =
+  let r =
+    {
+      created;
+      t_created = Engine.now ();
+      state = Created;
+      awaited = false;
+      boot_s = 0.;
+    }
+  in
+  Hashtbl.replace t.vms created.Create.domid r;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* The lifecycle API *)
+
+let ping t =
+  { pg_version = api_version; pg_host_id = t.host_id;
+    pg_vm_count = Toolstack.vm_count t.ts }
+
+let guest_mem_kb t =
+  List.fold_left
+    (fun acc dom ->
+      let domid = Lightvm_hv.Domain.domid dom in
+      if domid = 0 then acc else acc + Xen.domain_mem_kb t.xen ~domid)
+    0
+    (Xen.domains t.xen)
+
+let host_info t =
+  {
+    hi_host_id = t.host_id;
+    hi_platform = (Xen.platform t.xen).Params.name;
+    hi_mode = Mode.name (Toolstack.mode t.ts);
+    hi_vm_count = Toolstack.vm_count t.ts;
+    hi_shell_count = Toolstack.shell_count t.ts;
+    hi_free_mem_kb = Xen.free_mem_kb t.xen;
+    hi_total_mem_kb = Xen.total_mem_kb t.xen;
+    hi_guest_mem_kb = guest_mem_kb t;
+  }
+
+let vm_create t req =
+  let cfg =
+    config_for t ?name:req.req_name ~nics:req.req_nics ~disks:req.req_disks
+      req.req_image
+  in
+  match
+    Toolstack.create_vm t.ts ?config_text:req.req_config_text
+      ?image_override:(override_for req.req_image) cfg
+  with
+  | Error msg -> Error (Vm_create_failed msg)
+  | Ok created -> Ok (info_of (register t created))
+
+let vm_boot t ~domid =
+  match lookup t ~domid with
+  | Error err -> Error err
+  | Ok r -> (
+      match r.state with
+      | Paused -> Error (Vm_bad_state { domid; state = Paused; op = "vm.boot" })
+      | Running -> Ok ()
+      | Created ->
+          Guest.wait_ready r.created.Create.guest;
+          if not r.awaited then begin
+            (* [t_created] is stamped when the creation call returns, so
+               this is exactly the guest-boot wait. *)
+            r.boot_s <- Engine.now () -. r.t_created;
+            r.awaited <- true
+          end;
+          r.state <- Running;
+          Ok ())
+
+let hv_err ~domid ~op = function
+  | Xen.ENOENT -> Vm_not_found domid
+  | Xen.ENOMEM -> Vm_create_failed (op ^ ": out of memory")
+  | Xen.EINVAL -> Vm_create_failed (op ^ ": invalid domain state")
+
+let vm_pause t ~domid =
+  match lookup t ~domid with
+  | Error err -> Error err
+  | Ok r -> (
+      match r.state with
+      | Paused ->
+          Error (Vm_bad_state { domid; state = Paused; op = "vm.pause" })
+      | Created | Running -> (
+          match Xen.pause t.xen ~domid with
+          | Ok () ->
+              r.state <- Paused;
+              Ok ()
+          | Error e -> Error (hv_err ~domid ~op:"vm.pause" e)))
+
+let vm_resume t ~domid =
+  match lookup t ~domid with
+  | Error err -> Error err
+  | Ok r -> (
+      match r.state with
+      | (Created | Running) as state ->
+          Error (Vm_bad_state { domid; state; op = "vm.resume" })
+      | Paused -> (
+          match Xen.unpause t.xen ~domid with
+          | Ok () ->
+              r.state <- (if r.awaited then Running else Created);
+              Ok ()
+          | Error e -> Error (hv_err ~domid ~op:"vm.resume" e)))
+
+let vm_delete t ~domid =
+  match lookup t ~domid with
+  | Error err -> Error err
+  | Ok r ->
+      (* Destroy works from any state — a paused domain is torn down
+         exactly like a running one (that is how pool shells die). *)
+      Toolstack.destroy_vm t.ts r.created;
+      Hashtbl.remove t.vms domid;
+      Ok ()
+
+let vm_info t ~domid = Result.map info_of (lookup t ~domid)
+
+let vm_counters t ~domid =
+  Result.map
+    (fun r ->
+      {
+        vc_create_s = r.created.Create.create_time;
+        vc_boot_s = r.boot_s;
+        vc_breakdown =
+          List.map
+            (fun c ->
+              ( Create.category_name c,
+                Create.breakdown_get r.created.Create.breakdown c ))
+            Create.categories;
+      })
+    (lookup t ~domid)
+
+let vm_list t =
+  List.filter_map
+    (fun (c : Create.created) ->
+      match lookup t ~domid:c.Create.domid with
+      | Ok r -> Some (info_of r)
+      | Error _ -> None)
+    (Toolstack.vms t.ts)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot, restore, migration *)
+
+let vm_snapshot t ~domid =
+  match lookup t ~domid with
+  | Error e -> Error e
+  | Ok r ->
+      let saved = Checkpoint.save t.ts r.created in
+      Hashtbl.remove t.vms domid;
+      Ok saved
+
+let vm_restore t saved =
+  match Checkpoint.restore t.ts saved with
+  | created -> Ok (info_of (register t created))
+  | exception Create.Create_failed msg -> Error (Vm_create_failed msg)
+
+let vm_migrate ~src ~dst ~domid =
+  match lookup src ~domid with
+  | Error e -> Error e
+  | Ok r -> (
+      match Migrate.migrate ~src:src.ts ~dst:dst.ts r.created with
+      | resumed, stats ->
+          Hashtbl.remove src.vms domid;
+          Ok (info_of (register dst resumed), stats)
+      | exception Migrate.Migration_failed msg ->
+          (* The source domain was destroyed at suspend; drop it. *)
+          Hashtbl.remove src.vms domid;
+          Error (Vm_migration_failed msg)
+      | exception Create.Create_failed msg ->
+          (* Destination could not resume the guest. The source was
+             already destroyed at suspend here too: same loss mode. *)
+          Hashtbl.remove src.vms domid;
+          Error (Vm_migration_failed msg))
+
+let prefill_pool t image ~nics ~disks =
+  Toolstack.prefill_pool t.ts
+    (config_for t ~name:"pool-template" ~nics ~disks image)
+
+(* ------------------------------------------------------------------ *)
+(* Resource accounting *)
+
+type resources = {
+  r_domains : int;  (* guest domains, shells included *)
+  r_mem_kb : int;  (* frames allocated, all owners *)
+  r_evtchns : int;  (* open event-channel endpoints *)
+  r_grants : int;  (* outstanding grant-table entries *)
+  r_ctrl_pages : int;  (* registered noxs control pages *)
+  r_xs_nodes : int;  (* XenStore nodes *)
+  r_xs_watches : int;  (* registered XenStore watches *)
+}
+
+let zero_resources =
+  {
+    r_domains = 0;
+    r_mem_kb = 0;
+    r_evtchns = 0;
+    r_grants = 0;
+    r_ctrl_pages = 0;
+    r_xs_nodes = 0;
+    r_xs_watches = 0;
+  }
+
+let add_resources a b =
+  {
+    r_domains = a.r_domains + b.r_domains;
+    r_mem_kb = a.r_mem_kb + b.r_mem_kb;
+    r_evtchns = a.r_evtchns + b.r_evtchns;
+    r_grants = a.r_grants + b.r_grants;
+    r_ctrl_pages = a.r_ctrl_pages + b.r_ctrl_pages;
+    r_xs_nodes = a.r_xs_nodes + b.r_xs_nodes;
+    r_xs_watches = a.r_xs_watches + b.r_xs_watches;
+  }
+
+let sub_resources a b =
+  {
+    r_domains = a.r_domains - b.r_domains;
+    r_mem_kb = a.r_mem_kb - b.r_mem_kb;
+    r_evtchns = a.r_evtchns - b.r_evtchns;
+    r_grants = a.r_grants - b.r_grants;
+    r_ctrl_pages = a.r_ctrl_pages - b.r_ctrl_pages;
+    r_xs_nodes = a.r_xs_nodes - b.r_xs_nodes;
+    r_xs_watches = a.r_xs_watches - b.r_xs_watches;
+  }
+
+let resources t =
+  let env = Toolstack.env t.ts in
+  {
+    r_domains = Xen.guest_count t.xen;
+    r_mem_kb = Xen.used_mem_kb t.xen;
+    r_evtchns = Lightvm_hv.Evtchn.count (Xen.evtchn t.xen);
+    r_grants = Lightvm_hv.Gnttab.count (Xen.gnttab t.xen);
+    r_ctrl_pages = Lightvm_guest.Ctrl.count env.Create.ctrl;
+    r_xs_nodes =
+      Lightvm_xenstore.Xs_store.node_count
+        (Lightvm_xenstore.Xs_server.store env.Create.xs_server);
+    r_xs_watches = Lightvm_xenstore.Xs_server.watch_count env.Create.xs_server;
+  }
+
+let diff_resources ~before ~after =
+  let d name get acc =
+    let b = get before and a = get after in
+    if a = b then acc
+    else Printf.sprintf "%s %+d (%d -> %d)" name (a - b) b a :: acc
+  in
+  List.rev
+    ([]
+    |> d "domains" (fun r -> r.r_domains)
+    |> d "mem_kb" (fun r -> r.r_mem_kb)
+    |> d "evtchns" (fun r -> r.r_evtchns)
+    |> d "grants" (fun r -> r.r_grants)
+    |> d "ctrl_pages" (fun r -> r.r_ctrl_pages)
+    |> d "xs_nodes" (fun r -> r.r_xs_nodes)
+    |> d "xs_watches" (fun r -> r.r_xs_watches))
+
+let check_leak t ~before =
+  match diff_resources ~before ~after:(resources t) with
+  | [] -> Ok ()
+  | leaks -> Error (String.concat ", " leaks)

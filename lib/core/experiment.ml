@@ -15,6 +15,9 @@ module Create = Lightvm_toolstack.Create
 module Toolstack = Lightvm_toolstack.Toolstack
 module Checkpoint = Lightvm_toolstack.Checkpoint
 module Migrate = Lightvm_toolstack.Migrate
+module Vmm = Lightvm_cluster.Vmm
+module Scheduler = Lightvm_cluster.Scheduler
+module Cluster = Lightvm_cluster.Cluster
 module Machine = Lightvm_container.Machine
 module Docker = Lightvm_container.Docker
 module Process = Lightvm_container.Process
@@ -46,6 +49,46 @@ let run_sim f =
 let ms x = x *. 1e3
 
 let mk label unit_label = Series.create ~unit_label ~name:label ()
+
+(* ------------------------------------------------------------------ *)
+(* Vmm-backed lifecycle helpers.
+
+   Every VM lifecycle operation in the experiment bodies flows through
+   the cluster library's Vmm API (the public lifecycle surface). The
+   helpers reproduce the measurement arithmetic of the original inline
+   implementations exactly — t0 / now-.t0 / now-.t0-.t_create — so the
+   digest-pinned renders are bit-identical to the pre-API code. The
+   returned [Create.created] handle feeds the bodies that reach into
+   toolstack internals (breakdown categories, checkpoint victims). *)
+
+let vmm_created host (vi : Vmm.vm_info) =
+  match Toolstack.vm (Vmm.toolstack host) ~domid:vi.Vmm.vi_domid with
+  | Some created -> created
+  | None -> assert false
+
+let vm_create_exn host ?name ?nics ?disks image =
+  match Vmm.vm_create host (Vmm.vm_request ?name ?nics ?disks image) with
+  | Ok vi -> vmm_created host vi
+  | Error (Vmm.Vm_create_failed msg) -> raise (Create.Create_failed msg)
+  | Error e -> raise (Create.Create_failed (Vmm.error_to_string e))
+
+(* Create a VM and block until its guest is up. *)
+let launch host ?name ?nics ?disks image =
+  let created = vm_create_exn host ?name ?nics ?disks image in
+  ignore (Vmm.vm_boot host ~domid:created.Create.domid);
+  created
+
+(* [(vm, create_seconds, boot_seconds)]. *)
+let launch_timed host ?name ?nics ?disks image =
+  let t0 = Engine.now () in
+  let created = vm_create_exn host ?name ?nics ?disks image in
+  let t_create = Engine.now () -. t0 in
+  ignore (Vmm.vm_boot host ~domid:created.Create.domid);
+  let t_boot = Engine.now () -. t0 -. t_create in
+  (created, t_create, t_boot)
+
+let retire host (created : Create.created) =
+  ignore (Vmm.vm_delete host ~domid:created.Create.domid)
 
 (* ------------------------------------------------------------------ *)
 (* Job decomposition.
@@ -104,16 +147,16 @@ let fig2_boot_vs_image_size
     ?(sizes_mb = [ 0.; 50.; 100.; 200.; 400.; 600.; 800.; 1000. ]) () =
   let series = mk "fig2-boot-vs-image-size" "ms" in
   run_sim (fun () ->
-      let host = Host.create ~mode:Mode.lightvm () in
+      let host = Vmm.create ~mode:Mode.lightvm () in
       List.iter
         (fun extra ->
           let image = Image.with_inflated_image Image.daytime ~extra_mb:extra in
           let vm, t_create, t_boot =
-            Host.create_and_boot_time host image
+            launch_timed host image
           in
           Series.add series ~x:(Image.daytime.Image.disk_mb +. extra)
             ~y:(ms (t_create +. t_boot));
-          Host.destroy_vm host vm)
+          retire host vm)
         sizes_mb);
   series
 
@@ -124,11 +167,11 @@ let vm_instantiation_series ~mode ~image ~nics ~disks ~n ~label_prefix =
   let create_series = mk (label_prefix ^ " create") "ms" in
   let boot_series = mk (label_prefix ^ " boot") "ms" in
   run_sim (fun () ->
-      let host = Host.create ~mode () in
-      if mode.Mode.split then Host.prefill_pool_for host image ~nics ~disks;
+      let host = Vmm.create ~mode () in
+      if mode.Mode.split then Vmm.prefill_pool host image ~nics ~disks;
       for i = 1 to n do
         let _vm, t_create, t_boot =
-          Host.create_and_boot_time host ~nics ~disks image
+          launch_timed host ~nics ~disks image
         in
         Series.add create_series ~x:(float_of_int i) ~y:(ms t_create);
         Series.add boot_series ~x:(float_of_int i) ~y:(ms t_boot)
@@ -217,10 +260,10 @@ let fig5_breakdown ?(n = 200) ?(sample = 10) () =
       Create.categories
   in
   run_sim (fun () ->
-      let host = Host.create ~mode:Mode.xl () in
+      let host = Vmm.create ~mode:Mode.xl () in
       for i = 1 to n do
         let vm, _, _ =
-          Host.create_and_boot_time host ~nics:1 ~disks:1 Image.debian
+          launch_timed host ~nics:1 ~disks:1 Image.debian
         in
         if i mod sample = 0 || i = 1 then
           List.iter
@@ -240,12 +283,12 @@ let fig9_mode ~n mode =
   let label = Mode.name mode in
   let series = mk ("fig9 " ^ label) "ms" in
   run_sim (fun () ->
-      let host = Host.create ~mode () in
+      let host = Vmm.create ~mode () in
       if mode.Mode.split then
-        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+        Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
       for i = 1 to n do
         let _vm, t_create, t_boot =
-          Host.create_and_boot_time host ~nics:1 Image.daytime
+          launch_timed host ~nics:1 Image.daytime
         in
         Series.add series ~x:(float_of_int i)
           ~y:(ms (t_create +. t_boot))
@@ -295,12 +338,12 @@ let scale_mode ~count mode =
      creation would dominate render size without adding shape. *)
   let stride = max 1 (count / 20) in
   run_sim (fun () ->
-      let host = Host.create ~mode () in
+      let host = Vmm.create ~mode () in
       if mode.Mode.split then
-        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+        Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
       for i = 1 to count do
         let _vm, t_create, t_boot =
-          Host.create_and_boot_time host ~nics:1 Image.daytime
+          launch_timed host ~nics:1 Image.daytime
         in
         if i = 1 || i = count || i mod stride = 0 then
           Series.add series ~x:(float_of_int i)
@@ -365,29 +408,27 @@ let reliability_cell ~n ~mode ~spec ~seed ~level =
   let injector = Fault.create ~seed (Fault.scale spec level) in
   let ok = ref 0 and times = ref [] and leaks = ref [] in
   run_sim (fun () ->
-      let host = Host.create ~mode () in
-      let ts = Host.toolstack host in
+      let host = Vmm.create ~mode () in
       (* Warm up outside the injector: the first creation on a fresh
          host materialises shared store directories (/vm, the backend
          kind levels) that persist for the host's lifetime, so resource
          snapshots are only stable from the second creation on. *)
-      let warm = Host.boot_vm host ~name:"rel-warmup" Image.daytime in
-      Host.destroy_vm host warm;
+      let warm = launch host ~name:"rel-warmup" Image.daytime in
+      retire host warm;
       Fault.with_injector injector (fun () ->
           for i = 1 to n do
-            let before = Host.resources host in
-            let cfg =
-              Vmconfig.for_image ~nics:1 ~disks:0
-                ~name:(Printf.sprintf "rel-%d" i) Image.daytime
+            let before = Vmm.resources host in
+            let req =
+              Vmm.vm_request ~name:(Printf.sprintf "rel-%d" i) Image.daytime
             in
             let t0 = Engine.now () in
-            match Toolstack.create_vm ts cfg with
-            | Ok created ->
+            match Vmm.vm_create host req with
+            | Ok vi ->
                 incr ok;
                 times := (Engine.now () -. t0) :: !times;
-                Guest.wait_ready created.Create.guest
+                ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid)
             | Error _ -> (
-                match Host.check_leak host ~before with
+                match Vmm.check_leak host ~before with
                 | Ok () -> ()
                 | Error leaked ->
                     leaks :=
@@ -475,13 +516,13 @@ let fig10_lightvm ~vms =
   let lightvm_series = mk "fig10 LightVM" "ms" in
   run_sim (fun () ->
       let host =
-        Host.create ~platform:Params.amd_opteron_6376 ~mode:Mode.lightvm ()
+        Vmm.create ~platform:Params.amd_opteron_6376 ~mode:Mode.lightvm ()
       in
-      Host.prefill_pool_for host Image.noop_unikernel ~nics:0 ~disks:0;
+      Vmm.prefill_pool host Image.noop_unikernel ~nics:0 ~disks:0;
       try
         for i = 1 to vms do
           let _vm, t_create, t_boot =
-            Host.create_and_boot_time host ~nics:0 Image.noop_unikernel
+            launch_timed host ~nics:0 Image.noop_unikernel
           in
           Series.add lightvm_series ~x:(float_of_int i)
             ~y:(ms (t_create +. t_boot))
@@ -567,28 +608,44 @@ let fig12_mode ~n ~batch mode =
   let save_series = mk ("fig12a " ^ label) "ms" in
   let restore_series = mk ("fig12b " ^ label) "ms" in
   run_sim (fun () ->
-      let host = Host.create ~mode () in
+      let host = Vmm.create ~mode () in
       if mode.Mode.split then
-        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
-      let ts = Host.toolstack host in
+        Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
+      let ts = Vmm.toolstack host in
       let rng = Rng.create 33L in
       let rounds = n / batch in
       for round = 1 to rounds do
         (* Bring the population up to round*batch guests. *)
-        while Host.vm_count host < round * batch do
-          ignore (Host.boot_vm host Image.daytime)
+        while Vmm.vm_count host < round * batch do
+          ignore (launch host Image.daytime)
         done;
-        (* Checkpoint [batch] randomly chosen guests. *)
+        (* Checkpoint [batch] randomly chosen guests (vm.snapshot /
+           vm.restore through the host's API endpoint). *)
         let victims = Array.of_list (Toolstack.vms ts) in
         Rng.shuffle rng victims;
         let victims = Array.to_list (Array.sub victims 0 batch) in
         let t0 = Engine.now () in
-        let saved = List.map (Checkpoint.save ts) victims in
+        let saved =
+          List.map
+            (fun (vm : Create.created) ->
+              match Vmm.vm_snapshot host ~domid:vm.Create.domid with
+              | Ok s -> s
+              | Error e -> failwith (Vmm.error_to_string e))
+            victims
+        in
         let t_save = (Engine.now () -. t0) /. float_of_int batch in
         let t1 = Engine.now () in
-        let restored = List.map (Checkpoint.restore ts) saved in
+        let restored =
+          List.map
+            (fun s ->
+              match Vmm.vm_restore host s with
+              | Ok vi -> vi
+              | Error e -> failwith (Vmm.error_to_string e))
+            saved
+        in
         List.iter
-          (fun vm -> Guest.wait_ready vm.Create.guest)
+          (fun (vi : Vmm.vm_info) ->
+            ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid))
           restored;
         let t_restore = (Engine.now () -. t1) /. float_of_int batch in
         let x = float_of_int (round * batch) in
@@ -616,27 +673,26 @@ let fig13_mode ~n ~batch mode =
   let label = Mode.name mode in
   let series = mk ("fig13 " ^ label) "ms" in
   run_sim (fun () ->
-      let src = Host.create ~mode () in
-      let dst = Host.create ~mode () in
+      let src = Vmm.create ~mode () in
+      let dst = Vmm.create ~mode () in
       if mode.Mode.split then
-        Host.prefill_pool_for src Image.daytime ~nics:1 ~disks:0;
+        Vmm.prefill_pool src Image.daytime ~nics:1 ~disks:0;
       let rng = Rng.create 44L in
       let rounds = n / batch in
       for round = 1 to rounds do
-        while Host.vm_count src < round * batch do
-          ignore (Host.boot_vm src Image.daytime)
+        while Vmm.vm_count src < round * batch do
+          ignore (launch src Image.daytime)
         done;
-        let victims = Array.of_list (Toolstack.vms (Host.toolstack src)) in
+        let victims = Array.of_list (Toolstack.vms (Vmm.toolstack src)) in
         Rng.shuffle rng victims;
         let victims = Array.to_list (Array.sub victims 0 batch) in
         let t0 = Engine.now () in
         List.iter
-          (fun vm ->
-            let resumed, _stats =
-              Migrate.migrate ~src:(Host.toolstack src)
-                ~dst:(Host.toolstack dst) vm
-            in
-            Guest.wait_ready resumed.Create.guest)
+          (fun (vm : Create.created) ->
+            match Vmm.vm_migrate ~src ~dst ~domid:vm.Create.domid with
+            | Error e -> failwith (Vmm.error_to_string e)
+            | Ok (resumed, _stats) ->
+                ignore (Vmm.vm_boot dst ~domid:resumed.Vmm.vi_domid))
           victims;
         let avg = (Engine.now () -. t0) /. float_of_int batch in
         Series.add series ~x:(float_of_int (round * batch)) ~y:(ms avg)
@@ -660,12 +716,12 @@ let fig13_migration ?n ?batch () = series_of_jobs (fig13_jobs ?n ?batch ())
 let fig14_vm_memory ~n ~sample ~image ~label =
   let series = mk ("fig14 " ^ label) "MB" in
   run_sim (fun () ->
-      let host = Host.create ~mode:Mode.lightvm () in
+      let host = Vmm.create ~mode:Mode.lightvm () in
       for i = 1 to n do
-        ignore (Host.boot_vm host ~nics:1 image);
+        ignore (launch host ~nics:1 image);
         if i mod sample = 0 || i = 1 then
           Series.add series ~x:(float_of_int i)
-            ~y:(float_of_int (Host.guest_mem_kb host) /. 1024.)
+            ~y:(float_of_int (Vmm.guest_mem_kb host) /. 1024.)
       done);
   { label; series }
 
@@ -724,10 +780,10 @@ let fig14_memory ?n ?sample () = series_of_jobs (fig14_jobs ?n ?sample ())
 let fig15_vm_usage ~n ~sample ~window ~image ~label =
   let series = mk ("fig15 " ^ label) "%" in
   run_sim (fun () ->
-      let host = Host.create ~mode:Mode.lightvm () in
-      let cpu = Xen.cpu (Host.xen host) in
+      let host = Vmm.create ~mode:Mode.lightvm () in
+      let cpu = Xen.cpu (Vmm.xen host) in
       for i = 1 to n do
-        ignore (Host.boot_vm host ~nics:1 image);
+        ignore (launch host ~nics:1 image);
         if i mod sample = 0 || i = 1 then begin
           Cpu.reset_stats cpu;
           let t0 = Engine.now () in
@@ -903,10 +959,10 @@ let fig17_18_lambda ?(requests = 400) () =
 let ablation_variant ~n label profile =
   let series = mk ("ablation " ^ label) "ms" in
   run_sim (fun () ->
-      let host = Host.create ~mode:Mode.chaos_xs ~xs_profile:profile () in
+      let host = Vmm.create ~mode:Mode.chaos_xs ~xs_profile:profile () in
       for i = 1 to n do
         let _vm, t_create, t_boot =
-          Host.create_and_boot_time host ~nics:1 Image.daytime
+          launch_timed host ~nics:1 Image.daytime
         in
         Series.add series ~x:(float_of_int i) ~y:(ms (t_create +. t_boot))
       done);
@@ -952,18 +1008,18 @@ let pause_unpause () =
   in
   let vm_times =
     run_sim (fun () ->
-        let host = Host.create ~mode:Mode.lightvm () in
-        let vm = Host.boot_vm host Image.daytime in
-        let xen = Host.xen host in
+        let host = Vmm.create ~mode:Mode.lightvm () in
+        let vm = launch host Image.daytime in
+        let domid = vm.Create.domid in
         let t0 = Engine.now () in
-        (match Xen.pause xen ~domid:vm.Create.domid with
+        (match Vmm.vm_pause host ~domid with
         | Ok () -> ()
-        | Error _ -> failwith "pause failed");
+        | Error e -> failwith ("pause failed: " ^ Vmm.error_to_string e));
         let t_pause = Engine.now () -. t0 in
         let t1 = Engine.now () in
-        (match Xen.unpause xen ~domid:vm.Create.domid with
+        (match Vmm.vm_resume host ~domid with
         | Ok () -> ()
-        | Error _ -> failwith "unpause failed");
+        | Error e -> failwith ("unpause failed: " ^ Vmm.error_to_string e));
         (t_pause, Engine.now () -. t1))
   in
   let container_times =
@@ -1000,19 +1056,17 @@ let wan_migration () =
     (fun image ->
       let total =
         run_sim (fun () ->
-            let mk_host () =
-              let xen = Xen.boot () in
-              Toolstack.make ~xen ~mode:Mode.lightvm
+            let mk_host host_id =
+              Vmm.create ~host_id ~mode:Mode.lightvm
                 ~costs:Lightvm_toolstack.Costs.wan ()
             in
-            let src = mk_host () and dst = mk_host () in
-            let cfg =
-              Lightvm_toolstack.Vmconfig.for_image ~name:"wan-guest" image
-            in
-            let created = Toolstack.create_vm_exn src cfg in
-            Guest.wait_ready created.Create.guest;
-            let _resumed, stats = Migrate.migrate ~src ~dst created in
-            stats.Migrate.total)
+            let src = mk_host 0 and dst = mk_host 1 in
+            let created = launch src ~name:"wan-guest" image in
+            match
+              Vmm.vm_migrate ~src ~dst ~domid:created.Create.domid
+            with
+            | Error e -> failwith (Vmm.error_to_string e)
+            | Ok (_resumed, stats) -> stats.Migrate.total)
       in
       Table.add_row table
         [
@@ -1034,45 +1088,47 @@ let headline_numbers () =
   (* Boot of the no-device noop unikernel with every optimization. *)
   let noop_boot =
     run_sim (fun () ->
-        let host = Host.create ~mode:Mode.lightvm () in
-        Host.prefill_pool_for host Image.noop_unikernel ~nics:0 ~disks:0;
+        let host = Vmm.create ~mode:Mode.lightvm () in
+        Vmm.prefill_pool host Image.noop_unikernel ~nics:0 ~disks:0;
         let _vm, t_create, t_boot =
-          Host.create_and_boot_time host ~nics:0 Image.noop_unikernel
+          launch_timed host ~nics:0 Image.noop_unikernel
         in
         t_create +. t_boot)
   in
   let daytime_boot =
     run_sim (fun () ->
-        let host = Host.create ~mode:Mode.lightvm () in
-        Host.prefill_pool_for host Image.daytime ~nics:1 ~disks:0;
+        let host = Vmm.create ~mode:Mode.lightvm () in
+        Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
         let _vm, t_create, t_boot =
-          Host.create_and_boot_time host ~nics:1 Image.daytime
+          launch_timed host ~nics:1 Image.daytime
         in
         t_create +. t_boot)
   in
   let save_t, restore_t =
     run_sim (fun () ->
-        let host = Host.create ~mode:Mode.lightvm () in
-        let vm = Host.boot_vm host Image.daytime in
-        let ts = Host.toolstack host in
+        let host = Vmm.create ~mode:Mode.lightvm () in
+        let vm = launch host Image.daytime in
         let t0 = Engine.now () in
-        let saved = Checkpoint.save ts vm in
+        let saved =
+          match Vmm.vm_snapshot host ~domid:vm.Create.domid with
+          | Ok s -> s
+          | Error e -> failwith (Vmm.error_to_string e)
+        in
         let t_save = Engine.now () -. t0 in
         let t1 = Engine.now () in
-        let restored = Checkpoint.restore ts saved in
-        Guest.wait_ready restored.Create.guest;
+        (match Vmm.vm_restore host saved with
+        | Ok vi -> ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid)
+        | Error e -> failwith (Vmm.error_to_string e));
         (t_save, Engine.now () -. t1))
   in
   let migrate_t =
     run_sim (fun () ->
-        let src = Host.create ~mode:Mode.lightvm () in
-        let dst = Host.create ~mode:Mode.lightvm () in
-        let vm = Host.boot_vm src Image.daytime in
-        let _resumed, stats =
-          Migrate.migrate ~src:(Host.toolstack src)
-            ~dst:(Host.toolstack dst) vm
-        in
-        stats.Migrate.total)
+        let src = Vmm.create ~host_id:0 ~mode:Mode.lightvm () in
+        let dst = Vmm.create ~host_id:1 ~mode:Mode.lightvm () in
+        let vm = launch src Image.daytime in
+        match Vmm.vm_migrate ~src ~dst ~domid:vm.Create.domid with
+        | Error e -> failwith (Vmm.error_to_string e)
+        | Ok (_resumed, stats) -> stats.Migrate.total)
   in
   let row metric paper measured =
     Table.add_row table [ metric; paper; measured ]
@@ -1115,6 +1171,133 @@ let tinyx_table () =
   table
 
 (* ------------------------------------------------------------------ *)
+(* Cluster control plane.
+
+   One simulation per scheduling policy: a multi-host cluster places
+   guests through the control plane ([Cluster.launch] + [Vmm.vm_boot]
+   on the chosen host), recording the create+boot latency the control
+   plane observes and the final placement distribution. A fourth job
+   drains host 0 under injected migration faults and then rebalances,
+   asserting the cluster's loss-aware resource accounting stays exact
+   ([Cluster.check_leak]). Everything is seeded, so each job's piece is
+   identical whatever the [--jobs] count. *)
+
+let cluster_hosts ~guests = max 4 (min 20 (guests / 25))
+let cluster_racks = 4
+let cluster_fault_spec = "migrate.corrupt:0.6"
+
+let cluster_boot c (p : Cluster.placement) =
+  match
+    Vmm.vm_boot (Cluster.host c p.Cluster.pl_host)
+      ~domid:p.Cluster.pl_vm.Vmm.vi_domid
+  with
+  | Ok () -> ()
+  | Error e -> failwith ("cluster boot: " ^ Vmm.error_to_string e)
+
+let cluster_policy_job ~guests policy () =
+  let hosts = cluster_hosts ~guests in
+  let pname = Scheduler.policy_name policy in
+  let latency = mk (Printf.sprintf "cluster boot latency %s" pname) "ms" in
+  let sample = max 1 (guests / 50) in
+  let final_views = ref [] in
+  run_sim (fun () ->
+      (* Pool-everywhere only makes sense on a pool-capable toolstack;
+         the other policies run the paper's default split toolstack. *)
+      let mode, pool_target =
+        match policy with
+        | Scheduler.Pool_everywhere ->
+            (Mode.lightvm, Some (max 1 (min 8 (guests / hosts))))
+        | Scheduler.Binpack | Scheduler.Spread -> (Mode.chaos_xs, None)
+      in
+      let c =
+        Cluster.create ~hosts ~racks:cluster_racks ~mode ?pool_target
+          ~policy ()
+      in
+      (match policy with
+      | Scheduler.Pool_everywhere ->
+          Cluster.prefill_pools c Image.daytime ~nics:1 ~disks:0
+      | Scheduler.Binpack | Scheduler.Spread -> ());
+      for i = 1 to guests do
+        let t0 = Engine.now () in
+        match Cluster.launch c (Vmm.vm_request ~nics:1 Image.daytime) with
+        | Error e -> failwith (Cluster.error_to_string e)
+        | Ok p ->
+            cluster_boot c p;
+            if i mod sample = 0 || i = 1 then
+              Series.add latency ~x:(float_of_int i)
+                ~y:(ms (Engine.now () -. t0))
+      done;
+      final_views := Cluster.views c);
+  let placement =
+    List.map
+      (fun (v : Scheduler.host_view) -> string_of_int v.Scheduler.hv_vms)
+      !final_views
+  in
+  let note =
+    Printf.sprintf "cluster %s: %d guests on %d hosts, placement [%s]"
+      pname guests hosts
+      (String.concat "; " placement)
+  in
+  piece
+    ~series:[ { label = "cluster " ^ pname; series = latency } ]
+    ~notes:[ note ] ()
+
+let cluster_drain_job ~guests ~spec ~fault_seed () =
+  let hosts = cluster_hosts ~guests in
+  let injector = Fault.create ~seed:fault_seed spec in
+  run_sim (fun () ->
+      let c =
+        Cluster.create ~hosts ~racks:cluster_racks ~mode:Mode.chaos_xs
+          ~policy:Scheduler.Spread ()
+      in
+      for _ = 1 to guests do
+        match Cluster.launch c (Vmm.vm_request ~nics:1 Image.daytime) with
+        | Error e -> failwith (Cluster.error_to_string e)
+        | Ok p -> cluster_boot c p
+      done;
+      let before = Cluster.resources c in
+      let drain =
+        Fault.with_injector injector (fun () -> Cluster.drain c ~host:0)
+      in
+      let reb = Cluster.rebalance c () in
+      let leak =
+        match Cluster.check_leak c ~before with
+        | Ok () -> "accounting exact (leak-free)"
+        | Error s -> "LEAK: " ^ s
+      in
+      let report tag (r : Cluster.move_report) =
+        Printf.sprintf
+          "cluster %s: %d attempted, %d moved, %d lost, %d stranded in %.1f ms"
+          tag r.Cluster.mv_attempted r.Cluster.mv_moved r.Cluster.mv_lost
+          r.Cluster.mv_stranded (ms r.Cluster.mv_seconds)
+      in
+      piece
+        ~notes:
+          [
+            report "drain host 0 under migrate.corrupt" drain;
+            report "rebalance" reb;
+            "cluster drain/rebalance: " ^ leak;
+          ]
+        ())
+
+let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) () : job list =
+  let guests = n in
+  let spec =
+    match spec with
+    | Some s -> s
+    | None -> (
+        match Fault.parse_spec cluster_fault_spec with
+        | Ok s -> s
+        | Error m -> invalid_arg ("cluster_fault_spec: " ^ m))
+  in
+  List.map
+    (fun policy ->
+      ( "cluster/" ^ Scheduler.policy_name policy,
+        cluster_policy_job ~guests policy ))
+    Scheduler.policies
+  @ [ ("cluster/drain", cluster_drain_job ~guests ~spec ~fault_seed) ]
+
+(* ------------------------------------------------------------------ *)
 (* Uniform result API: every experiment is reachable through [all] and
    returns the same record, so front ends (CLI, bench) dispatch and
    print generically instead of pattern-matching per-figure shapes. *)
@@ -1149,6 +1332,9 @@ let single ~figure name f = mk_plan ~figure name [ (name, f) ]
 let reliability_plan ?n ?spec ?fault_seed () =
   mk_plan ~figure:"Failure model" "reliability" ~finish:reliability_finish
     (reliability_jobs ?n ?spec ?fault_seed ())
+
+let cluster_plan ?n ?spec ?fault_seed () =
+  mk_plan ~figure:"Cluster" "cluster" (cluster_jobs ?n ?spec ?fault_seed ())
 
 let plans ?n () : (string * plan) list =
   [
@@ -1218,6 +1404,7 @@ let plans ?n () : (string * plan) list =
     ( "tinyx",
       single ~figure:"Sec 3.2" "tinyx" (fun () ->
           piece ~tables:[ tinyx_table () ] ()) );
+    ("cluster", cluster_plan ?n ());
   ]
 
 let plan ?n name = List.assoc_opt name (plans ?n ())

@@ -182,6 +182,26 @@ val reliability_plan :
     — identical for any [jobs] count. An empty [spec] consumes no
     randomness and leaves every digest byte-identical. *)
 
+val cluster_fault_spec : string
+(** The migration-fault spec the [cluster] drain job runs when none is
+    given explicitly: ["migrate.corrupt:0.6"]. *)
+
+val cluster_plan :
+  ?n:int ->
+  ?spec:Lightvm_sim.Fault.spec ->
+  ?fault_seed:int64 ->
+  unit ->
+  plan
+(** The [cluster] experiment family: a multi-host cluster (up to 20
+    hosts across 4 racks, sized from [n]) places [n] guests (default
+    500) through the control plane once per scheduling policy —
+    bin-pack, spread, pool-everywhere — recording per-guest create+boot
+    latency and the final placement distribution; a fourth job drains
+    host 0 by live migration under the injected fault [spec] (default
+    {!cluster_fault_spec} parsed, seed 42), rebalances, and reports the
+    cluster-wide resource accounting check. Output is a pure function
+    of [(n, spec, fault_seed)] — identical for any [jobs] count. *)
+
 val plan : ?n:int -> string -> plan option
 
 val job_count : plan -> int

@@ -1,135 +1,70 @@
+(* Deprecated shim over the cluster library's Vmm endpoint — see
+   host.mli. Every operation delegates, with the exact call sequence
+   the old inline implementation charged, so simulated timings (and the
+   digest-pinned experiments built on them) are unchanged. *)
+
 module Engine = Lightvm_sim.Engine
-module Params = Lightvm_hv.Params
-module Xen = Lightvm_hv.Xen
-module Frames = Lightvm_hv.Frames
-module Image = Lightvm_guest.Image
 module Guest = Lightvm_guest.Guest
-module Mode = Lightvm_toolstack.Mode
-module Vmconfig = Lightvm_toolstack.Vmconfig
-module Toolstack = Lightvm_toolstack.Toolstack
 module Create = Lightvm_toolstack.Create
+module Toolstack = Lightvm_toolstack.Toolstack
+module Vmm = Lightvm_cluster.Vmm
 
-type t = {
-  xen : Xen.t;
-  ts : Toolstack.t;
-  mutable counter : int;
-}
+type t = Vmm.t
 
-let create ?(platform = Params.xeon_e5_1630) ?(mode = Mode.lightvm)
-    ?xs_profile ?pool_target () =
-  let xen = Xen.boot ~platform () in
-  let ts = Toolstack.make ~xen ~mode ?xs_profile ?pool_target () in
-  { xen; ts; counter = 0 }
+let create ?platform ?mode ?xs_profile ?pool_target () =
+  Vmm.create ?platform ?mode ?xs_profile ?pool_target ()
 
-let xen t = t.xen
-let toolstack t = t.ts
-let mode t = Toolstack.mode t.ts
-let platform t = Xen.platform t.xen
+let vmm t = t
+let xen = Vmm.xen
+let toolstack = Vmm.toolstack
+let mode = Vmm.mode
+let platform = Vmm.platform
 
-let fresh_name t image =
-  t.counter <- t.counter + 1;
-  Printf.sprintf "%s-%d" image.Image.name t.counter
-
-let config_for t ?name ?(nics = 1) ?(disks = 0) image =
-  let name = match name with Some n -> n | None -> fresh_name t image in
-  Vmconfig.for_image ~nics ~disks ~name image
-
-let override_for image =
-  (* Images built on the fly (inflated or Tinyx-custom) are not in the
-     static registry; hand them to the pipeline directly. Physical
-     equality suffices — registry images are shared values — and avoids
-     a deep structural compare on every single VM creation. *)
-  match Image.find image.Image.name with
-  | Some registered when registered == image -> None
-  | _ -> Some image
+(* Failures keep surfacing as Create_failed with the pipeline's own
+   message, as the pre-Vmm implementation raised them. *)
+let vm_create_exn t ?name ?nics ?disks image =
+  match Vmm.vm_create t (Vmm.vm_request ?name ?nics ?disks image) with
+  | Ok vi -> (
+      match Toolstack.vm (Vmm.toolstack t) ~domid:vi.Vmm.vi_domid with
+      | Some created -> created
+      | None -> assert false)
+  | Error (Vmm.Vm_create_failed msg) -> raise (Create.Create_failed msg)
+  | Error e -> raise (Create.Create_failed (Vmm.error_to_string e))
 
 let boot_vm t ?name ?nics ?disks image =
-  let cfg = config_for t ?name ?nics ?disks image in
-  let created =
-    Toolstack.create_vm_exn t.ts ?image_override:(override_for image) cfg
-  in
-  Guest.wait_ready created.Create.guest;
+  let created = vm_create_exn t ?name ?nics ?disks image in
+  ignore (Vmm.vm_boot t ~domid:created.Create.domid);
   created
 
 let create_and_boot_time t ?name ?nics ?disks image =
-  let cfg = config_for t ?name ?nics ?disks image in
   let t0 = Engine.now () in
-  let created =
-    Toolstack.create_vm_exn t.ts ?image_override:(override_for image) cfg
-  in
+  let created = vm_create_exn t ?name ?nics ?disks image in
   let t_create = Engine.now () -. t0 in
-  Guest.wait_ready created.Create.guest;
+  ignore (Vmm.vm_boot t ~domid:created.Create.domid);
   let t_boot = Engine.now () -. t0 -. t_create in
   (created, t_create, t_boot)
 
-let destroy_vm t created = Toolstack.destroy_vm t.ts created
+let destroy_vm t (created : Create.created) =
+  match Vmm.vm_delete t ~domid:created.Create.domid with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Host.destroy_vm: " ^ Vmm.error_to_string e)
 
-let vm_count t = Toolstack.vm_count t.ts
+let vm_count = Vmm.vm_count
 
-(* ------------------------------------------------------------------ *)
-(* Resource accounting.
-
-   A snapshot of every countable resource a VM creation can acquire.
-   The invariant behind the fault-injection experiments: a failed
-   creation must leave every one of these exactly where it found them
-   (the rollback in Create releases XenStore subtrees, watches, grants,
-   control pages, event channels and frames). [diff_resources] renders
-   what leaked; the reliability experiment and the leak test assert it
-   is empty after every injected failure. *)
-
-type resources = {
-  r_domains : int;  (* guest domains, shells included *)
-  r_mem_kb : int;  (* frames allocated, all owners *)
-  r_evtchns : int;  (* open event-channel endpoints *)
-  r_grants : int;  (* outstanding grant-table entries *)
-  r_ctrl_pages : int;  (* registered noxs control pages *)
-  r_xs_nodes : int;  (* XenStore nodes *)
-  r_xs_watches : int;  (* registered XenStore watches *)
+type resources = Vmm.resources = {
+  r_domains : int;
+  r_mem_kb : int;
+  r_evtchns : int;
+  r_grants : int;
+  r_ctrl_pages : int;
+  r_xs_nodes : int;
+  r_xs_watches : int;
 }
 
-let resources t =
-  let env = Toolstack.env t.ts in
-  {
-    r_domains = Xen.guest_count t.xen;
-    r_mem_kb = Xen.used_mem_kb t.xen;
-    r_evtchns = Lightvm_hv.Evtchn.count (Xen.evtchn t.xen);
-    r_grants = Lightvm_hv.Gnttab.count (Xen.gnttab t.xen);
-    r_ctrl_pages = Lightvm_guest.Ctrl.count env.Create.ctrl;
-    r_xs_nodes =
-      Lightvm_xenstore.Xs_store.node_count
-        (Lightvm_xenstore.Xs_server.store env.Create.xs_server);
-    r_xs_watches =
-      Lightvm_xenstore.Xs_server.watch_count env.Create.xs_server;
-  }
-
-let diff_resources ~before ~after =
-  let d name get acc =
-    let b = get before and a = get after in
-    if a = b then acc else Printf.sprintf "%s %+d (%d -> %d)" name (a - b) b a :: acc
-  in
-  List.rev
-    ([]
-    |> d "domains" (fun r -> r.r_domains)
-    |> d "mem_kb" (fun r -> r.r_mem_kb)
-    |> d "evtchns" (fun r -> r.r_evtchns)
-    |> d "grants" (fun r -> r.r_grants)
-    |> d "ctrl_pages" (fun r -> r.r_ctrl_pages)
-    |> d "xs_nodes" (fun r -> r.r_xs_nodes)
-    |> d "xs_watches" (fun r -> r.r_xs_watches))
-
-let check_leak t ~before =
-  match diff_resources ~before ~after:(resources t) with
-  | [] -> Ok ()
-  | leaks -> Error (String.concat ", " leaks)
-
-let guest_mem_kb t =
-  List.fold_left
-    (fun acc dom ->
-      let domid = Lightvm_hv.Domain.domid dom in
-      if domid = 0 then acc else acc + Xen.domain_mem_kb t.xen ~domid)
-    0
-    (Xen.domains t.xen)
+let resources = Vmm.resources
+let diff_resources = Vmm.diff_resources
+let check_leak = Vmm.check_leak
+let guest_mem_kb = Vmm.guest_mem_kb
 
 let prefill_pool_for t image ~nics ~disks =
-  Toolstack.prefill_pool t.ts (config_for t ~name:"pool-template" ~nics
-                                 ~disks image)
+  Vmm.prefill_pool t image ~nics ~disks

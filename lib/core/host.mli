@@ -1,8 +1,17 @@
 (** A complete LightVM host: hypervisor + XenStore + Dom0 backends +
     toolstack, assembled for one of the paper's testbeds and toolstack
-    modes. This is the main entry point of the library. *)
+    modes.
 
-type t
+    Since the cluster control plane landed, a host {e is} a
+    {!Lightvm_cluster.Vmm} endpoint (the types are equal), and the
+    cloud-hypervisor-shaped lifecycle API over there is the public
+    entry point for VM lifecycle operations. This module survives as a
+    compatibility shim so the pre-cluster call sites — tests, and any
+    external snippets written against the original surface — keep
+    compiling; the lifecycle helpers below are deprecated and new code
+    should call [Vmm.vm_create]/[vm_boot]/[vm_delete] instead. *)
+
+type t = Lightvm_cluster.Vmm.t
 
 val create :
   ?platform:Lightvm_hv.Params.platform ->
@@ -14,6 +23,10 @@ val create :
 (** Boot a host inside a running simulation. Defaults: the paper's
     4-core Xeon, full LightVM mode (chaos + noxs + split toolstack,
     xendevd, min-memory patch), oxenstored cost profile. *)
+
+val vmm : t -> Lightvm_cluster.Vmm.t
+(** The host's lifecycle endpoint — the identity function, made
+    explicit for call sites migrating off the deprecated helpers. *)
 
 val xen : t -> Lightvm_hv.Xen.t
 
@@ -31,7 +44,9 @@ val boot_vm :
   Lightvm_guest.Image.t ->
   Lightvm_toolstack.Create.created
 (** Create a VM from an image and block until it is up. Raises
-    {!Lightvm_toolstack.Create.Create_failed} on error. *)
+    {!Lightvm_toolstack.Create.Create_failed} on error.
+    @deprecated Use {!Lightvm_cluster.Vmm.vm_create} followed by
+    {!Lightvm_cluster.Vmm.vm_boot}: same costs, structured errors. *)
 
 val create_and_boot_time :
   t ->
@@ -40,9 +55,12 @@ val create_and_boot_time :
   ?disks:int ->
   Lightvm_guest.Image.t ->
   Lightvm_toolstack.Create.created * float * float
-(** [(vm, create_seconds, boot_seconds)]. *)
+(** [(vm, create_seconds, boot_seconds)].
+    @deprecated Use the {!Lightvm_cluster.Vmm} API and
+    {!Lightvm_cluster.Vmm.vm_counters}. *)
 
 val destroy_vm : t -> Lightvm_toolstack.Create.created -> unit
+(** @deprecated Use {!Lightvm_cluster.Vmm.vm_delete}. *)
 
 val vm_count : t -> int
 
@@ -50,11 +68,12 @@ val guest_mem_kb : t -> int
 (** Memory held by guests (excluding Dom0/Xen), for the Fig 14
     accounting. *)
 
-(** A snapshot of every countable resource a VM creation acquires:
+(** A snapshot of every countable resource a VM creation acquires
+    (equal to {!Lightvm_cluster.Vmm.resources}, where it now lives):
     guest domains, allocated frames, event-channel endpoints,
     grant-table entries, noxs control pages, XenStore nodes and
     watches. Two snapshots are comparable with [( = )]. *)
-type resources = {
+type resources = Lightvm_cluster.Vmm.resources = {
   r_domains : int;
   r_mem_kb : int;
   r_evtchns : int;

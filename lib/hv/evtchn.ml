@@ -105,5 +105,21 @@ let close_all t ~domid =
   List.iter (fun port -> ignore (close t ~domid ~port)) ports;
   List.length ports
 
+let close_peers_of t ~domid =
+  let stale =
+    Hashtbl.fold
+      (fun (d, p) chan acc ->
+        match chan.state with
+        | Unbound { expected_remote } when expected_remote = domid ->
+            (d, p) :: acc
+        | Bound peer when peer.domid = domid -> (d, p) :: acc
+        | Unbound _ | Bound _ | Closed -> acc)
+      t.table []
+  in
+  List.iter
+    (fun (d, p) -> ignore (close t ~domid:d ~port:p))
+    (List.sort compare stale);
+  List.length stale
+
 (* Open endpoints across all domains, for leak accounting. *)
 let count t = Hashtbl.length t.table

@@ -35,6 +35,12 @@ val close : t -> domid:int -> port:port -> (unit, error) result
 val close_all : t -> domid:int -> int
 (** Close every port owned by the domain; returns how many. *)
 
+val close_peers_of : t -> domid:int -> int
+(** Close every {e other} domain's port that is bound to [domid] or
+    unbound-but-reserved for it; returns how many. Models the peer-side
+    teardown domain destruction triggers: after {!close_all} the dead
+    domain's peers hold dangling endpoints no one will ever rebind. *)
+
 val ports_of : t -> domid:int -> port list
 
 val count : t -> int

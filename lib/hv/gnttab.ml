@@ -57,6 +57,19 @@ let end_access t ~owner gref =
         Ok ()
       end
 
+let release_domain t ~domid =
+  let owned =
+    Hashtbl.fold
+      (fun (o, g) _ acc -> if o = domid then (o, g) :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) owned;
+  Hashtbl.iter
+    (fun _ entry -> if entry.grantee = domid then entry.mapped <- 0)
+    t.table;
+  Hashtbl.remove t.next_ref domid;
+  List.length owned
+
 let active_grants t ~owner =
   Hashtbl.fold
     (fun (o, _) _ acc -> if o = owner then acc + 1 else acc)

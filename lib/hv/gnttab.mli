@@ -23,6 +23,12 @@ val unmap : t -> grantee:int -> owner:int -> gref -> (unit, error) result
 val end_access : t -> owner:int -> gref -> (unit, error) result
 (** Fails with [Still_mapped] while the grantee holds a mapping. *)
 
+val release_domain : t -> domid:int -> int
+(** Domain-death cleanup: drop every entry [domid] owns (the table
+    pages are freed with the domain, mapped or not) and release the
+    mappings it held on other domains' entries. Returns how many owned
+    entries were dropped. *)
+
 val active_grants : t -> owner:int -> int
 (** Outstanding grant entries owned by [owner]. *)
 

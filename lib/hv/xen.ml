@@ -189,6 +189,11 @@ let destroy t ~domid =
         Domain.set_state dom Domain.Dying;
         hypercall ~op:"domctl_destroy" t ~cost:t.costs.Params.domctl_destroy;
         ignore (Evtchn.close_all t.evtchn ~domid);
+        (* Peer-side teardown, all covered by the one domctl_destroy
+           charge: channels other domains had bound to (or reserved
+           for) this one, grant entries it owned, mappings it held. *)
+        ignore (Evtchn.close_peers_of t.evtchn ~domid);
+        ignore (Gnttab.release_domain t.gnttab ~domid);
         Devpage.teardown t.devpage ~domid;
         ignore (Frames.free_all t.frames ~owner:domid);
         Hashtbl.remove t.ram_kb domid;

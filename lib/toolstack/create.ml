@@ -637,8 +637,12 @@ let destroy env created =
                         domid)
                ~token:(Printf.sprintf "xl-shutdown-%d" domid)
            with Xs_error.Error _ -> ());
-        let be = Device.backend_dir ~domid dev in
-        try Xs_client.rm env.xs be with Xs_error.Error _ -> ())
+        (* The per-guest level, not just the device node: the first
+           backend write implicitly created .../backend/<kind>/<domid>,
+           which would otherwise leak one directory per guest (the
+           failure rollback already removes the same level). *)
+        try Xs_client.rm env.xs (Device.backend_domain_dir ~domid dev)
+        with Xs_error.Error _ -> ())
       created.devices;
     (try Xs_client.rm env.xs (Printf.sprintf "/local/domain/%d" domid)
      with Xs_error.Error _ -> ());
