@@ -75,15 +75,23 @@ let run_traced id n trace_file buffer =
           Printf.eprintf "cannot write trace: %s\n" msg;
           exit 1)
 
-let lookup_plan id n =
-  match E.plan ?n id with
+let lookup_plan id n partition sim_jobs =
+  match E.plan ?n ~partition ~sim_jobs id with
   | Some p -> p
   | None ->
       Printf.eprintf "unknown experiment %S; try: %s\n" id
         (String.concat " " E.names);
       exit 1
 
-let run_experiment id n jobs trace_file =
+let parse_partition_or_exit s =
+  match E.partition_of_string s with
+  | Ok p -> p
+  | Error msg ->
+      Printf.eprintf "bad --partition: %s\n" msg;
+      exit 1
+
+let run_experiment id n jobs partition trace_file =
+  let partition = parse_partition_or_exit partition in
   match trace_file with
   (* Tracing instruments the calling domain only, so a traced run is
      always sequential regardless of --jobs. *)
@@ -92,7 +100,10 @@ let run_experiment id n jobs trace_file =
       let jobs =
         match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
       in
-      print_result (E.run_plan ~jobs (lookup_plan id n))
+      (* The same worker budget drives both layers of parallelism: the
+         per-curve Pool and, inside the partitioned families, the
+         per-partition windows. Output is identical either way. *)
+      print_result (E.run_plan ~jobs (lookup_plan id n partition jobs))
 
 let n_arg =
   Arg.(value & opt (some int) None
@@ -107,6 +118,17 @@ let jobs_arg =
                  output is identical for any value; 1 disables the \
                  pool.")
 
+let partition_arg =
+  Arg.(value & opt string "host"
+       & info [ "partition" ] ~docv:"MODE"
+           ~doc:"Partitioning of the multi-host simulations (scale's \
+                 partitioned row and the cluster policy jobs): \
+                 $(b,host) runs each simulated host in its own \
+                 partition of the conservative-sync parallel engine \
+                 (on up to --jobs cores); $(b,none) runs the identical \
+                 workload on the single-heap engine. Output is \
+                 bit-identical either way.")
+
 let trace_file_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -120,7 +142,9 @@ let figure_cmd =
   in
   let doc = "Reproduce one of the paper's figures." in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const run_experiment $ id $ n_arg $ jobs_arg $ trace_file_arg)
+    Term.(
+      const run_experiment $ id $ n_arg $ jobs_arg $ partition_arg
+      $ trace_file_arg)
 
 let trace_cmd =
   let id =
@@ -190,22 +214,29 @@ let reliability_cmd =
 (* ------------------------------------------------------------------ *)
 (* cluster: the multi-host control plane *)
 
-let run_cluster n jobs spec_str fault_seed =
+let run_cluster n jobs partition spec_str fault_seed =
+  let partition = parse_partition_or_exit partition in
   let spec = Option.map parse_spec_or_exit spec_str in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
-  print_result (E.run_plan ~jobs (E.cluster_plan ?n ?spec ~fault_seed ()))
+  print_result
+    (E.run_plan ~jobs
+       (E.cluster_plan ?n ?spec ~fault_seed ~partition ~sim_jobs:jobs ()))
 
 let cluster_cmd =
   let doc =
     "Place guests across a multi-host cluster (bin-pack, spread, \
      pool-everywhere), then drain a host by live migration under \
      injected migration faults and rebalance. --faults overrides the \
-     drain job's default spec (migrate.corrupt:0.6)."
+     drain job's default spec (migrate.corrupt:0.6); --partition \
+     selects the per-host parallel engine (host, the default) or the \
+     single-heap engine (none) for the policy jobs."
   in
   Cmd.v (Cmd.info "cluster" ~doc)
-    Term.(const run_cluster $ n_arg $ jobs_arg $ faults_arg $ seed_arg)
+    Term.(
+      const run_cluster $ n_arg $ jobs_arg $ partition_arg $ faults_arg
+      $ seed_arg)
 
 let list_cmd =
   let doc = "List the reproducible experiments." in

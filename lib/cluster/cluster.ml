@@ -6,6 +6,7 @@ module Migrate = Lightvm_toolstack.Migrate
 
 type t = {
   nodes : Vmm.t array;
+  partitioned : bool;
   racks : int;
   hosts_per_rack : int;
   sched : Scheduler.t;
@@ -30,6 +31,11 @@ let rack_of t i =
 
 let policy t = Scheduler.policy t.sched
 let switch t = t.net
+let partitioned t = t.partitioned
+
+let partition_of t i =
+  ignore (host t i);
+  if t.partitioned then i + 1 else 0
 
 let vm_count t =
   Array.fold_left (fun acc h -> acc + Vmm.vm_count h) 0 t.nodes
@@ -61,11 +67,15 @@ let warm h =
       (match Vmm.vm_boot h ~domid with Ok () | Error _ -> ());
       ignore (Vmm.vm_delete h ~domid)
 
-let create ~hosts:n ?(racks = 1) ?platform ?mode ?xs_profile ?costs
-    ?pool_target ~policy () =
+let create ~hosts:n ?(racks = 1) ?(partitioned = false) ?platform ?mode
+    ?xs_profile ?costs ?pool_target ~policy () =
   if n < 1 then invalid_arg "Cluster.create: hosts must be >= 1";
   if racks < 1 || racks > n then
     invalid_arg "Cluster.create: racks must be in 1..hosts";
+  if partitioned && Engine.partition_count () < n then
+    invalid_arg
+      "Cluster.create: partitioned cluster needs run_partitioned with at \
+       least one partition per host";
   let nodes =
     Array.init n (fun i ->
         Vmm.create ~host_id:i ?platform ?mode ?xs_profile ?costs ?pool_target
@@ -73,12 +83,25 @@ let create ~hosts:n ?(racks = 1) ?platform ?mode ?xs_profile ?costs
   in
   let net = Switch.create () in
   let rx = Array.make n 0 in
+  (* Host [i] owns switch port [i]; in a partitioned run it also owns
+     partition [i + 1] (partition 0 is the toolstack/control plane where
+     [create] itself runs), so deliveries to its port execute on its
+     partition. The rx counters are per-port and therefore disjoint
+     across partitions. *)
   Array.iteri
-    (fun i _ -> Switch.attach net ~port:i ~handler:(fun _ -> rx.(i) <- rx.(i) + 1))
+    (fun i _ ->
+      Switch.attach
+        ?partition:(if partitioned then Some (i + 1) else None)
+        net ~port:i
+        ~handler:(fun _ -> rx.(i) <- rx.(i) + 1))
     nodes;
+  (* Warm cycles run here, sequentially in the calling process (partition
+     0), strictly before any per-partition workload starts — so host
+     state is never touched from two partitions in the same window. *)
   Array.iter warm nodes;
   {
     nodes;
+    partitioned;
     racks;
     hosts_per_rack = (n + racks - 1) / racks;
     sched = Scheduler.make policy;

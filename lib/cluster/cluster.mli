@@ -26,6 +26,7 @@ type t
 val create :
   hosts:int ->
   ?racks:int ->
+  ?partitioned:bool ->
   ?platform:Lightvm_hv.Params.platform ->
   ?mode:Lightvm_toolstack.Mode.t ->
   ?xs_profile:Lightvm_xenstore.Xs_costs.profile ->
@@ -44,8 +45,19 @@ val create :
     would look like a phantom on a fresh destination (see DESIGN.md
     "Failure model").
 
-    @raise Invalid_argument when [hosts < 1] or [racks] is not in
-    [1..hosts]. *)
+    [partitioned] (default [false]) declares host [i] the owner of
+    partition [i + 1] of the enclosing {!Lightvm_sim.Engine.run_partitioned}
+    (partition 0 is the control plane, where [create] runs): the host's
+    switch port then delivers into its partition, and callers dispatch
+    per-host work there with {!Lightvm_sim.Engine.spawn_in} on
+    {!partition_of}. Timelines are bit-identical to an unpartitioned
+    cluster as long as per-host work touches only that host's state and
+    cross-host effects travel via the switch or completion posts (see
+    DESIGN.md "Parallel simulation").
+
+    @raise Invalid_argument when [hosts < 1], [racks] is not in
+    [1..hosts], or [partitioned] is set outside a [run_partitioned]
+    with at least [hosts] partitions. *)
 
 val host_count : t -> int
 
@@ -64,7 +76,16 @@ val policy : t -> Scheduler.policy
 
 val switch : t -> Lightvm_net.Switch.t
 (** The modeled top-of-rack switch (control-plane traffic statistics
-    live here). *)
+    live here). Shared state: in a partitioned run, send only from
+    partition 0 (see {!Lightvm_net.Switch.send}). *)
+
+val partitioned : t -> bool
+
+val partition_of : t -> int -> int
+(** The simulation partition host [i] runs in: [i + 1] for a
+    partitioned cluster, [0] (everything shares the global partition)
+    otherwise.
+    @raise Invalid_argument when [i] is out of range. *)
 
 val vm_count : t -> int
 (** Live VMs across all hosts. *)
@@ -85,6 +106,15 @@ type error =
       (** a host-level API call failed *)
 
 val error_to_string : error -> string
+
+val announce : t -> src:int -> dst:int -> string -> unit
+(** Send one control-plane packet on the switch (source and destination
+    are host ports). Delivery is asynchronous after the forwarding
+    latency, so announcing never blocks the caller or perturbs
+    lifecycle timings. {!launch} announces automatically; callers that
+    plan placements themselves (the partitioned experiment) use this to
+    keep the control-plane traffic model identical. Call from
+    partition 0 only in a partitioned run. *)
 
 val launch : t -> Vmm.vm_create_request -> (placement, error) result
 (** Place the request with the scheduler, then create the VM through

@@ -18,6 +18,7 @@ module Migrate = Lightvm_toolstack.Migrate
 module Vmm = Lightvm_cluster.Vmm
 module Scheduler = Lightvm_cluster.Scheduler
 module Cluster = Lightvm_cluster.Cluster
+module Switch = Lightvm_net.Switch
 module Machine = Lightvm_container.Machine
 module Docker = Lightvm_container.Docker
 module Process = Lightvm_container.Process
@@ -49,6 +50,66 @@ let run_sim f =
 let ms x = x *. 1e3
 
 let mk label unit_label = Series.create ~unit_label ~name:label ()
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned simulations.
+
+   The multi-host families (cluster, the partitioned scale row) model
+   one partition per host: host [i] owns partition [i + 1], partition 0
+   is the control plane. The conservative-sync lookahead is the modeled
+   top-of-rack switch latency — every cross-partition interaction in
+   the model is a network hop, so it always carries at least the
+   lookahead of simulated delay and [Engine.post] never rejects it.
+
+   [`None] runs the *same* workload in a plain single-heap [Engine.run]
+   (every [spawn_in]/[post] degrades to [after], same delays). Per-host
+   state is disjoint and cross-host effects travel only via switch
+   deliveries and completion posts, so the two modes — and any [jobs]
+   count — produce bit-identical series (pinned in
+   test/test_partition.ml). *)
+
+type partition = [ `Host | `None ]
+
+let partition_name = function `Host -> "host" | `None -> "none"
+
+let partition_of_string = function
+  | "host" -> Ok `Host
+  | "none" -> Ok `None
+  | s ->
+      Error
+        (Printf.sprintf "unknown partition mode %S (expected host or none)" s)
+
+let lookahead = Switch.default_latency
+
+(* [run_sim] for partitioned families: [f] starts in partition 0. *)
+let run_sim_partitioned ~jobs ~partitions f =
+  let result = ref None in
+  ignore
+    (Engine.run_partitioned ~jobs ~lookahead ~partitions (fun () ->
+         result := Some (f ());
+         Engine.stop ()));
+  match !result with
+  | Some r -> r
+  | None -> failwith "simulation did not complete"
+
+(* Fan out one process per host — host [h] in partition [part_of h] —
+   and block (in partition 0) until all complete. Dispatch and the
+   completion notification each model one switch hop, identical in both
+   partition modes. *)
+let fan_out_hosts ~hosts ~part_of work =
+  let all_done = Engine.Ivar.create () in
+  let remaining = ref hosts in
+  for h = 0 to hosts - 1 do
+    Engine.spawn_in
+      ~name:(Printf.sprintf "host-%d" h)
+      ~partition:(part_of h) ~delay:lookahead
+      (fun () ->
+        work h;
+        Engine.post ~partition:0 ~delay:lookahead (fun () ->
+            decr remaining;
+            if !remaining = 0 then Engine.Ivar.fill all_done ()))
+  done;
+  if hosts > 0 then Engine.Ivar.read all_done
 
 (* ------------------------------------------------------------------ *)
 (* Vmm-backed lifecycle helpers.
@@ -331,41 +392,111 @@ let scale_counts n =
   | [] -> [ n ] (* small-n runs (tests) still cover every mode *)
   | counts -> counts
 
-let scale_mode ~count mode =
-  let label = Printf.sprintf "%s/%d" (Mode.name mode) count in
-  let series = mk ("scale " ^ label) "ms" in
-  (* Sample ~20 points plus first and last: at 10^4 guests a point per
-     creation would dominate render size without adding shape. *)
-  let stride = max 1 (count / 20) in
+(* One simulation per mode records every count's curve in a single
+   pass: the run to a smaller count is an exact event prefix of the run
+   to the largest (same host, same creation sequence, deterministic),
+   so each count's series is bit-identical to what a separate
+   simulation of exactly that count would produce — for one set of
+   creations instead of one per count (10k instead of 17k at the
+   default counts). Sampling is per count: ~20 points plus first and
+   last, as before. *)
+let scale_mode_merged ~counts mode =
+  let top = List.fold_left max 1 counts in
+  let rows =
+    List.map
+      (fun count ->
+        let label = Printf.sprintf "%s/%d" (Mode.name mode) count in
+        (count, max 1 (count / 20), label, mk ("scale " ^ label) "ms"))
+      counts
+  in
   run_sim (fun () ->
       let host = Vmm.create ~mode () in
       if mode.Mode.split then
         Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
-      for i = 1 to count do
+      for i = 1 to top do
         let _vm, t_create, t_boot =
           launch_timed host ~nics:1 Image.daytime
         in
-        if i = 1 || i = count || i mod stride = 0 then
-          Series.add series ~x:(float_of_int i)
-            ~y:(ms (t_create +. t_boot))
+        let y = ms (t_create +. t_boot) in
+        List.iter
+          (fun (count, stride, _, series) ->
+            if i <= count && (i = 1 || i = count || i mod stride = 0) then
+              Series.add series ~x:(float_of_int i) ~y)
+          rows
       done);
+  List.map (fun (_, _, label, series) -> { label; series }) rows
+
+(* The partitioned row: the same total population brought up as a fleet
+   of [scale_partition_hosts] identical chaos [XS] hosts, each creating
+   its share concurrently in its own partition. With [`Host] the
+   simulation runs on up to [sim_jobs] cores; with [`None] the same
+   workload shares one heap. Either way the series is the per-round
+   mean of the per-host create+boot latencies — identical in both modes
+   and at any [sim_jobs] (the per-host streams never interact). *)
+let scale_partition_hosts = 8
+
+let scale_partitioned ~count ~partition ~sim_jobs =
+  let hosts = scale_partition_hosts in
+  let per = max 1 (count / hosts) in
+  let total = hosts * per in
+  let label =
+    Printf.sprintf "%s x%d hosts/%d" (Mode.name Mode.chaos_xs) hosts total
+  in
+  let series = mk ("scale " ^ label) "ms" in
+  let lat = Array.make_matrix hosts per nan in
+  let body () =
+    let nodes =
+      Array.init hosts (fun i -> Vmm.create ~host_id:i ~mode:Mode.chaos_xs ())
+    in
+    fan_out_hosts ~hosts
+      ~part_of:(fun h -> match partition with `Host -> h + 1 | `None -> 0)
+      (fun h ->
+        let host = nodes.(h) in
+        for j = 1 to per do
+          let _vm, t_create, t_boot =
+            launch_timed host ~nics:1 Image.daytime
+          in
+          lat.(h).(j - 1) <- t_create +. t_boot
+        done)
+  in
+  (match partition with
+  | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
+  | `None -> run_sim body);
+  let stride = max 1 (per / 20) in
+  for j = 1 to per do
+    if j = 1 || j = per || j mod stride = 0 then begin
+      let sum = ref 0. in
+      for h = 0 to hosts - 1 do
+        sum := !sum +. lat.(h).(j - 1)
+      done;
+      Series.add series
+        ~x:(float_of_int (j * hosts))
+        ~y:(ms (!sum /. float_of_int hosts))
+    end
+  done;
   { label; series }
 
-let scale_jobs ?(n = 10_000) () : job list =
+let scale_jobs ?(n = 10_000) ?(partition = `Host) ?(sim_jobs = 1) () :
+    job list =
   let counts = scale_counts n in
-  List.concat_map
+  let top = List.fold_left max 1 counts in
+  List.map
     (fun mode ->
       let counts =
         if String.equal (Mode.name mode) "xl" then
           List.filter (fun c -> c <= scale_xl_cap) counts
         else counts
       in
-      List.map
-        (fun count ->
-          ( Printf.sprintf "scale/%s/%d" (Mode.name mode) count,
-            fun () -> piece ~series:[ scale_mode ~count mode ] () ))
-        counts)
+      ( Printf.sprintf "scale/%s/%s" (Mode.name mode)
+          (String.concat "+" (List.map string_of_int counts)),
+        fun () -> piece ~series:(scale_mode_merged ~counts mode) () ))
     scale_modes
+  @ [
+      ( Printf.sprintf "scale/partitioned/%d" top,
+        fun () ->
+          piece ~series:[ scale_partitioned ~count:top ~partition ~sim_jobs ]
+            () );
+    ]
 
 let scale_creation ?n () = series_of_jobs (scale_jobs ?n ())
 
@@ -1194,40 +1325,88 @@ let cluster_boot c (p : Cluster.placement) =
   | Ok () -> ()
   | Error e -> failwith ("cluster boot: " ^ Vmm.error_to_string e)
 
-let cluster_policy_job ~guests policy () =
+(* One policy's bring-up, partition-parallel: placements are planned up
+   front in partition 0 against bookkept scheduler views (the planner
+   sees the exact view sequence it would see if placements applied one
+   at a time, so the distribution is the policy's), each placement is
+   announced on the switch from the control plane, and then every host
+   creates its assigned guests concurrently — one creation stream per
+   host, in the host's own partition when [`Host]. Latencies land in a
+   preallocated per-guest slot, so the merge is by global index and the
+   series is identical whatever the partitioning or [sim_jobs]. *)
+let cluster_policy_job ~guests ~partition ~sim_jobs policy () =
   let hosts = cluster_hosts ~guests in
   let pname = Scheduler.policy_name policy in
   let latency = mk (Printf.sprintf "cluster boot latency %s" pname) "ms" in
   let sample = max 1 (guests / 50) in
   let final_views = ref [] in
-  run_sim (fun () ->
-      (* Pool-everywhere only makes sense on a pool-capable toolstack;
-         the other policies run the paper's default split toolstack. *)
-      let mode, pool_target =
-        match policy with
-        | Scheduler.Pool_everywhere ->
-            (Mode.lightvm, Some (max 1 (min 8 (guests / hosts))))
-        | Scheduler.Binpack | Scheduler.Spread -> (Mode.chaos_xs, None)
-      in
-      let c =
-        Cluster.create ~hosts ~racks:cluster_racks ~mode ?pool_target
-          ~policy ()
-      in
-      (match policy with
+  let lat = Array.make guests nan in
+  let body () =
+    (* Pool-everywhere only makes sense on a pool-capable toolstack;
+       the other policies run the paper's default split toolstack. *)
+    let mode, pool_target =
+      match policy with
       | Scheduler.Pool_everywhere ->
-          Cluster.prefill_pools c Image.daytime ~nics:1 ~disks:0
-      | Scheduler.Binpack | Scheduler.Spread -> ());
-      for i = 1 to guests do
-        let t0 = Engine.now () in
-        match Cluster.launch c (Vmm.vm_request ~nics:1 Image.daytime) with
-        | Error e -> failwith (Cluster.error_to_string e)
-        | Ok p ->
-            cluster_boot c p;
-            if i mod sample = 0 || i = 1 then
-              Series.add latency ~x:(float_of_int i)
-                ~y:(ms (Engine.now () -. t0))
-      done;
-      final_views := Cluster.views c);
+          (Mode.lightvm, Some (max 1 (min 8 (guests / hosts))))
+      | Scheduler.Binpack | Scheduler.Spread -> (Mode.chaos_xs, None)
+    in
+    let c =
+      Cluster.create ~hosts ~racks:cluster_racks
+        ~partitioned:(partition = `Host)
+        ~mode ?pool_target ~policy ()
+    in
+    (match policy with
+    | Scheduler.Pool_everywhere ->
+        Cluster.prefill_pools c Image.daytime ~nics:1 ~disks:0
+    | Scheduler.Binpack | Scheduler.Spread -> ());
+    let views = Array.of_list (Cluster.views c) in
+    let planner = Scheduler.make policy in
+    let mem_kb =
+      int_of_float (ceil (Image.daytime.Image.mem_mb *. 1024.))
+    in
+    let per_host = Array.make hosts [] in
+    for gi = 0 to guests - 1 do
+      match
+        Scheduler.place planner ~hosts:(Array.to_list views) ~mem_kb
+      with
+      | Error msg -> failwith ("cluster plan: no capacity: " ^ msg)
+      | Ok id ->
+          views.(id) <-
+            {
+              views.(id) with
+              Scheduler.hv_vms = views.(id).Scheduler.hv_vms + 1;
+              Scheduler.hv_free_kb = views.(id).Scheduler.hv_free_kb - mem_kb;
+            };
+          Cluster.announce c ~src:id ~dst:id "vm.create";
+          per_host.(id) <- gi :: per_host.(id)
+    done;
+    fan_out_hosts ~hosts
+      ~part_of:(Cluster.partition_of c)
+      (fun h ->
+        let host = Cluster.host c h in
+        List.iter
+          (fun gi ->
+            let t0 = Engine.now () in
+            (match
+               Vmm.vm_create host (Vmm.vm_request ~nics:1 Image.daytime)
+             with
+            | Error e -> failwith ("cluster create: " ^ Vmm.error_to_string e)
+            | Ok vi -> (
+                match Vmm.vm_boot host ~domid:vi.Vmm.vi_domid with
+                | Ok () -> ()
+                | Error e ->
+                    failwith ("cluster boot: " ^ Vmm.error_to_string e)));
+            lat.(gi) <- Engine.now () -. t0)
+          (List.rev per_host.(h)));
+    final_views := Cluster.views c
+  in
+  (match partition with
+  | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
+  | `None -> run_sim body);
+  for i = 1 to guests do
+    if i mod sample = 0 || i = 1 then
+      Series.add latency ~x:(float_of_int i) ~y:(ms lat.(i - 1))
+  done;
   let placement =
     List.map
       (fun (v : Scheduler.host_view) -> string_of_int v.Scheduler.hv_vms)
@@ -1280,7 +1459,8 @@ let cluster_drain_job ~guests ~spec ~fault_seed () =
           ]
         ())
 
-let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) () : job list =
+let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) ?(partition = `Host)
+    ?(sim_jobs = 1) () : job list =
   let guests = n in
   let spec =
     match spec with
@@ -1293,8 +1473,11 @@ let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) () : job list =
   List.map
     (fun policy ->
       ( "cluster/" ^ Scheduler.policy_name policy,
-        cluster_policy_job ~guests policy ))
+        cluster_policy_job ~guests ~partition ~sim_jobs policy ))
     Scheduler.policies
+  (* The drain job migrates guests between hosts — inherently
+     cross-partition state motion — so it stays on the single-heap
+     engine. *)
   @ [ ("cluster/drain", cluster_drain_job ~guests ~spec ~fault_seed) ]
 
 (* ------------------------------------------------------------------ *)
@@ -1333,10 +1516,11 @@ let reliability_plan ?n ?spec ?fault_seed () =
   mk_plan ~figure:"Failure model" "reliability" ~finish:reliability_finish
     (reliability_jobs ?n ?spec ?fault_seed ())
 
-let cluster_plan ?n ?spec ?fault_seed () =
-  mk_plan ~figure:"Cluster" "cluster" (cluster_jobs ?n ?spec ?fault_seed ())
+let cluster_plan ?n ?spec ?fault_seed ?partition ?sim_jobs () =
+  mk_plan ~figure:"Cluster" "cluster"
+    (cluster_jobs ?n ?spec ?fault_seed ?partition ?sim_jobs ())
 
-let plans ?n () : (string * plan) list =
+let plans ?n ?partition ?sim_jobs () : (string * plan) list =
   [
     ( "fig1",
       single ~figure:"Fig 1" "fig1" (fun () ->
@@ -1360,7 +1544,9 @@ let plans ?n () : (string * plan) list =
       single ~figure:"Fig 5" "fig5" (fun () ->
           piece ~series:(fig5_breakdown ?n ()) ()) );
     ("fig9", mk_plan ~figure:"Fig 9" "fig9" (fig9_jobs ?n ()));
-    ("scale", mk_plan ~figure:"Fig 9 at 10k" "scale" (scale_jobs ?n ()));
+    ( "scale",
+      mk_plan ~figure:"Fig 9 at 10k" "scale"
+        (scale_jobs ?n ?partition ?sim_jobs ()) );
     ("reliability", reliability_plan ?n ());
     ( "fig10",
       mk_plan ~figure:"Fig 10" "fig10"
@@ -1404,10 +1590,11 @@ let plans ?n () : (string * plan) list =
     ( "tinyx",
       single ~figure:"Sec 3.2" "tinyx" (fun () ->
           piece ~tables:[ tinyx_table () ] ()) );
-    ("cluster", cluster_plan ?n ());
+    ("cluster", cluster_plan ?n ?partition ?sim_jobs ());
   ]
 
-let plan ?n name = List.assoc_opt name (plans ?n ())
+let plan ?n ?partition ?sim_jobs name =
+  List.assoc_opt name (plans ?n ?partition ?sim_jobs ())
 
 let job_count p = List.length p.plan_jobs
 
@@ -1428,13 +1615,14 @@ let run_plan ?(jobs = 1) p =
 
 (* ------------------------------------------------------------------ *)
 
-let registry ?n () =
+let registry ?n ?partition ?sim_jobs () =
   List.map
     (fun (name, p) -> (name, fun () -> run_plan p))
-    (plans ?n ())
+    (plans ?n ?partition ?sim_jobs ())
 
 let all = registry ()
 
 let names = List.map fst all
 
-let find ?n name = List.assoc_opt name (registry ?n ())
+let find ?n ?partition ?sim_jobs name =
+  List.assoc_opt name (registry ?n ?partition ?sim_jobs ())

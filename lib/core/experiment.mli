@@ -15,6 +15,24 @@ type labelled = {
   series : Series.t;
 }
 
+(** {1 Partitioned simulation}
+
+    The multi-host families ([scale]'s partitioned row and the
+    [cluster] policy jobs) can run each simulated host in its own
+    partition of a {!Lightvm_sim.Engine.run_partitioned} — conservative
+    synchronization with the modeled top-of-rack switch latency as the
+    lookahead — executing on up to [sim_jobs] cores. [`None] runs the
+    identical workload in a plain single-heap {!Lightvm_sim.Engine.run}.
+    Both modes, at any [sim_jobs], produce bit-identical output
+    (test/test_partition.ml pins this). *)
+
+type partition = [ `Host | `None ]
+
+val partition_name : partition -> string
+
+val partition_of_string : string -> (partition, string) result
+(** Parses ["host"] and ["none"] (the [--partition] flag). *)
+
 val fig1_syscall_growth : unit -> Table.t * float
 (** The Linux syscall-count table and its per-year growth slope. *)
 
@@ -38,10 +56,13 @@ val fig9_create_times : ?n:int -> unit -> labelled list
 val scale_creation : ?n:int -> unit -> labelled list
 (** The Fig 9 creation sweep pushed to the simulator's 10,000-guest
     design target for xl, chaos [XS] and chaos [NoXS]; each mode runs
-    at 2000/5000/10000 guests (capped by [?n]), sampled to ~20 points
-    per curve. xl stops at 2000: its modeled libxl protocol is Θ(N²)
-    simulated round trips, so the quadratic trend is established early
-    and chaos [XS] carries the full-scale XenStore stress. *)
+    one simulation whose 2000/5000/10000-guest prefixes (capped by
+    [?n]) yield every count's curve, sampled to ~20 points per curve.
+    xl stops at 2000: its modeled libxl protocol is Θ(N²) simulated
+    round trips, so the quadratic trend is established early and chaos
+    [XS] carries the full-scale XenStore stress. A final partitioned
+    row brings the same top-count population up as 8 concurrent chaos
+    [XS] hosts, one partition each (see {!type-partition}). *)
 
 val reliability_default_spec : string
 (** The fault spec the [reliability] experiment runs when none is given
@@ -131,11 +152,23 @@ val all : (string * (unit -> result)) list
 
 val names : string list
 
-val registry : ?n:int -> unit -> (string * (unit -> result)) list
+val registry :
+  ?n:int ->
+  ?partition:partition ->
+  ?sim_jobs:int ->
+  unit ->
+  (string * (unit -> result)) list
 (** Like {!all} with the scale knob (guests/clients/requests — the
-    figure's dominant axis) overridden where the experiment has one. *)
+    figure's dominant axis) overridden where the experiment has one,
+    and the partitioning of the multi-host families (default [`Host]
+    with [sim_jobs = 1]: the partitioned engine, windows run inline). *)
 
-val find : ?n:int -> string -> (unit -> result) option
+val find :
+  ?n:int ->
+  ?partition:partition ->
+  ?sim_jobs:int ->
+  string ->
+  (unit -> result) option
 
 (** {1 Plans: parallel execution}
 
@@ -164,7 +197,12 @@ type plan = {
       (** merge, given pieces in job order; usually concatenation *)
 }
 
-val plans : ?n:int -> unit -> (string * plan) list
+val plans :
+  ?n:int ->
+  ?partition:partition ->
+  ?sim_jobs:int ->
+  unit ->
+  (string * plan) list
 (** Same registry as {!registry}, as plans. *)
 
 val reliability_plan :
@@ -190,19 +228,27 @@ val cluster_plan :
   ?n:int ->
   ?spec:Lightvm_sim.Fault.spec ->
   ?fault_seed:int64 ->
+  ?partition:partition ->
+  ?sim_jobs:int ->
   unit ->
   plan
 (** The [cluster] experiment family: a multi-host cluster (up to 20
-    hosts across 4 racks, sized from [n]) places [n] guests (default
-    500) through the control plane once per scheduling policy —
-    bin-pack, spread, pool-everywhere — recording per-guest create+boot
-    latency and the final placement distribution; a fourth job drains
-    host 0 by live migration under the injected fault [spec] (default
-    {!cluster_fault_spec} parsed, seed 42), rebalances, and reports the
-    cluster-wide resource accounting check. Output is a pure function
-    of [(n, spec, fault_seed)] — identical for any [jobs] count. *)
+    hosts across 4 racks, sized from [n]) brings up [n] guests (default
+    500) once per scheduling policy — bin-pack, spread, pool-everywhere.
+    Placements are planned by the policy against bookkept views and
+    announced on the switch from the control plane; every host then
+    creates its assigned guests concurrently (in its own partition with
+    [partition = `Host], the default), and the job records per-guest
+    create+boot latency plus the final placement distribution. A fourth
+    job drains host 0 by live migration under the injected fault [spec]
+    (default {!cluster_fault_spec} parsed, seed 42), rebalances, and
+    reports the cluster-wide resource accounting check (that job is
+    single-heap: migration is cross-partition state motion). Output is
+    a pure function of [(n, spec, fault_seed)] — identical for any
+    [jobs]/[sim_jobs] count and both partition modes. *)
 
-val plan : ?n:int -> string -> plan option
+val plan :
+  ?n:int -> ?partition:partition -> ?sim_jobs:int -> string -> plan option
 
 val job_count : plan -> int
 

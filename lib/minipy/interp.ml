@@ -31,6 +31,12 @@ let builtin_names =
 
 let err fmt = Printf.ksprintf (fun msg -> raise (Runtime_error msg)) fmt
 
+let is_builtin = function
+  | "print" | "range" | "len" | "abs" | "str" | "int" | "float" | "min"
+  | "max" | "sum" ->
+      true
+  | _ -> false
+
 let tick env =
   env.steps <- env.steps + 1;
   if env.steps > env.max_steps then raise Step_limit_exceeded
@@ -47,7 +53,7 @@ let lookup env name =
       match Hashtbl.find_opt env.globals name with
       | Some v -> v
       | None ->
-          if List.mem name builtin_names then Str ("<builtin " ^ name ^ ">")
+          if is_builtin name then Str ("<builtin " ^ name ^ ">")
           else err "name '%s' is not defined" name)
 
 let bind env name value =
@@ -249,7 +255,7 @@ let rec eval env (e : Ast.expr) : Value.t =
       | _ -> err "%s has no method %s" (Value.type_name v) meth)
   | Ast.Call (fname, args) -> (
       let args = List.map (eval env) args in
-      if List.mem fname builtin_names
+      if is_builtin fname
          && Option.is_none (Hashtbl.find_opt env.globals fname)
       then builtin env fname args
       else
@@ -343,8 +349,34 @@ and exec_block env stmts = List.iter (exec env) stmts
 
 (* ------------------------------------------------------------------ *)
 
-let run_exn ?(max_steps = 50_000_000) source =
-  let prog = Parser.parse source in
+(* The compiled-program cache: the compute services (Fig 17/18) run the
+   same small program once per request, and re-lexing/re-parsing it on
+   every call dominated the interpreter's cost. Parsed programs are
+   cached per domain (simulation workers never share one, so no locks)
+   keyed by source text. Parsing consumes no interpreter steps, so a
+   cached run's step count is identical to a fresh one's, and the AST
+   is immutable after parse so sharing it across runs is safe. *)
+let cache_key :
+    (string, Ast.stmt list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let cache_limit = 256
+
+let compile ~cache source =
+  if not cache then Parser.parse source
+  else begin
+    let tbl = Domain.DLS.get cache_key in
+    match Hashtbl.find_opt tbl source with
+    | Some prog -> prog
+    | None ->
+        let prog = Parser.parse source in
+        if Hashtbl.length tbl >= cache_limit then Hashtbl.reset tbl;
+        Hashtbl.add tbl source prog;
+        prog
+  end
+
+let run_exn ?(max_steps = 50_000_000) ?(cache = true) source =
+  let prog = compile ~cache source in
   let env =
     {
       globals = Hashtbl.create 32;
@@ -358,8 +390,8 @@ let run_exn ?(max_steps = 50_000_000) source =
   exec_block env prog;
   { stdout = List.rev env.out; result = env.last; steps = env.steps }
 
-let run ?max_steps source =
-  match run_exn ?max_steps source with
+let run ?max_steps ?cache source =
+  match run_exn ?max_steps ?cache source with
   | outcome -> Ok outcome
   | exception Runtime_error msg -> Error ("runtime error: " ^ msg)
   | exception Step_limit_exceeded -> Error "step limit exceeded"

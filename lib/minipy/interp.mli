@@ -14,10 +14,13 @@ type outcome = {
   steps : int;
 }
 
-val run : ?max_steps:int -> string -> (outcome, string) result
+val run : ?max_steps:int -> ?cache:bool -> string -> (outcome, string) result
 (** Parse + evaluate a program. All errors (lex, parse, runtime, step
-    limit) are rendered into the [Error] string. *)
+    limit) are rendered into the [Error] string. [cache] (default
+    [true]) keeps parsed programs in a per-domain compiled-program
+    cache so repeated runs of the same source skip lex+parse entirely;
+    step counts are identical either way (parsing never ticks). *)
 
-val run_exn : ?max_steps:int -> string -> outcome
+val run_exn : ?max_steps:int -> ?cache:bool -> string -> outcome
 
 val builtin_names : string list

@@ -5,6 +5,7 @@ type t = {
   latency : float;
   queue_slots : int;
   handlers : (int, Packet.t -> unit) Hashtbl.t;
+  partitions : (int, int) Hashtbl.t; (* port -> partition, when declared *)
   fdb : (int, int) Hashtbl.t; (* mac -> port (identical here) *)
   mutable tokens : float;
   mutable last_refill : float;
@@ -13,13 +14,16 @@ type t = {
   mutable dropped_broadcast : int;
 }
 
-let create ?(capacity_pps = 300_000.) ?(latency = 30.0e-6)
+let default_latency = 30.0e-6
+
+let create ?(capacity_pps = 300_000.) ?(latency = default_latency)
     ?(queue_slots = 2048) () =
   {
     capacity_pps;
     latency;
     queue_slots;
     handlers = Hashtbl.create 64;
+    partitions = Hashtbl.create 64;
     fdb = Hashtbl.create 64;
     tokens = float_of_int queue_slots;
     last_refill = 0.;
@@ -28,10 +32,15 @@ let create ?(capacity_pps = 300_000.) ?(latency = 30.0e-6)
     dropped_broadcast = 0;
   }
 
-let attach t ~port ~handler = Hashtbl.replace t.handlers port handler
+let attach ?partition t ~port ~handler =
+  Hashtbl.replace t.handlers port handler;
+  match partition with
+  | Some p -> Hashtbl.replace t.partitions port p
+  | None -> Hashtbl.remove t.partitions port
 
 let detach t ~port =
   Hashtbl.remove t.handlers port;
+  Hashtbl.remove t.partitions port;
   Hashtbl.remove t.fdb port
 
 let refill t =
@@ -45,13 +54,24 @@ let refill t =
     t.last_refill <- now
   end
 
+(* Delivery is the partition boundary of a partitioned run: a port
+   attached with a partition id receives its packets via [Engine.post],
+   so the handler runs inside the port's own partition. The forwarding
+   latency is exactly the conservative-sync lookahead (see
+   DESIGN.md "Parallel simulation"), which is what makes every
+   cross-partition post legal. Timing is identical in both modes: the
+   handler process starts [latency] after the send. *)
 let deliver t port pkt =
   match Hashtbl.find_opt t.handlers port with
   | None -> ()
   | Some handler ->
-      ignore
-        (Engine.after t.latency (fun () ->
-             Engine.spawn ~name:"switch-delivery" (fun () -> handler pkt)))
+      let start () =
+        Engine.spawn ~name:"switch-delivery" (fun () -> handler pkt)
+      in
+      (match Hashtbl.find_opt t.partitions port with
+      | Some p when p <> Engine.current_partition () ->
+          Engine.post ~partition:p ~delay:t.latency start
+      | Some _ | None -> ignore (Engine.after t.latency start))
 
 let send t (pkt : Packet.t) =
   refill t;

@@ -11,18 +11,35 @@
 
 type t
 
+val default_latency : float
+(** The default forwarding latency (30 us). Partitioned experiments use
+    this as the conservative-sync lookahead, so every switch-carried
+    message legally crosses partitions (see
+    {!Lightvm_sim.Engine.run_partitioned}). *)
+
 val create :
   ?capacity_pps:float -> ?latency:float -> ?queue_slots:int -> unit -> t
-(** Defaults: 300k pps, 30 us forwarding latency, 2048 burst slots. *)
+(** Defaults: 300k pps, {!default_latency} forwarding latency, 2048
+    burst slots. *)
 
-val attach : t -> port:int -> handler:(Packet.t -> unit) -> unit
-(** Attach an endpoint; replaces any previous handler on that port. *)
+val attach :
+  ?partition:int -> t -> port:int -> handler:(Packet.t -> unit) -> unit
+(** Attach an endpoint; replaces any previous handler on that port.
+    [partition] declares which partition of a
+    {!Lightvm_sim.Engine.run_partitioned} owns the port: its packets
+    are then delivered via {!Lightvm_sim.Engine.post}, so the handler
+    runs inside that partition. Delivery timing is identical with or
+    without a partition (the forwarding latency), and a partition
+    declared to a plain run is ignored. *)
 
 val detach : t -> port:int -> unit
 
 val send : t -> Packet.t -> unit
 (** Inject a packet at its source port. Delivery happens after the
-    forwarding latency; drops are silent (counted). *)
+    forwarding latency; drops are silent (counted). The switch itself
+    (token bucket, learning table, counters) is shared state: in a
+    partitioned run, call [send] only from one partition per switch —
+    the cluster sends from partition 0, the toolstack's home. *)
 
 val learned : t -> int
 (** Size of the forwarding database. *)

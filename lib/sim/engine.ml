@@ -1,9 +1,36 @@
+type out_msg = {
+  out_time : float;
+  out_seq : int; (* per-source posting order *)
+  out_target : int;
+  out_thunk : unit -> unit;
+}
+
 type eng = {
   mutable clock : float;
   heap : (unit -> unit) Heap.t;
   mutable stopped : bool;
   mutable horizon : float; (* [run ~until]; infinity when unbounded *)
+  mutable wend : float;
+      (* current synchronization-window end for partitioned runs;
+         infinity for plain runs and between windows *)
+  mutable next_pid : int;
+      (* per-engine so pid allocation is independent of how partitions
+         interleave across worker domains *)
+  mutable out_seq : int;
+  mutable outbox : out_msg list; (* reversed; merged at the barrier *)
 }
+
+let fresh_eng ?(horizon = infinity) () =
+  {
+    clock = 0.;
+    heap = Heap.create ();
+    stopped = false;
+    horizon;
+    wend = infinity;
+    next_pid = 1;
+    out_seq = 0;
+    outbox = [];
+  }
 
 type token = (unit -> unit) Heap.entry * eng
 
@@ -18,15 +45,34 @@ type trace_hooks = {
   on_wake : pid:int -> unit;
 }
 
-(* All engine bookkeeping is domain-local: each domain can drive (at
-   most) one simulation, and simulations on different domains never
-   share state, which is what lets Pool run independent experiments in
-   parallel with bit-identical results. *)
+(* A partitioned run: one engine per partition (index 0 is the
+   dom0/global partition, 1..n the declared partitions), coupled only
+   through [post]ed cross-partition messages. *)
+type pctx = {
+  engs : eng array;
+  lookahead : float;
+}
+
+(* Values a process can carry across suspensions (see
+   [with_process_local]): an open extensible variant so clients (the
+   fault injector) add their own cases without the engine knowing. *)
+type process_local = ..
+
+(* All engine bookkeeping is domain-local: a domain drives (at most)
+   one engine at a time, and engines on different domains never share
+   state, which is what lets Pool run independent experiments in
+   parallel with bit-identical results. Partitioned runs move a
+   partition's engine from domain to domain between windows, so nothing
+   below may close over the [dls] record itself — closures that outlive
+   the current event (continuations, resume functions, spawned thunks)
+   always re-read [dls ()] at execution time. *)
 type dls = {
   mutable current : eng option;
-  mutable next_pid : int;
+  mutable pctx : pctx option;
+  mutable cur_idx : int; (* partition index the domain is executing *)
   mutable current_pid : int;
   mutable current_pname : string;
+  mutable plocals : process_local list;
   mutable hooks : trace_hooks option;
 }
 
@@ -34,9 +80,11 @@ let dls_key =
   Domain.DLS.new_key (fun () ->
       {
         current = None;
-        next_pid = 1;
+        pctx = None;
+        cur_idx = 0;
         current_pid = 0;
         current_pname = "engine";
+        plocals = [];
         hooks = None;
       })
 
@@ -56,6 +104,13 @@ let get_eng () =
 let running () = (dls ()).current <> None
 
 let now () = (get_eng ()).clock
+
+let current_partition () = (dls ()).cur_idx
+
+let partition_count () =
+  match (dls ()).pctx with
+  | None -> 0
+  | Some ctx -> Array.length ctx.engs - 1
 
 let schedule_at eng time thunk =
   if time < eng.clock then
@@ -80,30 +135,51 @@ type _ Effect.t +=
 
 let suspend register = Effect.perform (Suspend register)
 
-(* Run [f] with the process identity set to [pid]/[name]; restores the
-   caller's identity on return (also on exception), so identity always
-   reflects whichever process the scheduler is actually executing. *)
-let as_process pid name f =
+(* Run [f] with the process identity (and its process-local values) set
+   to [pid]/[name]/[plocals]; restores the caller's identity on return
+   (also on exception), so identity always reflects whichever process
+   the scheduler is actually executing. Reads [dls ()] fresh on both
+   sides: between a park and a resume the process may have moved to a
+   different worker domain. *)
+let as_process pid name plocals f =
   let st = dls () in
-  let saved_pid = st.current_pid and saved_name = st.current_pname in
+  let saved_pid = st.current_pid
+  and saved_name = st.current_pname
+  and saved_plocals = st.plocals in
   st.current_pid <- pid;
   st.current_pname <- name;
+  st.plocals <- plocals;
   Fun.protect
     ~finally:(fun () ->
+      let st = dls () in
       st.current_pid <- saved_pid;
-      st.current_pname <- saved_name)
+      st.current_pname <- saved_name;
+      st.plocals <- saved_plocals)
     f
+
+let with_process_local local f =
+  let st = dls () in
+  let saved = st.plocals in
+  st.plocals <- local :: saved;
+  Fun.protect ~finally:(fun () -> (dls ()).plocals <- saved) f
+
+let find_process_local sel =
+  let rec go = function
+    | [] -> None
+    | l :: rest -> ( match sel l with Some _ as r -> r | None -> go rest)
+  in
+  go (dls ()).plocals
 
 (* Each process (the initial [main] and every [spawn]) runs under its own
    deep handler. A blocked process is represented solely by its captured
    continuation, stashed wherever [register] put the resume function. *)
-let exec name f =
+let exec ?(plocals = []) name f =
   let open Effect.Deep in
-  let st = dls () in
-  let pid = st.next_pid in
-  st.next_pid <- pid + 1;
-  (match st.hooks with Some h -> h.on_spawn ~pid ~name | None -> ());
-  as_process pid name (fun () ->
+  let eng = get_eng () in
+  let pid = eng.next_pid in
+  eng.next_pid <- pid + 1;
+  (match (dls ()).hooks with Some h -> h.on_spawn ~pid ~name | None -> ());
+  as_process pid name plocals (fun () ->
       match_with f ()
         {
           retc = (fun () -> ());
@@ -121,29 +197,82 @@ let exec name f =
               | Suspend register ->
                   Some
                     (fun (k : (a, unit) continuation) ->
+                      let st = dls () in
                       (match st.hooks with
                       | Some h -> h.on_park ~pid
                       | None -> ());
+                      (* The process's home partition and its local
+                         values at park time travel with the
+                         continuation. *)
+                      let home = get_eng () in
+                      let pl = st.plocals in
                       let fired = ref false in
                       register (fun v ->
                           if !fired then
                             invalid_arg
                               "Sim.Engine: one-shot resume called twice";
                           fired := true;
-                          let eng = get_eng () in
+                          let cur = get_eng () in
+                          if cur != home then
+                            invalid_arg
+                              "Sim.Engine: cross-partition resume — wake \
+                               a process from its own partition (via \
+                               [post]) instead";
                           (match (dls ()).hooks with
                           | Some h -> h.on_wake ~pid
                           | None -> ());
                           ignore
-                            (schedule_at eng eng.clock (fun () ->
-                                 as_process pid name (fun () ->
+                            (schedule_at home home.clock (fun () ->
+                                 as_process pid name pl (fun () ->
                                      continue k v)))))
               | _ -> None);
         })
 
 let spawn ?(name = "anonymous") f =
   let eng = get_eng () in
-  ignore (schedule_at eng eng.clock (fun () -> exec name f))
+  let pl = (dls ()).plocals in
+  ignore
+    (schedule_at eng eng.clock (fun () -> exec ~plocals:pl name f))
+
+(* Cross-partition scheduling. Within a partition (or outside any
+   partitioned run) this is just [after]. Across partitions the thunk
+   goes to the source engine's outbox and is merged into the target's
+   heap at the end of the window, so the delay must cover the lookahead
+   — otherwise the target may already have advanced past the arrival
+   time. Merging sorts by (time, source partition, per-source posting
+   order), making cross-partition delivery order a pure function of the
+   workload, independent of [--jobs]. *)
+let post ~partition ~delay thunk =
+  if delay < 0. then invalid_arg "Sim.Engine.post: negative delay";
+  let st = dls () in
+  match st.pctx with
+  | None -> ignore (after delay thunk)
+  | Some ctx ->
+      if partition < 0 || partition >= Array.length ctx.engs then
+        invalid_arg
+          (Printf.sprintf "Sim.Engine.post: unknown partition %d" partition);
+      if partition = st.cur_idx then ignore (after delay thunk)
+      else begin
+        if delay < ctx.lookahead then
+          invalid_arg
+            (Printf.sprintf
+               "Sim.Engine.post: cross-partition delay %g below the \
+                lookahead %g"
+               delay ctx.lookahead);
+        let eng = get_eng () in
+        eng.outbox <-
+          {
+            out_time = eng.clock +. delay;
+            out_seq = eng.out_seq;
+            out_target = partition;
+            out_thunk = thunk;
+          }
+          :: eng.outbox;
+        eng.out_seq <- eng.out_seq + 1
+      end
+
+let spawn_in ?(name = "anonymous") ~partition ~delay f =
+  post ~partition ~delay (fun () -> exec name f)
 
 (* Sleeping is the single hottest engine operation (every simulated
    cost charge is a sleep), so the common case — nothing else is
@@ -153,9 +282,11 @@ let spawn ?(name = "anonymous") f =
    every later push, so when no existing entry has time <= wake the pop
    order is exactly "resume this task next". The fast path is skipped
    when process-lifecycle hooks are installed (tracers count park/wake
-   transitions), after [stop] (a parked task must never resume), and
-   when waking would cross the [run ~until] horizon (the park-forever
-   behaviour is the contract there). *)
+   transitions), after [stop] (a parked task must never resume), when
+   waking would cross the [run ~until] horizon (the park-forever
+   behaviour is the contract there), and when waking would cross the
+   current synchronization window (the wake entry must stay in the heap
+   so the next window's start time accounts for it). *)
 let sleep delay =
   if delay < 0. then invalid_arg "Sim.Engine.sleep: negative delay"
   else if delay = 0. then ()
@@ -172,7 +303,11 @@ let sleep delay =
       | None -> true
       | Some t -> t > wake
     in
-    if idle && st.hooks = None && (not eng.stopped) && wake <= eng.horizon
+    if
+      idle && st.hooks = None
+      && (not eng.stopped)
+      && wake <= eng.horizon
+      && wake < eng.wend
     then eng.clock <- wake
     else suspend (fun resume -> ignore (after delay (fun () -> resume ())))
   end
@@ -187,11 +322,10 @@ let run ?until main =
   | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
   | None -> ());
   let horizon = match until with Some t -> t | None -> infinity in
-  let eng = { clock = 0.; heap = Heap.create (); stopped = false; horizon } in
+  let eng = fresh_eng ~horizon () in
   st.current <- Some eng;
-  st.next_pid <- 1;
   Fun.protect
-    ~finally:(fun () -> st.current <- None)
+    ~finally:(fun () -> (dls ()).current <- None)
     (fun () ->
       ignore (schedule_at eng 0. (fun () -> exec "main" main));
       let rec loop () =
@@ -209,6 +343,139 @@ let run ?until main =
       in
       loop ();
       eng.clock)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned runs: conservative-synchronization parallel DES.
+
+   Each round, the coordinator takes T = the earliest pending event
+   across all partitions and opens the window [T, T + lookahead): every
+   partition with an event in the window executes exactly those events
+   (in its own (time, seq) order), possibly on different worker
+   domains. Cross-partition messages carry at least [lookahead] of
+   modeled delay ([post] enforces it), so anything produced inside the
+   window arrives at or after its end — no partition can ever receive
+   an event in its past, and no rollback is needed. At the barrier the
+   collected messages are merged into the target heaps in (time, source
+   partition, per-source order), which the heap's (time, seq) tiebreak
+   then preserves: the merged schedule, and hence the whole run, is
+   bit-identical whatever the worker count. *)
+
+let run_window ctx idx wend =
+  let st = dls () in
+  (match st.current with
+  | Some _ ->
+      invalid_arg "Sim.Engine: a simulation is already running on this domain"
+  | None -> ());
+  let eng = ctx.engs.(idx) in
+  st.current <- Some eng;
+  st.pctx <- Some ctx;
+  st.cur_idx <- idx;
+  Fun.protect
+    ~finally:(fun () ->
+      let st = dls () in
+      st.current <- None;
+      st.pctx <- None;
+      st.cur_idx <- 0;
+      eng.wend <- infinity)
+    (fun () ->
+      eng.wend <- wend;
+      let rec loop () =
+        if eng.stopped then ()
+        else
+          match Heap.peek_time eng.heap with
+          | Some t when t < wend -> (
+              match Heap.pop eng.heap with
+              | None -> ()
+              | Some (time, thunk) ->
+                  eng.clock <- time;
+                  thunk ();
+                  loop ())
+          | Some _ | None -> ()
+      in
+      loop ())
+
+let run_partitioned ?jobs ~lookahead ~partitions main =
+  if not (lookahead > 0.) then
+    invalid_arg "Sim.Engine.run_partitioned: lookahead must be positive";
+  if partitions < 0 then
+    invalid_arg "Sim.Engine.run_partitioned: negative partition count";
+  let st = dls () in
+  (match st.current with
+  | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
+  | None -> ());
+  let jobs = match jobs with Some j -> max 1 j | None -> 1 in
+  let ctx =
+    { engs = Array.init (partitions + 1) (fun _ -> fresh_eng ()); lookahead }
+  in
+  ignore (Heap.push ctx.engs.(0).heap ~time:0. (fun () -> exec "main" main));
+  let n = Array.length ctx.engs in
+  let pool =
+    if jobs > 1 && partitions > 0 then
+      Some (Pool.create ~workers:(min jobs n))
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      (* src partition index is implied by array order; per-source
+         message order by out_seq. *)
+      let compare_msg (t1, s1, q1, _) (t2, s2, q2, _) =
+        match Float.compare t1 t2 with
+        | 0 -> ( match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c)
+        | c -> c
+      in
+      let rec round () =
+        if Array.exists (fun e -> e.stopped) ctx.engs then ()
+        else begin
+          let next = ref infinity in
+          Array.iter
+            (fun e ->
+              match Heap.peek_time e.heap with
+              | Some t when t < !next -> next := t
+              | _ -> ())
+            ctx.engs;
+          if !next = infinity then ()
+          else begin
+            let wend = !next +. lookahead in
+            let active = ref [] in
+            for idx = n - 1 downto 0 do
+              match Heap.peek_time ctx.engs.(idx).heap with
+              | Some t when t < wend -> active := idx :: !active
+              | _ -> ()
+            done;
+            (match pool with
+            | None -> List.iter (fun idx -> run_window ctx idx wend) !active
+            | Some p ->
+                !active
+                |> List.map (fun idx ->
+                       Pool.submit p (fun () -> run_window ctx idx wend))
+                |> List.iter (fun pr ->
+                       match Pool.await pr with
+                       | Ok () -> ()
+                       | Error (e, bt) ->
+                           Printexc.raise_with_backtrace e bt));
+            (* Barrier: deterministically merge the windows' outboxes. *)
+            let msgs = ref [] in
+            Array.iteri
+              (fun src e ->
+                List.iter
+                  (fun m ->
+                    msgs :=
+                      (m.out_time, src, m.out_seq, m) :: !msgs)
+                  e.outbox;
+                e.outbox <- [])
+              ctx.engs;
+            List.iter
+              (fun (_, _, _, m) ->
+                ignore
+                  (schedule_at ctx.engs.(m.out_target) m.out_time m.out_thunk))
+              (List.sort compare_msg !msgs);
+            round ()
+          end
+        end
+      in
+      round ();
+      Array.fold_left (fun acc e -> Float.max acc e.clock) 0. ctx.engs)
 
 module Ivar = struct
   type 'a state =

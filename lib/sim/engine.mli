@@ -25,6 +25,44 @@ val run : ?until:float -> (unit -> unit) -> float
     Processes still blocked when the queue drains are dropped — a
     simulation ends when no more events can fire. *)
 
+val run_partitioned :
+  ?jobs:int -> lookahead:float -> partitions:int -> (unit -> unit) -> float
+(** Conservative-synchronization parallel run: [partitions] host
+    partitions plus partition 0 (dom0/global, where [main] starts),
+    each with its own heap, clock and pid space. The coordinator
+    repeatedly opens the window [T, T + lookahead) — [T] the earliest
+    pending event anywhere — and every partition with events in the
+    window executes them, on up to [jobs] worker domains ([jobs <= 1]
+    runs the windows inline, in partition order: the deterministic
+    reference schedule). Cross-partition events travel via {!post}
+    (delay >= lookahead, enforced) and are merged at the window barrier
+    in (time, source partition, per-source order) — so the run is
+    bit-identical for every [jobs]. [stop] from any partition ends the
+    run at the round boundary. Returns the largest partition clock.
+    Tracing hooks only observe windows run on the calling domain; use
+    [jobs:1] when tracing. *)
+
+val current_partition : unit -> int
+(** The partition the calling process/callback runs in; 0 outside
+    partitioned runs (everything is the global partition). *)
+
+val partition_count : unit -> int
+(** Number of host partitions of the enclosing {!run_partitioned} (not
+    counting partition 0); 0 in a plain {!run}. *)
+
+val post : partition:int -> delay:float -> (unit -> unit) -> unit
+(** Schedule a callback in another partition after [delay] of simulated
+    time. Same-partition posts (and posts in plain runs) are exactly
+    [after delay]. Cross-partition posts require [delay >=] the run's
+    lookahead and are delivered at the next window barrier;
+    [Invalid_argument] otherwise — the switch's modeled latency is the
+    lookahead, so in-model traffic always qualifies. *)
+
+val spawn_in :
+  ?name:string -> partition:int -> delay:float -> (unit -> unit) -> unit
+(** [post] whose callback starts [f] as a fresh process in the target
+    partition (pid allocated from that partition's counter). *)
+
 val running : unit -> bool
 
 val now : unit -> float
@@ -84,7 +122,26 @@ val suspend : (('a -> unit) -> unit) -> 'a
     one-shot [resume] function. Calling [resume v] (from a callback or
     another process, at any later virtual time) schedules the process to
     continue with value [v]. This is the primitive from which all other
-    blocking constructs are built. *)
+    blocking constructs are built. In a partitioned run [resume] must be
+    called from the process's own partition (raises [Invalid_argument]
+    otherwise): to wake a process across partitions, [post] a callback
+    into its partition and resume from there. *)
+
+type process_local = ..
+(** Values a process carries across suspensions, inherited by the
+    processes it spawns. An open variant: each client declares its own
+    constructor (e.g. the fault injector's current stream set). *)
+
+val with_process_local : process_local -> (unit -> 'a) -> 'a
+(** Push a value onto the calling process's local stack for the extent
+    of [f]. Unlike domain-local state, the value survives suspensions
+    (it travels with the continuation, even across worker domains in a
+    partitioned run) and is captured by [spawn] — children inherit the
+    spawning process's locals. Usable outside a simulation too, where
+    it is plain dynamic scoping. *)
+
+val find_process_local : (process_local -> 'a option) -> 'a option
+(** First match in the calling process's locals, innermost first. *)
 
 (** Write-once cells for inter-process synchronisation. *)
 module Ivar : sig

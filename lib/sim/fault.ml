@@ -181,26 +181,43 @@ let create ?(seed = 0L) spec =
 let seed t = t.seed
 let spec t = t.spec
 
-(* The calling domain's current injector. Domain-local for the same
-   reason Engine state is: Pool workers each run their own simulations,
-   and an injector installed on one domain must be invisible to the
-   others. *)
-let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+(* Per-host injectors in partitioned cluster runs: mix a stable salt
+   into the seed so each host draws from an independent stream that
+   depends only on (parent seed, salt) — never on which worker domain
+   runs the host or how windows interleave. The multiplier is the
+   splitmix64 golden-gamma constant. *)
+let derive t ~salt =
+  create
+    ~seed:
+      (Int64.add t.seed
+         (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (salt + 1))))
+    t.spec
 
-let with_injector t f =
-  let prev = Domain.DLS.get current in
-  Domain.DLS.set current (Some t);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+(* The current injector is process-local, not domain-local: a
+   simulation process carries it across suspensions and passes it to
+   the processes it spawns. That is what keeps fault streams attached
+   to the workload (a host's creation pipeline, a drain loop) rather
+   than to whichever worker domain happens to execute it — the
+   prerequisite for bit-identical partitioned runs at any [--jobs].
+   Outside a simulation the same mechanism degrades to plain dynamic
+   scoping, and Pool workers still start clean (fresh domains have
+   empty process-local stacks). *)
+type Engine.process_local += Injector of t
+
+let with_injector t f = Engine.with_process_local (Injector t) f
+
+let installed () =
+  Engine.find_process_local (function Injector t -> Some t | _ -> None)
 
 let active () =
-  match Domain.DLS.get current with
+  match installed () with
   | Some t -> not (spec_is_empty t.spec)
   | None -> false
 
 let fire name =
   if not (is_point name) then
     invalid_arg (Printf.sprintf "Fault.fire: unregistered point %S" name);
-  match Domain.DLS.get current with
+  match installed () with
   | None -> false
   | Some t -> (
       match Hashtbl.find_opt t.streams name with

@@ -21,9 +21,14 @@
     no fault layer at all. Two runs with equal [(seed, spec)] inject
     the same faults at the same checks.
 
-    Injectors are installed per worker domain ({!with_injector}), like
-    {!Engine} state, so parallel experiment jobs each own their fault
-    stream and results stay independent of [--jobs]. *)
+    Injectors are installed per {e simulation process}
+    ({!with_injector}): the current injector travels with a process
+    across suspensions and is inherited by the processes it spawns, so
+    a fault stream follows the workload it was installed around — not
+    the worker domain that happens to execute it. Parallel experiment
+    jobs and the partitions of a {!Engine.run_partitioned} therefore
+    each own their streams, and results stay independent of [--jobs];
+    {!derive} builds the per-partition injectors. *)
 
 type spec
 (** A parsed fault specification: a finite map from point name to
@@ -80,20 +85,32 @@ val seed : t -> int64
 
 val spec : t -> spec
 
+val derive : t -> salt:int -> t
+(** A fresh injector with the same spec whose streams are derived from
+    [(seed t, salt)]: deterministic, and independent across salts. Used
+    to give each partition of a partitioned cluster run its own fault
+    streams (salt = host index), so injection depends only on the
+    host's own workload, never on cross-host interleaving. Counters
+    start at zero; the parent's are not shared. *)
+
 val with_injector : t -> (unit -> 'a) -> 'a
-(** [with_injector t f] installs [t] as the calling domain's current
-    injector for the duration of [f] (restoring the previous one after,
-    even on exceptions). Nesting is allowed; the innermost wins. *)
+(** [with_injector t f] installs [t] as the current injector for the
+    extent of [f] (restoring the previous one after, even on
+    exceptions). Inside a simulation the installation is per-process —
+    it survives the process's suspensions and is inherited by processes
+    spawned within the extent (see {!Engine.with_process_local});
+    outside it is ordinary dynamic scoping on the calling domain.
+    Nesting is allowed; the innermost wins. *)
 
 val active : unit -> bool
-(** Whether the calling domain currently has an injector installed with
-    a non-empty spec. *)
+(** Whether the calling process currently has an injector installed
+    with a non-empty spec. *)
 
 val fire : string -> bool
 (** [fire name] declares one check of fault point [name] at the calling
     site and returns whether a fault fires. Returns [false] — without
     consuming RNG state, counting, or any other side effect — when no
-    injector is installed on the calling domain or the point is not
+    injector is installed for the calling process or the point is not
     configured in its spec. [name] must be a registered point: passing
     an unregistered name raises [Invalid_argument] (even uninstalled),
     so typos fail loudly in tests rather than silently never firing. *)

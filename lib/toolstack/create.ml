@@ -134,12 +134,11 @@ let uses_xenstore env = env.mode.Mode.registry = Mode.Xenstore
 (* Scan all running guests for a name (libxl_name_to_domid): a
    directory listing plus one read per guest, each a full round-trip to
    the daemon. This is one of the scalability killers of the standard
-   toolstack. *)
-let scan_domain_names env =
-  let domids = Xs_client.directory env.xs "/local/domain" in
-  List.filter_map
-    (fun id -> Xs_client.read_opt env.xs ("/local/domain/" ^ id ^ "/name"))
-    domids
+   toolstack — [Xs_client.scan_names] models exactly that request
+   sequence (same charges and counters) while the host serves it from
+   the daemon's name index, so a 10k-guest boot storm doesn't also take
+   Θ(N²) host time. *)
+let scan_domain_names env = Xs_client.scan_names env.xs
 
 (* ------------------------------------------------------------------ *)
 (* Rollback *)

@@ -71,3 +71,5 @@ let introduce t domid = expect_unit (op t (Xs_server.Introduce domid))
 let release t domid = expect_unit (op t (Xs_server.Release domid))
 
 let write_many t ?tx pairs = List.iter (fun (p, v) -> write t ?tx p v) pairs
+
+let scan_names t = Xs_server.scan_names t.server ~caller:t.domid

@@ -88,3 +88,10 @@ val release : t -> int -> unit
 val write_many : t -> ?tx:int -> (string * string) list -> unit
 (** One {!write} per pair, in order; raises like {!write} and stops at
     the first failure. *)
+
+val scan_names : t -> string list
+(** Every running guest's name ([libxl_name_to_domid]'s scan):
+    equivalent to a {!directory} of [/local/domain] plus a {!read_opt}
+    of each child's [name] node — same simulated charges, same
+    errors — served from the daemon's name index (see
+    {!Xs_server.scan_names}). *)

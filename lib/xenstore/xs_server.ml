@@ -37,6 +37,13 @@ type counters = {
   mutable busy_time : float;
 }
 
+(* Host-side index of /local/domain: child id -> its [name] node's
+   (value, perms), or [None] when the domain directory has no name
+   node. Map over strings so iteration order is the store's sorted
+   directory order. See the "name index" comment below for the
+   invariants. *)
+module NMap = Map.Make (String)
+
 type t = {
   profile : Xs_costs.profile;
   store : Xs_store.t;
@@ -48,6 +55,8 @@ type t = {
   quota_nodes : int;
   counters : counters;
   register_watch_cb : Xs_watch.event -> unit;
+  mutable name_idx : (string * Xs_perms.t) option NMap.t;
+  mutable name_idx_gen : int; (* store generation it mirrors; -1 = stale *)
 }
 
 let create ?(profile = Xs_costs.oxenstored) ?(quota_nodes = 1000)
@@ -72,6 +81,8 @@ let create ?(profile = Xs_costs.oxenstored) ?(quota_nodes = 1000)
         busy_time = 0.;
       };
     register_watch_cb;
+    name_idx = NMap.empty;
+    name_idx_gen = -1;
   }
 
 let profile t = t.profile
@@ -126,35 +137,105 @@ let is_name_write path =
   | [ "local"; "domain"; _; "name" ] -> true
   | _ -> false
 
+(* --- name index --------------------------------------------------- *)
+(* The modeled daemon scans /local/domain on every name write, and
+   libxl's name resolution re-reads every guest's name several times
+   per creation — together Θ(N) store walks per guest, Θ(N²) for a
+   boot storm, which came to dominate the host wall clock of the scale
+   experiments. The index caches, per /local/domain child, the (value,
+   perms) of its [name] node so those scans read a sorted map instead
+   of walking the tree once per guest.
+
+   INVARIANT (modeled cost vs host cost, see fire_watches below): the
+   index only ever replaces host-side tree walks — every simulated
+   charge and counter the per-node walk would have made is still made,
+   in the same order (see [uniqueness_scan] and [scan_names]).
+
+   Consistency: every successful store mutation flows through
+   [fire_watches] exactly once per modified path (plain ops, each
+   transaction-commit path, and the Introduce/Release special events,
+   which do not touch the store), so [note_modified] keeps the index
+   exact incrementally; [name_idx_gen] tracks the store generation it
+   mirrors and forces a full rebuild if they ever diverge. *)
+
+let probe t path =
+  match Xs_store.lookup t.store path with
+  | None -> None
+  | Some node -> Some (Xs_store.Node.value node, Xs_store.Node.perms node)
+
+let refresh_domain t id =
+  let dir = Xs_path.concat domain_dir id in
+  match probe t dir with
+  | None -> t.name_idx <- NMap.remove id t.name_idx
+  | Some _ ->
+      t.name_idx <-
+        NMap.add id (probe t (Xs_path.concat dir "name")) t.name_idx
+
+let note_modified t path =
+  if t.name_idx_gen >= 0 then begin
+    (match Xs_path.segments path with
+    | "local" :: "domain" :: rest -> (
+        match rest with
+        | [] -> t.name_idx_gen <- -2 (* /local/domain replaced: rebuild *)
+        | id :: _ -> refresh_domain t id)
+    | [ "local" ] -> t.name_idx_gen <- -2 (* subtree may be gone *)
+    | _ -> ());
+    if t.name_idx_gen >= 0 then
+      t.name_idx_gen <- Xs_store.generation t.store
+  end
+
+let ensure_index t =
+  if t.name_idx_gen <> Xs_store.generation t.store then begin
+    let idx =
+      match Xs_store.directory t.store ~caller:0 domain_dir with
+      | Error _ -> NMap.empty
+      | Ok ids ->
+          List.fold_left
+            (fun idx id ->
+              NMap.add id
+                (probe t Xs_path.(concat (concat domain_dir id) "name"))
+                idx)
+            NMap.empty ids
+    in
+    t.name_idx <- idx;
+    t.name_idx_gen <- Xs_store.generation t.store
+  end
+
+(* Identical modeled behaviour to the reference loop it replaces — the
+   directory-entry charge, then per candidate a comparison counter tick
+   and a per_name_cmp charge, stopping at the first collision in
+   directory order (including its abort on a non-numeric child) — but
+   reading the index instead of doing two store walks per guest. *)
 let uniqueness_scan t path value =
   let p = t.profile in
-  match Xs_store.directory t.store ~caller:0 domain_dir with
-  | Error _ -> Ok ()
-  | Ok domids ->
-      charge ~category:"xs.name_scan" t
-        (float_of_int (List.length domids) *. p.Xs_costs.per_dir_entry);
-      let self =
-        match Xs_path.segments path with
-        | [ _; _; id; _ ] -> id
-        | _ -> ""
-      in
-      let rec scan = function
-        | [] -> Ok ()
-        | id :: rest ->
-            if id = self then scan rest
-            else begin
-              t.counters.uniqueness_cmps <- t.counters.uniqueness_cmps + 1;
-              charge ~category:"xs.name_scan" t p.Xs_costs.per_name_cmp;
-              let name_path =
-                Xs_path.(domain_path (int_of_string id) / "name")
-              in
-              match Xs_store.read t.store ~caller:0 name_path with
-              | Ok existing when existing = value && value <> "" ->
-                  Error Xs_error.EEXIST
-              | Ok _ | Error _ -> scan rest
-            end
-      in
-      (try scan domids with Failure _ -> Ok ())
+  ensure_index t;
+  if not (Xs_store.exists t.store domain_dir) then Ok ()
+  else begin
+    charge ~category:"xs.name_scan" t
+      (float_of_int (NMap.cardinal t.name_idx) *. p.Xs_costs.per_dir_entry);
+    let self =
+      match Xs_path.segments path with
+      | [ _; _; id; _ ] -> id
+      | _ -> ""
+    in
+    let exception Stop of (unit, Xs_error.t) result in
+    try
+      NMap.iter
+        (fun id entry ->
+          if not (Xs_path.seg_equal id self) then begin
+            t.counters.uniqueness_cmps <- t.counters.uniqueness_cmps + 1;
+            charge ~category:"xs.name_scan" t p.Xs_costs.per_name_cmp;
+            if int_of_string_opt id = None then raise_notrace (Stop (Ok ()))
+            else
+              match entry with
+              | Some (existing, _) when existing = value && value <> "" ->
+                  raise_notrace (Stop (Error Xs_error.EEXIST))
+              | Some _ | None -> ()
+          end)
+        t.name_idx;
+      Ok ()
+    with Stop r -> r
+  end
 
 (* Fire watches for one modified path. INVARIANT (modeled cost vs host
    cost): the real xenstored scans its whole watch list on every fire,
@@ -164,6 +245,7 @@ let uniqueness_scan t path value =
    hits)) purely so large-N experiments finish in reasonable wall
    clock; it must never influence the simulated clock. *)
 let fire_watches t modified =
+  note_modified t modified;
   let p = t.profile in
   charge ~category:"xs.watch" t
     (float_of_int (Xs_watch.count t.watches) *. p.Xs_costs.per_watch_check);
@@ -437,6 +519,76 @@ let traced_request t ~caller req f =
 let op t ~caller ?tx req =
   with_daemon t (fun () ->
       traced_request t ~caller req (fun () -> dispatch t ~caller ~tx req))
+
+(* Bulk name resolution (libxl_name_to_domid's scan): modeled exactly
+   as a Directory of /local/domain followed by one Read of every
+   child's name node — the same message/logging charges, ops counts and
+   directory-entry charge, in the same order — but served from the name
+   index, skipping the per-request path construction, tree walks and
+   response allocation that made this scan the host-side hot path at
+   large guest counts. With tracing enabled the reference per-request
+   loop runs instead, keeping one span per modeled request. *)
+let scan_names t ~caller =
+  if Trace.enabled () then begin
+    let ids =
+      match op t ~caller (Directory domain_dir) with
+      | Ok_list ids -> ids
+      | Err e -> raise (Xs_error.Error e)
+      | _ -> raise (Xs_error.Error Xs_error.EINVAL)
+    in
+    List.filter_map
+      (fun id ->
+        match
+          op t ~caller (Read Xs_path.(concat (concat domain_dir id) "name"))
+        with
+        | Ok_value v -> Some v
+        | Err Xs_error.ENOENT -> None
+        | Err e -> raise (Xs_error.Error e)
+        | _ -> None)
+      ids
+  end
+  else begin
+    let p = t.profile in
+    with_daemon t (fun () ->
+        charge ~category:"xs.message" t
+          (Xs_costs.message_cost p
+             ~payload_bytes:
+               (String.length (Xs_path.to_string domain_dir) + 1));
+        charge_logging t;
+        ensure_index t;
+        match Xs_store.lookup t.store domain_dir with
+        | None -> raise (Xs_error.Error Xs_error.ENOENT)
+        | Some node ->
+            if
+              not
+                (Xs_perms.can_read (Xs_store.Node.perms node) ~domid:caller)
+            then raise (Xs_error.Error Xs_error.EACCES);
+            charge ~category:"xs.dir" t
+              (float_of_int (NMap.cardinal t.name_idx)
+              *. p.Xs_costs.per_dir_entry));
+    (* One modeled Read round-trip per directory entry: payload is
+       "/local/domain/" ^ id ^ "/name" plus the trailing NUL. *)
+    let base =
+      String.length (Xs_path.to_string domain_dir)
+      + String.length "/name" + 2
+    in
+    let names =
+      NMap.fold
+        (fun id entry acc ->
+          with_daemon t (fun () ->
+              charge ~category:"xs.message" t
+                (Xs_costs.message_cost p
+                   ~payload_bytes:(base + String.length id));
+              charge_logging t);
+          match entry with
+          | Some (v, perms) ->
+              if Xs_perms.can_read perms ~domid:caller then v :: acc
+              else raise (Xs_error.Error Xs_error.EACCES)
+          | None -> acc)
+        t.name_idx []
+    in
+    List.rev names
+  end
 
 let watch t ~caller ~path ~token ~deliver =
   with_daemon t (fun () ->

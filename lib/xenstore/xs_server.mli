@@ -73,6 +73,18 @@ val op : t -> caller:int -> ?tx:int -> request -> response
     [xs.eagain] can abort a [Transaction_end true]; see
     [lib/sim/fault.ml]). *)
 
+val scan_names : t -> caller:int -> string list
+(** Every running guest's name, in [/local/domain] directory order —
+    the store traffic behind libxl's name resolution. Modeled exactly
+    as one [Directory] of [/local/domain] plus one [Read] of each
+    child's [name] node (identical charges, counters and log lines to
+    issuing those requests through {!op}; children without a name node
+    are skipped like their [ENOENT]), but answered from a maintained
+    host-side name index, so the host cost is O(guests) map iteration
+    rather than O(guests) store walks. Raises {!Xs_error.Error} exactly
+    where the per-request loop would ([ENOENT]/[EACCES] on the
+    directory, [EACCES] on an unreadable name node). *)
+
 val watch :
   t ->
   caller:int ->

@@ -20,34 +20,53 @@ type op =
   | Resume
   | Set_target
 
-let op_table =
-  [
-    (Debug, 0);
-    (Directory, 1);
-    (Read, 2);
-    (Get_perms, 3);
-    (Watch, 4);
-    (Unwatch, 5);
-    (Transaction_start, 6);
-    (Transaction_end, 7);
-    (Introduce, 8);
-    (Release, 9);
-    (Get_domain_path, 10);
-    (Write, 11);
-    (Mkdir, 12);
-    (Rm, 13);
-    (Set_perms, 14);
-    (Watch_event, 15);
-    (Error, 16);
-    (Is_domain_introduced, 17);
-    (Resume, 18);
-    (Set_target, 19);
-  ]
+(* The numeric codes of the real protocol. Direct matches (compiled to
+   jump tables) rather than an assoc list: every message packs one and
+   unpacks one, so these sit on the wire hot path. *)
+let op_to_int = function
+  | Debug -> 0
+  | Directory -> 1
+  | Read -> 2
+  | Get_perms -> 3
+  | Watch -> 4
+  | Unwatch -> 5
+  | Transaction_start -> 6
+  | Transaction_end -> 7
+  | Introduce -> 8
+  | Release -> 9
+  | Get_domain_path -> 10
+  | Write -> 11
+  | Mkdir -> 12
+  | Rm -> 13
+  | Set_perms -> 14
+  | Watch_event -> 15
+  | Error -> 16
+  | Is_domain_introduced -> 17
+  | Resume -> 18
+  | Set_target -> 19
 
-let op_to_int op = List.assoc op op_table
-
-let op_of_int n =
-  List.find_map (fun (op, i) -> if i = n then Some op else None) op_table
+let op_of_int = function
+  | 0 -> Some Debug
+  | 1 -> Some Directory
+  | 2 -> Some Read
+  | 3 -> Some Get_perms
+  | 4 -> Some Watch
+  | 5 -> Some Unwatch
+  | 6 -> Some Transaction_start
+  | 7 -> Some Transaction_end
+  | 8 -> Some Introduce
+  | 9 -> Some Release
+  | 10 -> Some Get_domain_path
+  | 11 -> Some Write
+  | 12 -> Some Mkdir
+  | 13 -> Some Rm
+  | 14 -> Some Set_perms
+  | 15 -> Some Watch_event
+  | 16 -> Some Error
+  | 17 -> Some Is_domain_introduced
+  | 18 -> Some Resume
+  | 19 -> Some Set_target
+  | _ -> None
 
 type header = {
   op : op;
@@ -64,11 +83,7 @@ exception Malformed of string
 let payload_bytes strings =
   List.fold_left (fun acc s -> acc + String.length s + 1) 0 strings
 
-let pack op ~req_id ~tx_id strings =
-  let len = payload_bytes strings in
-  if len > max_payload then
-    raise (Malformed (Printf.sprintf "payload too large: %d" len));
-  let buf = Bytes.create (header_size + len) in
+let fill buf op ~req_id ~tx_id strings ~len =
   Bytes.set_int32_le buf 0 (Int32.of_int (op_to_int op));
   Bytes.set_int32_le buf 4 req_id;
   Bytes.set_int32_le buf 8 tx_id;
@@ -79,7 +94,35 @@ let pack op ~req_id ~tx_id strings =
       Bytes.blit_string s 0 buf !pos (String.length s);
       Bytes.set buf (!pos + String.length s) '\000';
       pos := !pos + String.length s + 1)
-    strings;
+    strings
+
+let pack op ~req_id ~tx_id strings =
+  let len = payload_bytes strings in
+  if len > max_payload then
+    raise (Malformed (Printf.sprintf "payload too large: %d" len));
+  let buf = Bytes.create (header_size + len) in
+  fill buf op ~req_id ~tx_id strings ~len;
+  buf
+
+(* A reusable pack buffer for callers that consume each message before
+   producing the next (a xenbus ring slot does exactly this). The
+   returned bytes are the scratch itself — longer than the message; the
+   header's [len] bounds what a reader may look at — and are only valid
+   until the next [pack_into] on the same scratch. *)
+type scratch = { mutable scratch_buf : Bytes.t }
+
+let scratch () = { scratch_buf = Bytes.create 256 }
+
+let pack_into scratch op ~req_id ~tx_id strings =
+  let len = payload_bytes strings in
+  if len > max_payload then
+    raise (Malformed (Printf.sprintf "payload too large: %d" len));
+  let need = header_size + len in
+  if Bytes.length scratch.scratch_buf < need then
+    scratch.scratch_buf <-
+      Bytes.create (max need (2 * Bytes.length scratch.scratch_buf));
+  let buf = scratch.scratch_buf in
+  fill buf op ~req_id ~tx_id strings ~len;
   buf
 
 let unpack_header buf =
@@ -101,15 +144,22 @@ let unpack buf =
   if Bytes.length buf < header_size + header.len then
     raise (Malformed "truncated payload");
   if header.len > max_payload then raise (Malformed "oversized payload");
-  let payload = Bytes.sub_string buf header_size header.len in
-  let strings =
-    match String.split_on_char '\000' payload with
-    | [] -> []
-    | parts -> (
-        (* Each string is NUL-terminated, so a well-formed payload ends
-           with an empty fragment; drop it. *)
-        match List.rev parts with
-        | "" :: rest -> List.rev rest
-        | _ -> parts)
+  (* Slice the NUL-terminated strings straight out of [buf]: each
+     fragment is copied exactly once, with no intermediate payload
+     string, no split list and no reversal. A well-formed payload ends
+     with a NUL, so the scan stopping at [limit] drops the trailing
+     empty fragment for free; an unterminated trailing fragment is kept
+     as-is (same behaviour as splitting the copied payload). *)
+  let limit = header_size + header.len in
+  let rec strings pos =
+    if pos >= limit then []
+    else
+      let stop =
+        match Bytes.index_from_opt buf pos '\000' with
+        | Some i when i < limit -> i
+        | Some _ | None -> limit
+      in
+      let s = Bytes.sub_string buf pos (stop - pos) in
+      s :: strings (stop + 1)
   in
-  (header, strings)
+  (header, strings header_size)

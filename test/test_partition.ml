@@ -1,0 +1,206 @@
+(* The partitioned engine's window protocol, and the partition/jobs
+   determinism matrix: cluster output must be bit-identical across
+   --partition host|none and any sim_jobs count, including under
+   injected migration faults; cross-partition posts respect the
+   lookahead bound and merge in (time, source partition, send order);
+   the minipy program cache never changes observable behaviour. *)
+
+module E = Lightvm.Experiment
+module Engine = Lightvm_sim.Engine
+module Fault = Lightvm_sim.Fault
+module Switch = Lightvm_net.Switch
+module Series = Lightvm_metrics.Series
+module Table = Lightvm_metrics.Table
+module Interp = Lightvm_minipy.Interp
+
+(* ------------------------------------------------------------------ *)
+(* Window protocol edge cases. The modeled lookahead is the top-of-rack
+   switch latency, so in-model traffic always clears the bound; these
+   pin the bound itself. *)
+
+let lookahead = Switch.default_latency
+
+let test_post_below_lookahead_rejected () =
+  let rejected = ref false in
+  ignore
+    (Engine.run_partitioned ~jobs:1 ~lookahead ~partitions:2 (fun () ->
+         (try Engine.post ~partition:1 ~delay:(lookahead /. 2.) (fun () -> ())
+          with Invalid_argument _ -> rejected := true);
+         Engine.stop ()));
+  Alcotest.(check bool)
+    "cross-partition post below lookahead rejected" true !rejected
+
+let test_post_at_lookahead_legal () =
+  (* delay = lookahead is the tightest legal event: it lands exactly on
+     the next window's opening edge. *)
+  let fired = ref false in
+  ignore
+    (Engine.run_partitioned ~jobs:1 ~lookahead ~partitions:2 (fun () ->
+         Engine.post ~partition:1 ~delay:lookahead (fun () -> fired := true)));
+  Alcotest.(check bool) "delay = lookahead delivered" true !fired
+
+let test_same_partition_zero_delay () =
+  (* Zero-delay events are fine inside a partition: the lookahead bound
+     only constrains traffic that crosses a window barrier. *)
+  let fired = ref false in
+  ignore
+    (Engine.run_partitioned ~jobs:1 ~lookahead ~partitions:2 (fun () ->
+         Engine.post ~partition:0 ~delay:0. (fun () -> fired := true)));
+  Alcotest.(check bool) "same-partition zero-delay fired" true !fired
+
+let test_simultaneous_merge_order jobs () =
+  (* Hosts 1 and 2 each send dom0 two messages, all arriving at the
+     same instant. The barrier merge must order them by (time, source
+     partition, per-source send order) — never by which worker finished
+     first — so the deliberately reversed send below still comes out
+     sorted, at any jobs count. *)
+  let order = ref [] in
+  let seen tag () = order := tag :: !order in
+  let l = lookahead in
+  ignore
+    (Engine.run_partitioned ~jobs ~lookahead:l ~partitions:2 (fun () ->
+         Engine.post ~partition:2 ~delay:l (fun () ->
+             Engine.post ~partition:0 ~delay:l (seen "host2/first");
+             Engine.post ~partition:0 ~delay:l (seen "host2/second"));
+         Engine.post ~partition:1 ~delay:l (fun () ->
+             Engine.post ~partition:0 ~delay:l (seen "host1/first");
+             Engine.post ~partition:0 ~delay:l (seen "host1/second"))));
+  Alcotest.(check (list string))
+    "(time, src, seq) merge order"
+    [ "host1/first"; "host1/second"; "host2/first"; "host2/second" ]
+    (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism matrix: random cluster workloads with migration faults
+   enabled must produce bit-identical output whether the hosts share
+   one heap or run as partitions on 1, 2 or 8 workers. *)
+
+(* Exact (hex) floats, as in test_parallel.ml: any numeric divergence
+   between runs must show up in the digest. *)
+let render (r : E.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf r.E.name;
+  Buffer.add_char buf '/';
+  Buffer.add_string buf r.E.figure;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (l : E.labelled) ->
+      Buffer.add_string buf ("# " ^ l.E.label ^ "\n");
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%h\t%h\n" x y))
+        (Series.points l.E.series))
+    r.E.series;
+  List.iter
+    (fun t -> Buffer.add_string buf (Format.asprintf "%a@." Table.pp t))
+    r.E.tables;
+  List.iter (fun n -> Buffer.add_string buf (n ^ "\n")) r.E.notes;
+  Buffer.contents buf
+
+let cluster_digest ~n ~spec ~fault_seed ~partition ~sim_jobs =
+  let plan = E.cluster_plan ~n ~spec ~fault_seed ~partition ~sim_jobs () in
+  Digest.to_hex (Digest.string (render (E.run_plan ~jobs:1 plan)))
+
+let workload_arb =
+  QCheck.make
+    ~print:(fun (n, seed, mult) ->
+      Printf.sprintf "n=%d seed=%Ld fault-scale=%g" n seed mult)
+    QCheck.Gen.(
+      triple (int_range 6 20)
+        (map Int64.of_int (int_bound 10_000))
+        (oneofl [ 0.5; 1.0; 2.0 ]))
+
+let prop_partition_matrix =
+  QCheck.Test.make
+    ~name:"cluster digests identical across partition modes and sim_jobs"
+    ~count:5 workload_arb (fun (n, fault_seed, mult) ->
+      let spec =
+        match Fault.parse_spec E.cluster_fault_spec with
+        | Ok s -> Fault.scale s mult
+        | Error e -> failwith e
+      in
+      let digest partition sim_jobs =
+        cluster_digest ~n ~spec ~fault_seed ~partition ~sim_jobs
+      in
+      let reference = digest `Host 1 in
+      String.equal reference (digest `Host 2)
+      && String.equal reference (digest `Host 8)
+      && String.equal reference (digest `None 1))
+
+let test_scale_partition_matrix () =
+  (* The scale experiment's partitioned row, same matrix. *)
+  let digest partition sim_jobs =
+    match E.plan ~n:40 ~partition ~sim_jobs "scale" with
+    | None -> Alcotest.fail "scale plan missing"
+    | Some p -> Digest.to_hex (Digest.string (render (E.run_plan ~jobs:1 p)))
+  in
+  let reference = digest `Host 1 in
+  Alcotest.(check string) "sim_jobs=8" reference (digest `Host 8);
+  Alcotest.(check string) "partition=none" reference (digest `None 1)
+
+(* ------------------------------------------------------------------ *)
+(* The compiled-program cache (the micro pass's minipy half) must be
+   invisible: cached and fresh-parse runs agree on stdout, steps and
+   errors — first call (cache miss) and second call (cache hit) alike. *)
+
+let minipy_corpus =
+  [
+    Lightvm_workloads.Lambda.approx_e_program;
+    "total = 0\nfor i in range(50):\n    total += i\nprint(total)\n";
+    "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + \
+     fib(n - 2)\nprint(fib(12))\n";
+    "xs = [3, 1, 2]\nprint(len(xs))\nprint(xs[0] * 10)\n";
+    "s = \"light\"\nprint(s + \"vm\")\n";
+    "while True:\n    pass\n" (* hits the step limit *);
+    "x = (\n" (* parse error: also must be identical, and not cached *);
+  ]
+
+let test_minipy_cache_equivalence () =
+  List.iter
+    (fun src ->
+      let fresh = Interp.run ~max_steps:200_000 ~cache:false src in
+      (* Twice: first cached call misses and fills, second hits. *)
+      for call = 1 to 2 do
+        match (Interp.run ~max_steps:200_000 src, fresh) with
+        | Ok a, Ok b ->
+            Alcotest.(check int)
+              (Printf.sprintf "steps (call %d)" call)
+              b.Interp.steps a.Interp.steps;
+            Alcotest.(check (list string))
+              (Printf.sprintf "stdout (call %d)" call)
+              b.Interp.stdout a.Interp.stdout
+        | Error a, Error b ->
+            Alcotest.(check string)
+              (Printf.sprintf "error (call %d)" call)
+              b a
+        | Ok _, Error _ | Error _, Ok _ ->
+            Alcotest.fail "cached and fresh runs disagree on success"
+      done)
+    minipy_corpus
+
+let suites =
+  [
+    ( "partition.window",
+      [
+        Alcotest.test_case "post below lookahead rejected" `Quick
+          test_post_below_lookahead_rejected;
+        Alcotest.test_case "post at exactly lookahead legal" `Quick
+          test_post_at_lookahead_legal;
+        Alcotest.test_case "same-partition zero delay" `Quick
+          test_same_partition_zero_delay;
+        Alcotest.test_case "simultaneous merge order (jobs=1)" `Quick
+          (test_simultaneous_merge_order 1);
+        Alcotest.test_case "simultaneous merge order (jobs=8)" `Quick
+          (test_simultaneous_merge_order 8);
+      ] );
+    ( "partition.determinism",
+      [
+        QCheck_alcotest.to_alcotest prop_partition_matrix;
+        Alcotest.test_case "scale row matrix" `Slow
+          test_scale_partition_matrix;
+      ] );
+    ( "minipy.cache",
+      [
+        Alcotest.test_case "cached = fresh on corpus" `Quick
+          test_minipy_cache_equivalence;
+      ] );
+  ]
