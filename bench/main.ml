@@ -252,10 +252,11 @@ let finish_result (p : E.plan) pieces =
     series = merged.E.p_series;
     tables = merged.E.p_tables;
     notes = merged.E.p_notes;
+    prefix_seconds = merged.E.p_prefix_seconds;
   }
 
-(* (name, job count, summed job seconds, wall seconds) per experiment,
-   in order. *)
+(* (name, job count, summed job seconds, wall seconds, prefix seconds)
+   per experiment, in order. *)
 let experiment_rows =
   Printf.printf
     "LightVM reproduction bench (scale: %s, jobs: %d, partition: %s)\n"
@@ -278,14 +279,63 @@ let experiment_rows =
             in
             stop -. start
       in
+      let prefix_secs =
+        List.fold_left (fun a p -> a +. p.E.p_prefix_seconds) 0. pieces
+      in
       (match n with
       | Some n -> section (Printf.sprintf "%s (n = %d)" id n) note
       | None -> section id note);
       print_result (finish_result p pieces);
-      Printf.printf "[%s: %.2f s over %d job(s), %.2f s wall]\n" id job_secs
-        (List.length timed_pieces) wall_secs;
-      (id, List.length timed_pieces, job_secs, wall_secs))
+      Printf.printf "[%s: %.2f s over %d job(s), %.2f s wall%s]\n" id job_secs
+        (List.length timed_pieces) wall_secs
+        (if prefix_secs > 0. then
+           Printf.sprintf ", %.2f s on shared prefixes" prefix_secs
+         else "");
+      (id, List.length timed_pieces, job_secs, wall_secs, prefix_secs))
     (run_all ())
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint fork-vs-cold pair: the same chaos [XS] curve to
+   [n + extra] guests, once as an unbroken simulation (cold) and once
+   forked from the [n]-guest checkpoint image and extended by [extra]
+   creations (fork). The image build itself runs outside the fork row's
+   timed region and is reported as its [prefix_seconds]: the pair
+   isolates what boot-once/fork-many saves when suffixes share a
+   prefix. Both rows render the identical curve (the resume
+   contract). *)
+let snapshot_pair_rows =
+  let n = pick ~quick:1000 ~medium:2000 ~full:5000 in
+  let extra = max 1 (n / 10) in
+  section
+    (Printf.sprintf "snapshot fork-vs-cold (n = %d + %d)" n extra)
+    "fork pays thaw + the suffix; cold re-simulates the whole prefix";
+  (* Earlier experiments may have cached overlapping images; reset so
+     the pair measures a true build. *)
+  E.prefix_cache_reset ();
+  let t0 = Unix.gettimeofday () in
+  let cold = E.scale_cold_full ~n ~extra in
+  let t1 = Unix.gettimeofday () in
+  let prefix_secs = E.scale_prefix_warm ~n in
+  let t2 = Unix.gettimeofday () in
+  let fork = E.scale_fork_suffix ~n ~extra in
+  let t3 = Unix.gettimeofday () in
+  let identical =
+    Series.points cold.E.series = Series.points fork.E.series
+  in
+  print_series [ cold; fork ];
+  Printf.printf
+    "[snapshot-cold: %.2f s | snapshot-fork: %.2f s + %.2f s prefix build \
+     | curves identical: %b | speedup on suffix: %.1fx]\n"
+    (t1 -. t0) (t3 -. t2) prefix_secs identical
+    ((t1 -. t0) /. Float.max 1e-9 (t3 -. t2));
+  if not identical then
+    failwith "snapshot bench: fork and cold curves diverge";
+  [
+    ("snapshot-cold", 1, t1 -. t0, t1 -. t0, 0.);
+    ("snapshot-fork", 1, t3 -. t2, t3 -. t2, prefix_secs);
+  ]
+
+let all_experiment_rows = experiment_rows @ snapshot_pair_rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the real (wall-clock) cost of the
@@ -803,15 +853,18 @@ let write_json path ~total =
      pool, experiments overlap, so per-row walls can sum to more than
      the total. *)
   out "  \"total_wall_seconds\": %.3f,\n" total;
+  (* [prefix_seconds] (wall time spent building/loading shared boot
+     prefixes — included in [job_seconds], broken out so the trajectory
+     shows what prefix caching amortizes) *)
   out "  \"experiments\": [\n";
   List.iteri
-    (fun i (id, njobs, job_secs, wall_secs) ->
+    (fun i (id, njobs, job_secs, wall_secs, prefix_secs) ->
       out
         "    { \"name\": %S, \"jobs\": %d, \"job_seconds\": %.3f, \
-         \"wall_seconds\": %.3f }%s\n"
-        id njobs job_secs wall_secs
-        (if i = List.length experiment_rows - 1 then "" else ","))
-    experiment_rows;
+         \"wall_seconds\": %.3f, \"prefix_seconds\": %.3f }%s\n"
+        id njobs job_secs wall_secs prefix_secs
+        (if i = List.length all_experiment_rows - 1 then "" else ","))
+    all_experiment_rows;
   out "  ],\n";
   out "  \"microbench\": [\n";
   List.iteri

@@ -238,6 +238,84 @@ let cluster_cmd =
       const run_cluster $ n_arg $ jobs_arg $ partition_arg $ faults_arg
       $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* snapshot / resume: boot-once prefixes on disk *)
+
+let run_snapshot key n partition sim_jobs out =
+  let partition = parse_partition_or_exit partition in
+  let sim_jobs =
+    match sim_jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  match key with
+  | None ->
+      (* No key: list what this scale would snapshot. *)
+      List.iter
+        (fun p ->
+          Printf.printf "%-28s %s\n" p.E.prefix_key p.E.prefix_describe)
+        (E.prefixes ?n ~partition ~sim_jobs ())
+  | Some key -> (
+      match
+        E.snapshot_to_file ?n ~partition ~sim_jobs ~key ~path:out ()
+      with
+      | Ok description ->
+          Printf.printf "snapshot %s: %s\n  -> %s\n" key description out
+      | Error msg ->
+          Printf.eprintf "snapshot failed: %s\n" msg;
+          Printf.eprintf "known prefixes at this scale:\n";
+          List.iter
+            (fun p -> Printf.eprintf "  %s\n" p.E.prefix_key)
+            (E.prefixes ?n ~partition ~sim_jobs ());
+          exit 1)
+
+let snapshot_cmd =
+  let key =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"PREFIX"
+             ~doc:"Prefix key, e.g. $(b,scale:chaos-xs\\@2000) or \
+                   $(b,cluster:drain\\@500). Omit to list the keys \
+                   available at this scale.")
+  in
+  let out =
+    Arg.(value & opt string "lightvm.lvmsnap"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the snapshot.")
+  in
+  let doc =
+    "Simulate a shared experiment boot prefix once and write the \
+     quiesced state to disk. The file carries a versioned header \
+     (magic, format version, producing binary digest, config) and can \
+     be resumed any number of times by $(b,resume) — fork-many from \
+     one boot."
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(
+      const run_snapshot $ key $ n_arg $ partition_arg $ jobs_arg $ out)
+
+let run_resume path n spec_str fault_seed =
+  let spec = Option.map parse_spec_or_exit spec_str in
+  match E.resume_from_file ?n ?spec ~fault_seed ~path () with
+  | Ok r -> print_result r
+  | Error msg ->
+      Printf.eprintf "resume failed: %s\n" msg;
+      exit 1
+
+let resume_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Snapshot written by $(b,snapshot).")
+  in
+  let doc =
+    "Resume a snapshot and run the suffix its stored key implies: \
+     scale images are extended by -n more creations, fleet images run \
+     their second fan-out wave, reliability images run an -n-attempt \
+     fault-injection cell, drain images drain host 0. A resumed run \
+     renders bit-identically to the unbroken simulation; header \
+     mismatches (foreign file, other format version, other binary) are \
+     refused with the structured reason."
+  in
+  Cmd.v (Cmd.info "resume" ~doc)
+    Term.(const run_resume $ path $ n_arg $ faults_arg $ seed_arg)
+
 let list_cmd =
   let doc = "List the reproducible experiments." in
   Cmd.v (Cmd.info "list" ~doc)
@@ -460,5 +538,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figure_cmd; trace_cmd; reliability_cmd; cluster_cmd; list_cmd;
-            headline_cmd; tinyx_cmd; minipy_cmd; boot_cmd; xenstore_cmd ]))
+          [ figure_cmd; trace_cmd; reliability_cmd; cluster_cmd;
+            snapshot_cmd; resume_cmd; list_cmd; headline_cmd; tinyx_cmd;
+            minipy_cmd; boot_cmd; xenstore_cmd ]))

@@ -15,6 +15,7 @@ module Create = Lightvm_toolstack.Create
 module Toolstack = Lightvm_toolstack.Toolstack
 module Checkpoint = Lightvm_toolstack.Checkpoint
 module Migrate = Lightvm_toolstack.Migrate
+module Snap = Lightvm_sim.Checkpoint
 module Vmm = Lightvm_cluster.Vmm
 module Scheduler = Lightvm_cluster.Scheduler
 module Cluster = Lightvm_cluster.Cluster
@@ -166,16 +167,25 @@ type piece = {
   p_series : labelled list;
   p_tables : Table.t list;
   p_notes : string list;
+  p_prefix_seconds : float;
 }
 
-let piece ?(series = []) ?(tables = []) ?(notes = []) () =
-  { p_series = series; p_tables = tables; p_notes = notes }
+let piece ?(series = []) ?(tables = []) ?(notes = []) ?(prefix_seconds = 0.) ()
+    =
+  {
+    p_series = series;
+    p_tables = tables;
+    p_notes = notes;
+    p_prefix_seconds = prefix_seconds;
+  }
 
 let piece_concat pieces =
   {
     p_series = List.concat_map (fun p -> p.p_series) pieces;
     p_tables = List.concat_map (fun p -> p.p_tables) pieces;
     p_notes = List.concat_map (fun p -> p.p_notes) pieces;
+    p_prefix_seconds =
+      List.fold_left (fun acc p -> acc +. p.p_prefix_seconds) 0. pieces;
   }
 
 type job = string * (unit -> piece)
@@ -184,6 +194,102 @@ let run_jobs (jobs : job list) = List.map (fun (_, j) -> j ()) jobs
 
 let series_of_jobs jobs =
   List.concat_map (fun p -> p.p_series) (run_jobs jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment-level prefix caching.
+
+   Several families boot the same population before diverging — every
+   reliability cell of a mode warms the same host, the cluster drain
+   job boots the same guests the fault sweep then migrates, a scale
+   curve to 5000 guests is an exact event prefix of the curve to
+   10,000. With checkpoint/restore ({!Lightvm_sim.Engine.run_capture} /
+   [resume] plus {!Lightvm_sim.Checkpoint}) each distinct prefix is
+   simulated once per process invocation, frozen to bytes, and every
+   consumer thaws its own deep copy and runs only its suffix. Thawing
+   from the shared bytes is what isolates forks: each [Snap.thaw] is a
+   fresh copy of the whole model graph, so two variants resumed from
+   one image never see each other's state, even on different Pool
+   worker domains.
+
+   Correctness bar (pinned in test/test_checkpoint.ml): a suffix run
+   from a thawed image renders bit-identically to the unbroken
+   simulation that runs prefix and suffix in one piece — the
+   [~snapshot:false] paths below keep the unbroken bodies alive
+   precisely so the equality stays testable.
+
+   The cache is keyed by the prefix's config string ("scale:chaos-xs@
+   2000", "reliability:xl", ...) and shared across Pool worker domains:
+   the first toucher builds, concurrent touchers wait on the condition
+   variable, later touchers get the frozen bytes for free. *)
+
+let wall = Unix.gettimeofday
+
+(* Cache-internal failures (a prefix that cannot quiesce is a bug, not
+   an expected outcome) surface as exceptions; the file-level
+   snapshot/resume API below returns [result] instead. *)
+let snap_err label = function
+  | Ok v -> v
+  | Error e -> failwith (label ^ ": " ^ Snap.error_to_string e)
+
+type prefix_state = Building | Ready of string
+
+let prefix_lock = Mutex.create ()
+let prefix_cond = Condition.create ()
+let prefix_tbl : (string, prefix_state) Hashtbl.t = Hashtbl.create 16
+
+(* Frozen image bytes for [key], built by [build] at most once per
+   invocation (and per [prefix_cache_reset]). [build] runs outside the
+   lock: a chained build (the 10k scale image extending the 5k one)
+   re-enters for its parent key without deadlocking. *)
+let prefix_image ~key build =
+  let rec get () =
+    match Hashtbl.find_opt prefix_tbl key with
+    | Some (Ready bytes) ->
+        Mutex.unlock prefix_lock;
+        bytes
+    | Some Building ->
+        Condition.wait prefix_cond prefix_lock;
+        get ()
+    | None -> (
+        Hashtbl.replace prefix_tbl key Building;
+        Mutex.unlock prefix_lock;
+        match build () with
+        | bytes ->
+            Mutex.lock prefix_lock;
+            Hashtbl.replace prefix_tbl key (Ready bytes);
+            Condition.broadcast prefix_cond;
+            Mutex.unlock prefix_lock;
+            bytes
+        | exception e ->
+            Mutex.lock prefix_lock;
+            Hashtbl.remove prefix_tbl key;
+            Condition.broadcast prefix_cond;
+            Mutex.unlock prefix_lock;
+            raise e)
+  in
+  Mutex.lock prefix_lock;
+  get ()
+
+(* Drop every cached image (tests and cold-path benchmarks). Callers
+   must not race this with in-flight builds. *)
+let prefix_cache_reset () =
+  Mutex.lock prefix_lock;
+  Hashtbl.reset prefix_tbl;
+  Mutex.unlock prefix_lock
+
+(* CLI-safe slugs for mode names ("chaos [XS]" -> "chaos-xs"), used in
+   prefix keys and the snapshot/resume grammar. *)
+let mode_slug mode =
+  match Mode.name mode with
+  | "xl" -> "xl"
+  | "chaos [XS]" -> "chaos-xs"
+  | "chaos [XS+split]" -> "chaos-xs-split"
+  | "chaos [NoXS]" -> "chaos-noxs"
+  | "LightVM" -> "lightvm"
+  | other -> other
+
+let mode_of_slug slug =
+  List.find_opt (fun m -> String.equal (mode_slug m) slug) Mode.all_modes
 
 (* ------------------------------------------------------------------ *)
 (* Fig 1 *)
@@ -399,32 +505,101 @@ let scale_counts n =
    simulation of exactly that count would produce — for one set of
    creations instead of one per count (10k instead of 17k at the
    default counts). Sampling is per count: ~20 points plus first and
-   last, as before. *)
-let scale_mode_merged ~counts mode =
-  let top = List.fold_left max 1 counts in
-  let rows =
-    List.map
-      (fun count ->
-        let label = Printf.sprintf "%s/%d" (Mode.name mode) count in
-        (count, max 1 (count / 20), label, mk ("scale " ^ label) "ms"))
-      counts
-  in
+   last, as before.
+
+   With [~snapshot:true] (the plan default) the pass is materialised as
+   a chain of checkpoint images — the host booted to 2000 guests, that
+   image extended to 5000, that one to 10,000 — each boundary simulated
+   once per invocation ({!prefix_image}) and reusable by anything that
+   wants a host at that population: the curve render, the fork-vs-cold
+   bench pair, a [snapshot] written to disk. [~snapshot:false] keeps
+   the unbroken single-run body; test/test_checkpoint.ml pins that both
+   paths render bit-identically. *)
+
+(* Create guests [from+1 .. upto] on [host], recording create+boot
+   latency per guest. The shared creation loop of both paths: the
+   resumed suffix continues exactly where the captured prefix left
+   off. *)
+let scale_create_range host lat ~from ~upto =
+  for i = from + 1 to upto do
+    let _vm, t_create, t_boot = launch_timed host ~nics:1 Image.daytime in
+    lat.(i - 1) <- t_create +. t_boot
+  done
+
+let scale_curve_rows ~mode ~counts lat =
+  List.map
+    (fun count ->
+      let stride = max 1 (count / 20) in
+      let label = Printf.sprintf "%s/%d" (Mode.name mode) count in
+      let series = mk ("scale " ^ label) "ms" in
+      for i = 1 to count do
+        if i = 1 || i = count || i mod stride = 0 then
+          Series.add series ~x:(float_of_int i) ~y:(ms lat.(i - 1))
+      done;
+      { label; series })
+    counts
+
+let scale_mode_lat_unbroken ~mode top =
+  let lat = Array.make top nan in
   run_sim (fun () ->
       let host = Vmm.create ~mode () in
       if mode.Mode.split then
         Vmm.prefill_pool host Image.daytime ~nics:1 ~disks:0;
-      for i = 1 to top do
-        let _vm, t_create, t_boot =
-          launch_timed host ~nics:1 Image.daytime
+      scale_create_range host lat ~from:0 ~upto:top);
+  lat
+
+let scale_prefix_key ~mode count =
+  Printf.sprintf "scale:%s@%d" (mode_slug mode) count
+
+(* The frozen image of a host booted to [count] guests, chained through
+   the smaller boundaries in [bounds]. The image payload is
+   [(Engine.saved, (host, lat))]: engine heap state plus the model root
+   and the latencies recorded so far — one marshalled value, so the
+   heap thunks and the host they close over stay shared on thaw. *)
+let rec scale_image ~mode ~bounds count =
+  prefix_image ~key:(scale_prefix_key ~mode count) (fun () ->
+      let prev =
+        List.fold_left (fun a c -> if c < count then max a c else a) 0 bounds
+      in
+      if prev = 0 then (
+        let lat = Array.make count nan in
+        let host = ref None in
+        let _clock, saved =
+          Engine.run_capture (fun () ->
+              let h = Vmm.create ~mode () in
+              if mode.Mode.split then
+                Vmm.prefill_pool h Image.daytime ~nics:1 ~disks:0;
+              host := Some h;
+              scale_create_range h lat ~from:0 ~upto:count;
+              Engine.stop ())
         in
-        let y = ms (t_create +. t_boot) in
-        List.iter
-          (fun (count, stride, _, series) ->
-            if i <= count && (i = 1 || i = count || i mod stride = 0) then
-              Series.add series ~x:(float_of_int i) ~y)
-          rows
-      done);
-  List.map (fun (_, _, label, series) -> { label; series }) rows
+        snap_err "scale image" (Snap.freeze (saved, (Option.get !host, lat))))
+      else
+        let bytes = scale_image ~mode ~bounds prev in
+        let ((saved : Engine.saved), ((host : Vmm.t), lat_prev)) =
+          snap_err "scale image" (Snap.thaw bytes)
+        in
+        let lat = Array.make count nan in
+        Array.blit lat_prev 0 lat 0 prev;
+        let _clock, saved =
+          Engine.resume_capture saved (fun () ->
+              scale_create_range host lat ~from:prev ~upto:count;
+              Engine.stop ())
+        in
+        snap_err "scale image" (Snap.freeze (saved, (host, lat))))
+
+(* [(prefix_seconds, rows)] for one mode's merged curve. *)
+let scale_mode_merged ~snapshot ~counts mode =
+  let top = List.fold_left max 1 counts in
+  if not snapshot then
+    (0., scale_curve_rows ~mode ~counts (scale_mode_lat_unbroken ~mode top))
+  else
+    let t0 = wall () in
+    let bytes = scale_image ~mode ~bounds:counts top in
+    let ((_ : Engine.saved), ((_ : Vmm.t), lat)) =
+      snap_err "scale image" (Snap.thaw bytes)
+    in
+    (wall () -. t0, scale_curve_rows ~mode ~counts lat)
 
 (* The partitioned row: the same total population brought up as a fleet
    of [scale_partition_hosts] identical chaos [XS] hosts, each creating
@@ -432,36 +607,64 @@ let scale_mode_merged ~counts mode =
    simulation runs on up to [sim_jobs] cores; with [`None] the same
    workload shares one heap. Either way the series is the per-round
    mean of the per-host create+boot latencies — identical in both modes
-   and at any [sim_jobs] (the per-host streams never interact). *)
+   and at any [sim_jobs] (the per-host streams never interact).
+
+   The bring-up runs as two fan-out waves with a barrier between them;
+   the wave boundary is the row's snapshot point, so the partitioned
+   capture/resume path has a well-defined unbroken twin: the
+   [~snapshot:false] body runs both waves in one simulation, the
+   [~snapshot:true] body captures every partition's state after wave 1
+   ({!Engine.run_partitioned_capture}), freezes it, and resumes a
+   thawed copy for wave 2 — same barrier, same events, bit-identical
+   series across the whole jobs x partition matrix
+   (test/test_checkpoint.ml). *)
 let scale_partition_hosts = 8
 
-let scale_partitioned ~count ~partition ~sim_jobs =
-  let hosts = scale_partition_hosts in
-  let per = max 1 (count / hosts) in
+let fleet_prefix_key ~partition ~sim_jobs total =
+  Printf.sprintf "scale-fleet:%s/j%d@%d" (partition_name partition) sim_jobs
+    total
+
+(* One wave: every host creates guests [from+1 .. upto] of its share,
+   concurrently, in its own partition when [`Host]. *)
+let fleet_wave ~partition nodes lat ~from ~upto =
+  let hosts = Array.length nodes in
+  fan_out_hosts ~hosts
+    ~part_of:(fun h -> match partition with `Host -> h + 1 | `None -> 0)
+    (fun h -> scale_create_range nodes.(h) lat.(h) ~from ~upto)
+
+(* [sim_jobs] is part of the key only to keep determinism tests honest:
+   the bytes are the same for every worker count, but a cache hit would
+   short-circuit the re-simulation the jobs-matrix tests exist to
+   exercise. *)
+let fleet_image ~partition ~sim_jobs ~hosts ~per ~per1 =
+  prefix_image
+    ~key:(fleet_prefix_key ~partition ~sim_jobs (hosts * per))
+    (fun () ->
+      let lat = Array.make_matrix hosts per nan in
+      let nodes = ref [||] in
+      let body () =
+        nodes :=
+          Array.init hosts (fun i ->
+              Vmm.create ~host_id:i ~mode:Mode.chaos_xs ());
+        fleet_wave ~partition !nodes lat ~from:0 ~upto:per1;
+        Engine.stop ()
+      in
+      let saved =
+        match partition with
+        | `Host ->
+            snd
+              (Engine.run_partitioned_capture ~jobs:sim_jobs ~lookahead
+                 ~partitions:hosts body)
+        | `None -> snd (Engine.run_capture body)
+      in
+      snap_err "fleet image" (Snap.freeze (saved, (!nodes, lat))))
+
+let fleet_row_render ~hosts ~per lat =
   let total = hosts * per in
   let label =
     Printf.sprintf "%s x%d hosts/%d" (Mode.name Mode.chaos_xs) hosts total
   in
   let series = mk ("scale " ^ label) "ms" in
-  let lat = Array.make_matrix hosts per nan in
-  let body () =
-    let nodes =
-      Array.init hosts (fun i -> Vmm.create ~host_id:i ~mode:Mode.chaos_xs ())
-    in
-    fan_out_hosts ~hosts
-      ~part_of:(fun h -> match partition with `Host -> h + 1 | `None -> 0)
-      (fun h ->
-        let host = nodes.(h) in
-        for j = 1 to per do
-          let _vm, t_create, t_boot =
-            launch_timed host ~nics:1 Image.daytime
-          in
-          lat.(h).(j - 1) <- t_create +. t_boot
-        done)
-  in
-  (match partition with
-  | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
-  | `None -> run_sim body);
   let stride = max 1 (per / 20) in
   for j = 1 to per do
     if j = 1 || j = per || j mod stride = 0 then begin
@@ -476,6 +679,40 @@ let scale_partitioned ~count ~partition ~sim_jobs =
   done;
   { label; series }
 
+(* [(prefix_seconds, row)]. *)
+let scale_partitioned ~snapshot ~count ~partition ~sim_jobs =
+  let hosts = scale_partition_hosts in
+  let per = max 1 (count / hosts) in
+  let per1 = max 1 (per / 2) in
+  if not snapshot then begin
+    let lat = Array.make_matrix hosts per nan in
+    let body () =
+      let nodes =
+        Array.init hosts (fun i ->
+            Vmm.create ~host_id:i ~mode:Mode.chaos_xs ())
+      in
+      fleet_wave ~partition nodes lat ~from:0 ~upto:per1;
+      fleet_wave ~partition nodes lat ~from:per1 ~upto:per
+    in
+    (match partition with
+    | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
+    | `None -> run_sim body);
+    (0., fleet_row_render ~hosts ~per lat)
+  end
+  else begin
+    let t0 = wall () in
+    let bytes = fleet_image ~partition ~sim_jobs ~hosts ~per ~per1 in
+    let ((saved : Engine.saved), ((nodes : Vmm.t array), lat)) =
+      snap_err "fleet image" (Snap.thaw bytes)
+    in
+    let prefix_seconds = wall () -. t0 in
+    ignore
+      (Engine.resume ~jobs:sim_jobs saved (fun () ->
+           fleet_wave ~partition nodes lat ~from:per1 ~upto:per;
+           Engine.stop ()));
+    (prefix_seconds, fleet_row_render ~hosts ~per lat)
+  end
+
 let scale_jobs ?(n = 10_000) ?(partition = `Host) ?(sim_jobs = 1) () :
     job list =
   let counts = scale_counts n in
@@ -489,13 +726,19 @@ let scale_jobs ?(n = 10_000) ?(partition = `Host) ?(sim_jobs = 1) () :
       in
       ( Printf.sprintf "scale/%s/%s" (Mode.name mode)
           (String.concat "+" (List.map string_of_int counts)),
-        fun () -> piece ~series:(scale_mode_merged ~counts mode) () ))
+        fun () ->
+          let prefix_seconds, series =
+            scale_mode_merged ~snapshot:true ~counts mode
+          in
+          piece ~series ~prefix_seconds () ))
     scale_modes
   @ [
       ( Printf.sprintf "scale/partitioned/%d" top,
         fun () ->
-          piece ~series:[ scale_partitioned ~count:top ~partition ~sim_jobs ]
-            () );
+          let prefix_seconds, row =
+            scale_partitioned ~snapshot:true ~count:top ~partition ~sim_jobs
+          in
+          piece ~series:[ row ] ~prefix_seconds () );
     ]
 
 let scale_creation ?n () = series_of_jobs (scale_jobs ?n ())
@@ -532,40 +775,58 @@ let reliability_modes = [ Mode.xl; Mode.chaos_xs; Mode.chaos_noxs ]
 let reliability_cell_seed ~fault_seed mi li =
   Int64.add fault_seed (Int64.of_int (((mi + 1) * 257) + li))
 
-let reliability_cell ~n ~mode ~spec ~seed ~level =
-  let label = Printf.sprintf "%s x%g" (Mode.name mode) level in
+let reliability_prefix_key mode = "reliability:" ^ mode_slug mode
+
+(* The shared boot prefix of every cell of [mode]: a fresh host with
+   one warmup creation launched and retired. The warmup runs outside
+   the injector in both paths: the first creation on a fresh host
+   materialises shared store directories (/vm, the backend kind levels)
+   that persist for the host's lifetime, so resource snapshots are only
+   stable from the second creation on — which also makes it exactly the
+   state all four fault levels of a mode can fork from. *)
+let reliability_image mode =
+  prefix_image ~key:(reliability_prefix_key mode) (fun () ->
+      let host = ref None in
+      let _clock, saved =
+        Engine.run_capture (fun () ->
+            let h = Vmm.create ~mode () in
+            let warm = launch h ~name:"rel-warmup" Image.daytime in
+            retire h warm;
+            host := Some h;
+            Engine.stop ())
+      in
+      snap_err "reliability image" (Snap.freeze (saved, Option.get !host)))
+
+(* The cell's suffix: [n] creation attempts under the injector,
+   accumulating successes, latencies and leak reports into the refs. *)
+let reliability_attempts ~n ~label ~injector host ok times leaks =
+  Fault.with_injector injector (fun () ->
+      for i = 1 to n do
+        let before = Vmm.resources host in
+        let req =
+          Vmm.vm_request ~name:(Printf.sprintf "rel-%d" i) Image.daytime
+        in
+        let t0 = Engine.now () in
+        match Vmm.vm_create host req with
+        | Ok vi ->
+            incr ok;
+            times := (Engine.now () -. t0) :: !times;
+            ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid)
+        | Error _ -> (
+            match Vmm.check_leak host ~before with
+            | Ok () -> ()
+            | Error leaked ->
+                leaks :=
+                  Printf.sprintf "LEAK %s attempt %d: %s" label i leaked
+                  :: !leaks)
+      done)
+
+let reliability_render ~mode ~label ~level ~n ~injector ~prefix_seconds ok
+    times leaks =
   let cdf = mk ("reliability cdf " ^ label) "ms" in
-  let success = mk (Printf.sprintf "reliability success %s" (Mode.name mode)) "%" in
-  let injector = Fault.create ~seed (Fault.scale spec level) in
-  let ok = ref 0 and times = ref [] and leaks = ref [] in
-  run_sim (fun () ->
-      let host = Vmm.create ~mode () in
-      (* Warm up outside the injector: the first creation on a fresh
-         host materialises shared store directories (/vm, the backend
-         kind levels) that persist for the host's lifetime, so resource
-         snapshots are only stable from the second creation on. *)
-      let warm = launch host ~name:"rel-warmup" Image.daytime in
-      retire host warm;
-      Fault.with_injector injector (fun () ->
-          for i = 1 to n do
-            let before = Vmm.resources host in
-            let req =
-              Vmm.vm_request ~name:(Printf.sprintf "rel-%d" i) Image.daytime
-            in
-            let t0 = Engine.now () in
-            match Vmm.vm_create host req with
-            | Ok vi ->
-                incr ok;
-                times := (Engine.now () -. t0) :: !times;
-                ignore (Vmm.vm_boot host ~domid:vi.Vmm.vi_domid)
-            | Error _ -> (
-                match Vmm.check_leak host ~before with
-                | Ok () -> ()
-                | Error leaked ->
-                    leaks :=
-                      Printf.sprintf "LEAK %s attempt %d: %s" label i leaked
-                      :: !leaks)
-          done));
+  let success =
+    mk (Printf.sprintf "reliability success %s" (Mode.name mode)) "%"
+  in
   (* CDF over successful creations only: x in ms, y the percentile. *)
   let sorted = List.sort compare (List.rev !times) in
   List.iteri
@@ -592,7 +853,37 @@ let reliability_cell ~n ~mode ~spec ~seed ~level =
     ~series:[ { label = "cdf " ^ label; series = cdf };
               { label = "success " ^ Mode.name mode; series = success } ]
     ~notes:(note :: List.rev !leaks)
-    ()
+    ~prefix_seconds ()
+
+let reliability_cell ~snapshot ~n ~mode ~spec ~seed ~level =
+  let label = Printf.sprintf "%s x%g" (Mode.name mode) level in
+  let injector = Fault.create ~seed (Fault.scale spec level) in
+  let ok = ref 0 and times = ref [] and leaks = ref [] in
+  let prefix_seconds =
+    if not snapshot then begin
+      run_sim (fun () ->
+          let host = Vmm.create ~mode () in
+          let warm = launch host ~name:"rel-warmup" Image.daytime in
+          retire host warm;
+          reliability_attempts ~n ~label ~injector host ok times leaks);
+      0.
+    end
+    else begin
+      let t0 = wall () in
+      let bytes = reliability_image mode in
+      let ((saved : Engine.saved), (host : Vmm.t)) =
+        snap_err "reliability image" (Snap.thaw bytes)
+      in
+      let prefix_seconds = wall () -. t0 in
+      ignore
+        (Engine.resume saved (fun () ->
+             reliability_attempts ~n ~label ~injector host ok times leaks;
+             Engine.stop ()));
+      prefix_seconds
+    end
+  in
+  reliability_render ~mode ~label ~level ~n ~injector ~prefix_seconds ok times
+    leaks
 
 let reliability_jobs ?(n = 200) ?spec ?(fault_seed = 42L) () : job list =
   let spec =
@@ -610,7 +901,7 @@ let reliability_jobs ?(n = 200) ?spec ?(fault_seed = 42L) () : job list =
            (fun li level ->
              ( Printf.sprintf "reliability/%s/x%g" (Mode.name mode) level,
                fun () ->
-                 reliability_cell ~n ~mode ~spec
+                 reliability_cell ~snapshot:true ~n ~mode ~spec
                    ~seed:(reliability_cell_seed ~fault_seed mi li)
                    ~level ))
            reliability_levels)
@@ -1421,43 +1712,93 @@ let cluster_policy_job ~guests ~partition ~sim_jobs policy () =
     ~series:[ { label = "cluster " ^ pname; series = latency } ]
     ~notes:[ note ] ()
 
-let cluster_drain_job ~guests ~spec ~fault_seed () =
-  let hosts = cluster_hosts ~guests in
+let cluster_drain_prefix_key guests = Printf.sprintf "cluster:drain@%d" guests
+
+(* The drain job's boot prefix: the whole cluster up with [guests]
+   spread-placed guests running — everything before the first injected
+   fault. (The policy bring-up jobs are not prefixed: pool-everywhere
+   runs split toolstacks whose warm-pool refill daemons park effect
+   continuations, which is exactly what a checkpoint cannot hold.) *)
+let cluster_drain_image ~guests =
+  prefix_image ~key:(cluster_drain_prefix_key guests) (fun () ->
+      let hosts = cluster_hosts ~guests in
+      let cl = ref None in
+      let _clock, saved =
+        Engine.run_capture (fun () ->
+            let c =
+              Cluster.create ~hosts ~racks:cluster_racks ~mode:Mode.chaos_xs
+                ~policy:Scheduler.Spread ()
+            in
+            for _ = 1 to guests do
+              match Cluster.launch c (Vmm.vm_request ~nics:1 Image.daytime) with
+              | Error e -> failwith (Cluster.error_to_string e)
+              | Ok p -> cluster_boot c p
+            done;
+            cl := Some c;
+            Engine.stop ())
+      in
+      snap_err "cluster drain image" (Snap.freeze (saved, Option.get !cl)))
+
+(* The drain suffix: snapshot accounting, drain host 0 under the
+   injector, rebalance, leak check. Runs inside the simulation, after
+   the boot prefix — inline or resumed from a thawed image. *)
+let cluster_drain_suffix ~spec ~fault_seed c =
   let injector = Fault.create ~seed:fault_seed spec in
-  run_sim (fun () ->
-      let c =
-        Cluster.create ~hosts ~racks:cluster_racks ~mode:Mode.chaos_xs
-          ~policy:Scheduler.Spread ()
-      in
-      for _ = 1 to guests do
-        match Cluster.launch c (Vmm.vm_request ~nics:1 Image.daytime) with
-        | Error e -> failwith (Cluster.error_to_string e)
-        | Ok p -> cluster_boot c p
-      done;
-      let before = Cluster.resources c in
-      let drain =
-        Fault.with_injector injector (fun () -> Cluster.drain c ~host:0)
-      in
-      let reb = Cluster.rebalance c () in
-      let leak =
-        match Cluster.check_leak c ~before with
-        | Ok () -> "accounting exact (leak-free)"
-        | Error s -> "LEAK: " ^ s
-      in
-      let report tag (r : Cluster.move_report) =
-        Printf.sprintf
-          "cluster %s: %d attempted, %d moved, %d lost, %d stranded in %.1f ms"
-          tag r.Cluster.mv_attempted r.Cluster.mv_moved r.Cluster.mv_lost
-          r.Cluster.mv_stranded (ms r.Cluster.mv_seconds)
-      in
-      piece
-        ~notes:
-          [
-            report "drain host 0 under migrate.corrupt" drain;
-            report "rebalance" reb;
-            "cluster drain/rebalance: " ^ leak;
-          ]
-        ())
+  let before = Cluster.resources c in
+  let drain =
+    Fault.with_injector injector (fun () -> Cluster.drain c ~host:0)
+  in
+  let reb = Cluster.rebalance c () in
+  let leak =
+    match Cluster.check_leak c ~before with
+    | Ok () -> "accounting exact (leak-free)"
+    | Error s -> "LEAK: " ^ s
+  in
+  let report tag (r : Cluster.move_report) =
+    Printf.sprintf
+      "cluster %s: %d attempted, %d moved, %d lost, %d stranded in %.1f ms"
+      tag r.Cluster.mv_attempted r.Cluster.mv_moved r.Cluster.mv_lost
+      r.Cluster.mv_stranded (ms r.Cluster.mv_seconds)
+  in
+  piece
+    ~notes:
+      [
+        report "drain host 0 under migrate.corrupt" drain;
+        report "rebalance" reb;
+        "cluster drain/rebalance: " ^ leak;
+      ]
+    ()
+
+let cluster_drain_job ~snapshot ~guests ~spec ~fault_seed () =
+  if not snapshot then
+    run_sim (fun () ->
+        let hosts = cluster_hosts ~guests in
+        let c =
+          Cluster.create ~hosts ~racks:cluster_racks ~mode:Mode.chaos_xs
+            ~policy:Scheduler.Spread ()
+        in
+        for _ = 1 to guests do
+          match Cluster.launch c (Vmm.vm_request ~nics:1 Image.daytime) with
+          | Error e -> failwith (Cluster.error_to_string e)
+          | Ok p -> cluster_boot c p
+        done;
+        cluster_drain_suffix ~spec ~fault_seed c)
+  else begin
+    let t0 = wall () in
+    let bytes = cluster_drain_image ~guests in
+    let ((saved : Engine.saved), (c : Cluster.t)) =
+      snap_err "cluster drain image" (Snap.thaw bytes)
+    in
+    let prefix_seconds = wall () -. t0 in
+    let out = ref None in
+    ignore
+      (Engine.resume saved (fun () ->
+           out := Some (cluster_drain_suffix ~spec ~fault_seed c);
+           Engine.stop ()));
+    match !out with
+    | Some p -> { p with p_prefix_seconds = prefix_seconds }
+    | None -> failwith "cluster drain: simulation did not complete"
+  end
 
 let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) ?(partition = `Host)
     ?(sim_jobs = 1) () : job list =
@@ -1478,7 +1819,10 @@ let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) ?(partition = `Host)
   (* The drain job migrates guests between hosts — inherently
      cross-partition state motion — so it stays on the single-heap
      engine. *)
-  @ [ ("cluster/drain", cluster_drain_job ~guests ~spec ~fault_seed) ]
+  @ [
+      ( "cluster/drain",
+        cluster_drain_job ~snapshot:true ~guests ~spec ~fault_seed );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Uniform result API: every experiment is reachable through [all] and
@@ -1491,6 +1835,10 @@ type result = {
   series : labelled list;
   tables : Table.t list;
   notes : string list;
+  prefix_seconds : float;
+      (* wall time spent building/loading shared boot prefixes; real
+         time, not simulated — excluded from rendered output so digests
+         stay reproducible *)
 }
 
 let relabel suffix l = { l with label = l.label ^ " " ^ suffix }
@@ -1611,6 +1959,7 @@ let run_plan ?(jobs = 1) p =
     series = merged.p_series;
     tables = merged.p_tables;
     notes = merged.p_notes;
+    prefix_seconds = merged.p_prefix_seconds;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1626,3 +1975,328 @@ let names = List.map fst all
 
 let find ?n ?partition ?sim_jobs name =
   List.assoc_opt name (registry ?n ?partition ?sim_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Named prefixes and file-level snapshot/resume.
+
+   Every shared boot prefix the plans use is also addressable by name,
+   so the CLI can build one, write it to disk ([snapshot]) and later
+   fork suffix runs from the file ([resume]) — across process
+   invocations, as long as it is the same binary
+   ({!Lightvm_sim.Checkpoint} refuses anything else). The prefix key
+   doubles as the snapshot's stored config string: [resume] dispatches
+   on it, so a snapshot file knows which suffix grammar applies. *)
+
+type prefix = {
+  prefix_key : string;
+  prefix_describe : string;
+  prefix_build : unit -> string;
+}
+
+let prefixes ?n ?(partition = `Host) ?(sim_jobs = 1) () : prefix list =
+  let scale_n = match n with Some v -> v | None -> 10_000 in
+  let counts = scale_counts scale_n in
+  let top = List.fold_left max 1 counts in
+  let scale_prefixes =
+    List.concat_map
+      (fun mode ->
+        let counts =
+          if String.equal (Mode.name mode) "xl" then
+            List.filter (fun c -> c <= scale_xl_cap) counts
+          else counts
+        in
+        List.map
+          (fun count ->
+            {
+              prefix_key = scale_prefix_key ~mode count;
+              prefix_describe =
+                Printf.sprintf "one %s host booted to %d daytime guests"
+                  (Mode.name mode) count;
+              prefix_build = (fun () -> scale_image ~mode ~bounds:counts count);
+            })
+          counts)
+      scale_modes
+  in
+  let fleet =
+    let hosts = scale_partition_hosts in
+    let per = max 1 (top / hosts) in
+    let per1 = max 1 (per / 2) in
+    let total = hosts * per in
+    {
+      prefix_key = fleet_prefix_key ~partition ~sim_jobs total;
+      prefix_describe =
+        Printf.sprintf
+          "%d chaos [XS] hosts at wave 1 (%d of %d guests each, partition \
+           %s, %d sim jobs)"
+          hosts per1 per (partition_name partition) sim_jobs;
+      prefix_build =
+        (fun () -> fleet_image ~partition ~sim_jobs ~hosts ~per ~per1);
+    }
+  in
+  let rel =
+    List.map
+      (fun mode ->
+        {
+          prefix_key = reliability_prefix_key mode;
+          prefix_describe =
+            Printf.sprintf "one warmed-up %s host (reliability cell prefix)"
+              (Mode.name mode);
+          prefix_build = (fun () -> reliability_image mode);
+        })
+      reliability_modes
+  in
+  let drain =
+    let guests = match n with Some v -> v | None -> 500 in
+    {
+      prefix_key = cluster_drain_prefix_key guests;
+      prefix_describe =
+        Printf.sprintf
+          "spread cluster of %d hosts with %d guests running (drain prefix)"
+          (cluster_hosts ~guests) guests;
+      prefix_build = (fun () -> cluster_drain_image ~guests);
+    }
+  in
+  scale_prefixes @ [ fleet ] @ rel @ [ drain ]
+
+let snapshot_to_file ?n ?partition ?sim_jobs ~key ~path () =
+  let avail = prefixes ?n ?partition ?sim_jobs () in
+  match List.find_opt (fun p -> String.equal p.prefix_key key) avail with
+  | None ->
+      Error
+        (Printf.sprintf "unknown prefix %S; available:\n  %s" key
+           (String.concat "\n  " (List.map (fun p -> p.prefix_key) avail)))
+  | Some p -> (
+      match p.prefix_build () with
+      | exception Failure msg -> Error msg
+      | bytes -> (
+          match Snap.save_bytes ~path ~config:key bytes with
+          | Ok () -> Ok p.prefix_describe
+          | Error e -> Error (Snap.error_to_string e)))
+
+(* --- resume: parse the stored key and run the matching suffix. --- *)
+
+let mk_result ~name ~notes series =
+  {
+    name;
+    figure = "snapshot";
+    series;
+    tables = [];
+    notes;
+    prefix_seconds = 0.;
+  }
+
+(* "scale:<mode>@<count>": extend the host by [extra] more guests and
+   render the full curve to count+extra. *)
+let resume_scale ~mode ~count ~extra bytes =
+  match (Snap.thaw bytes : (Engine.saved * (Vmm.t * float array), _) Stdlib.result)
+  with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (saved, (host, lat_prev)) ->
+      let total = count + extra in
+      let lat = Array.make total nan in
+      Array.blit lat_prev 0 lat 0 count;
+      ignore
+        (Engine.resume saved (fun () ->
+             scale_create_range host lat ~from:count ~upto:total;
+             Engine.stop ()));
+      Ok
+        (mk_result ~name:"resume"
+           ~notes:
+             [
+               Printf.sprintf
+                 "resumed %s host at %d guests, extended to %d" (Mode.name mode)
+                 count total;
+             ]
+           (scale_curve_rows ~mode ~counts:[ total ] lat))
+
+(* "scale-fleet:<part>/j<J>@<total>": run wave 2 from the wave-1 image
+   and render the fleet row. *)
+let resume_fleet ~partition ~sim_jobs ~total bytes =
+  match
+    (Snap.thaw bytes
+      : ( Engine.saved * (Vmm.t array * float array array),
+          _ )
+        Stdlib.result)
+  with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (saved, (nodes, lat)) ->
+      let hosts = Array.length nodes in
+      let per = total / hosts in
+      let per1 = max 1 (per / 2) in
+      ignore
+        (Engine.resume ~jobs:sim_jobs saved (fun () ->
+             fleet_wave ~partition nodes lat ~from:per1 ~upto:per;
+             Engine.stop ()));
+      Ok
+        (mk_result ~name:"resume"
+           ~notes:
+             [
+               Printf.sprintf
+                 "resumed fleet wave 2: %d hosts, guests %d..%d of %d each"
+                 hosts (per1 + 1) per per;
+             ]
+           [ fleet_row_render ~hosts ~per lat ])
+
+(* "reliability:<mode>": one full fault-injection cell on the warmed
+   host. *)
+let resume_reliability ~mode ~n ~spec ~fault_seed bytes =
+  match (Snap.thaw bytes : (Engine.saved * Vmm.t, _) Stdlib.result) with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (saved, host) ->
+      let label = Printf.sprintf "%s x1" (Mode.name mode) in
+      let injector = Fault.create ~seed:fault_seed spec in
+      let ok = ref 0 and times = ref [] and leaks = ref [] in
+      ignore
+        (Engine.resume saved (fun () ->
+             reliability_attempts ~n ~label ~injector host ok times leaks;
+             Engine.stop ()));
+      let p =
+        reliability_render ~mode ~label ~level:1. ~n ~injector
+          ~prefix_seconds:0. ok times leaks
+      in
+      Ok
+        (mk_result ~name:"resume" ~notes:p.p_notes p.p_series)
+
+(* "cluster:drain@<guests>": drain/rebalance/leak-check under the
+   injected fault spec. *)
+let resume_drain ~spec ~fault_seed bytes =
+  match (Snap.thaw bytes : (Engine.saved * Cluster.t, _) Stdlib.result) with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (saved, c) ->
+      let out = ref None in
+      ignore
+        (Engine.resume saved (fun () ->
+             out := Some (cluster_drain_suffix ~spec ~fault_seed c);
+             Engine.stop ()));
+      let p =
+        match !out with
+        | Some p -> p
+        | None -> failwith "cluster drain: simulation did not complete"
+      in
+      Ok (mk_result ~name:"resume" ~notes:p.p_notes p.p_series)
+
+let split_once ~on s =
+  match String.index_opt s on with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+
+let parse_fault_spec = function
+  | Some s -> Ok s
+  | None -> (
+      match Fault.parse_spec cluster_fault_spec with
+      | Ok s -> Ok s
+      | Error m -> Error ("cluster_fault_spec: " ^ m))
+
+let reliability_spec_default = function
+  | Some s -> Ok s
+  | None -> (
+      match Fault.parse_spec reliability_default_spec with
+      | Ok s -> Ok s
+      | Error m -> Error ("reliability_default_spec: " ^ m))
+
+let resume_from_file ?n ?spec ?(fault_seed = 42L) ~path () =
+  match Snap.load_bytes ~path () with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (key, bytes) -> (
+      let bad () = Error (Printf.sprintf "unrecognised snapshot key %S" key) in
+      match split_once ~on:':' key with
+      | Some ("scale", rest) -> (
+          match split_once ~on:'@' rest with
+          | Some (slug, count) -> (
+              match (mode_of_slug slug, int_of_string_opt count) with
+              | Some mode, Some count ->
+                  let extra =
+                    match n with Some v -> v | None -> max 1 (count / 10)
+                  in
+                  resume_scale ~mode ~count ~extra bytes
+              | _ -> bad ())
+          | None -> bad ())
+      | Some ("scale-fleet", rest) -> (
+          match (split_once ~on:'/' rest : (string * string) option) with
+          | Some (part, rest) -> (
+              match (partition_of_string part, split_once ~on:'@' rest) with
+              | Ok partition, Some (jobs, total)
+                when String.length jobs > 1 && jobs.[0] = 'j' -> (
+                  match
+                    ( int_of_string_opt
+                        (String.sub jobs 1 (String.length jobs - 1)),
+                      int_of_string_opt total )
+                  with
+                  | Some sim_jobs, Some total ->
+                      resume_fleet ~partition ~sim_jobs ~total bytes
+                  | _ -> bad ())
+              | _ -> bad ())
+          | None -> bad ())
+      | Some ("reliability", slug) -> (
+          match (mode_of_slug slug, reliability_spec_default spec) with
+          | Some mode, Ok spec ->
+              let n = match n with Some v -> v | None -> 200 in
+              resume_reliability ~mode ~n ~spec ~fault_seed bytes
+          | None, _ -> bad ()
+          | _, Error m -> Error m)
+      | Some ("cluster", rest) -> (
+          match (split_once ~on:'@' rest, parse_fault_spec spec) with
+          | Some ("drain", _), Ok spec -> resume_drain ~spec ~fault_seed bytes
+          | _, Error m -> Error m
+          | _ -> bad ())
+      | _ -> bad ())
+
+(* ------------------------------------------------------------------ *)
+(* Test and bench hooks: the [~snapshot] toggle of each prefixed family
+   (test/test_checkpoint.ml pins snapshot == unbroken), and the
+   fork-vs-cold pair bench/main.ml times. *)
+
+let scale_mode_curves ?(snapshot = true) ~counts slug =
+  match mode_of_slug slug with
+  | None -> invalid_arg ("scale_mode_curves: unknown mode " ^ slug)
+  | Some mode -> scale_mode_merged ~snapshot ~counts mode
+
+let scale_fleet_row ?(snapshot = true) ~count ~partition ~sim_jobs () =
+  scale_partitioned ~snapshot ~count ~partition ~sim_jobs
+
+let reliability_cell_piece ?(snapshot = true) ~n ~mode:slug ~spec ~seed ~level
+    () =
+  match mode_of_slug slug with
+  | None -> invalid_arg ("reliability_cell_piece: unknown mode " ^ slug)
+  | Some mode -> reliability_cell ~snapshot ~n ~mode ~spec ~seed ~level
+
+let cluster_drain_piece ?(snapshot = true) ~guests ~spec ~fault_seed () =
+  cluster_drain_job ~snapshot ~guests ~spec ~fault_seed ()
+
+(* The bench pair: a cold unbroken run to [n + extra] guests vs a fork
+   of the cached [n]-guest image extended by [extra]. Same final curve
+   (the resume contract), a fraction of the work: the fork pays thaw
+   plus [extra] creations, the cold run pays all [n + extra]. *)
+
+let scale_cold_full ~n ~extra =
+  let total = n + extra in
+  match
+    scale_curve_rows ~mode:Mode.chaos_xs ~counts:[ total ]
+      (scale_mode_lat_unbroken ~mode:Mode.chaos_xs total)
+  with
+  | [ row ] -> row
+  | _ -> assert false
+
+let scale_prefix_warm ~n =
+  let t0 = wall () in
+  ignore (scale_image ~mode:Mode.chaos_xs ~bounds:[ n ] n);
+  wall () -. t0
+
+let scale_fork_suffix ~n ~extra =
+  let bytes = scale_image ~mode:Mode.chaos_xs ~bounds:[ n ] n in
+  let ((saved : Engine.saved), ((host : Vmm.t), lat_prev)) =
+    snap_err "scale image" (Snap.thaw bytes)
+  in
+  let total = n + extra in
+  let lat = Array.make total nan in
+  Array.blit lat_prev 0 lat 0 n;
+  ignore
+    (Engine.resume saved (fun () ->
+         scale_create_range host lat ~from:n ~upto:total;
+         Engine.stop ()));
+  match scale_curve_rows ~mode:Mode.chaos_xs ~counts:[ total ] lat with
+  | [ row ] -> row
+  | _ -> assert false

@@ -143,6 +143,11 @@ type result = {
   series : labelled list;
   tables : Table.t list;
   notes : string list;
+  prefix_seconds : float;
+      (** Wall-clock seconds spent building or loading shared boot
+          prefixes (see {!prefixes}); [0.] for experiments that use
+          none. Real time, not simulated time: excluded from rendered
+          output so digests stay a pure function of the inputs. *)
 }
 
 val all : (string * (unit -> result)) list
@@ -184,6 +189,9 @@ type piece = {
   p_series : labelled list;
   p_tables : Table.t list;
   p_notes : string list;
+  p_prefix_seconds : float;
+      (** wall time this job spent building/loading shared prefixes;
+          summed across pieces into {!result.prefix_seconds} *)
 }
 (** One job's contribution to an experiment's output. *)
 
@@ -257,3 +265,126 @@ val run_plan : ?jobs:int -> plan -> result
     workers ([jobs <= 1], the default, runs them inline on the calling
     domain) and merge. [registry]'s runners are [run_plan] with the
     default. *)
+
+(** {1 Prefix caching and snapshot/resume}
+
+    The scale, reliability and cluster-drain families declare shared
+    {e boot prefixes}: the part of each job's simulation that is
+    identical across curves (a host booted to N guests, a warmed-up
+    reliability host, the cluster with all its guests running). Each
+    distinct prefix is simulated once per process invocation, captured
+    ({!Lightvm_sim.Engine.run_capture}) and frozen to bytes
+    ({!Lightvm_sim.Checkpoint.freeze}); every consumer — including jobs
+    on different {!Lightvm_sim.Pool} worker domains — thaws its own
+    deep copy and runs only its suffix. A suffix run from a thawed
+    image renders bit-identically to the unbroken simulation
+    (test/test_checkpoint.ml pins this across the jobs x partition
+    matrix); the wall time spent on prefixes is reported out of band as
+    {!result.prefix_seconds}. *)
+
+type prefix = {
+  prefix_key : string;
+      (** cache key and on-disk config string, e.g. ["scale:chaos-xs@
+          2000"], ["scale-fleet:host/j1@10000"], ["reliability:xl"],
+          ["cluster:drain@500"] *)
+  prefix_describe : string;  (** one-line human description *)
+  prefix_build : unit -> string;
+      (** simulate (or fetch from the cache) and return frozen image
+          bytes *)
+}
+
+val prefixes :
+  ?n:int -> ?partition:partition -> ?sim_jobs:int -> unit -> prefix list
+(** Every prefix the plans at this scale would use, addressable by
+    name. *)
+
+val prefix_cache_reset : unit -> unit
+(** Drop all cached images (tests and cold-path benchmarks). Must not
+    race in-flight {!prefix.prefix_build} calls. *)
+
+val snapshot_to_file :
+  ?n:int ->
+  ?partition:partition ->
+  ?sim_jobs:int ->
+  key:string ->
+  path:string ->
+  unit ->
+  (string, string) Stdlib.result
+(** Build the named prefix and write it to [path] with the versioned
+    {!Lightvm_sim.Checkpoint} header (config = [key]). [Ok] carries the
+    prefix description; [Error] an explanation (unknown key, i/o
+    failure, unquiesced prefix). *)
+
+val resume_from_file :
+  ?n:int ->
+  ?spec:Lightvm_sim.Fault.spec ->
+  ?fault_seed:int64 ->
+  path:string ->
+  unit ->
+  (result, string) Stdlib.result
+(** Load a snapshot written by {!snapshot_to_file} and run the suffix
+    its stored key implies: scale images are extended by [n] more
+    creations (default a tenth) and re-rendered; fleet images run their
+    second wave; reliability images run an [n]-attempt (default 200)
+    fault-injection cell under [spec] (default
+    {!reliability_default_spec}) and [fault_seed]; drain images drain
+    host 0 under [spec] (default {!cluster_fault_spec}). Header
+    mismatches (wrong magic, format version, producing binary) surface
+    as [Error] with the structured reason — never as garbage state. *)
+
+(** {1 Testing and bench hooks}
+
+    Each prefixed family exposes its [~snapshot] toggle: [true] (the
+    plans' default) runs the capture/freeze/thaw/resume path, [false]
+    the original unbroken single-simulation body. The checkpoint test
+    suite asserts both render bit-identically; the bench fork-vs-cold
+    pair times them against each other. *)
+
+val scale_mode_curves :
+  ?snapshot:bool -> counts:int list -> string -> float * labelled list
+(** One scale mode's merged curves, mode by slug (["xl"],
+    ["chaos-xs"], ["chaos-noxs"]). Returns [(prefix_seconds, rows)]. *)
+
+val scale_fleet_row :
+  ?snapshot:bool ->
+  count:int ->
+  partition:partition ->
+  sim_jobs:int ->
+  unit ->
+  float * labelled
+(** The partitioned fleet row: two fan-out waves, snapshot point at the
+    wave-1 barrier. *)
+
+val reliability_cell_piece :
+  ?snapshot:bool ->
+  n:int ->
+  mode:string ->
+  spec:Lightvm_sim.Fault.spec ->
+  seed:int64 ->
+  level:float ->
+  unit ->
+  piece
+(** One reliability cell (mode by slug), forked from the warmed-host
+    image when [snapshot]. *)
+
+val cluster_drain_piece :
+  ?snapshot:bool ->
+  guests:int ->
+  spec:Lightvm_sim.Fault.spec ->
+  fault_seed:int64 ->
+  unit ->
+  piece
+(** The cluster drain job, forked from the booted-cluster image when
+    [snapshot]. *)
+
+val scale_cold_full : n:int -> extra:int -> labelled
+(** Bench baseline: unbroken chaos [XS] run to [n + extra] guests. *)
+
+val scale_prefix_warm : n:int -> float
+(** Build (or fetch) the [n]-guest chaos [XS] image; returns the wall
+    seconds it took — the fork row's [prefix_seconds]. *)
+
+val scale_fork_suffix : n:int -> extra:int -> labelled
+(** Bench fork path: thaw the [n]-guest image and extend by [extra]
+    creations. Renders the same curve as {!scale_cold_full} (the
+    resume contract) for a fraction of the work. *)

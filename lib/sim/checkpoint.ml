@@ -1,0 +1,132 @@
+(* Versioned serializer for quiesced simulation state.
+
+   An image is the Marshal encoding (with [Closures]) of one value —
+   typically [(Engine.saved, model roots)] — so every bit of sharing
+   between heap thunks and the model objects they close over is
+   preserved: a thawed heap wakes up pointing at the thawed model, not
+   at a second copy. Closure marshalling ties the bytes to the exact
+   producing binary; the on-disk header records the executable digest
+   (plus a format version and the producing config) and [load] refuses
+   anything that does not match, instead of deserializing garbage. *)
+
+type error =
+  | Not_quiesced of string
+  | Bad_magic
+  | Version_mismatch of { found : int; expected : int }
+  | Binary_mismatch
+  | Config_mismatch of { found : string; expected : string }
+  | Io_error of string
+
+let error_to_string = function
+  | Not_quiesced msg ->
+      "simulation is not quiesced (unmarshalable state in the image): " ^ msg
+  | Bad_magic -> "not a lightvm snapshot (bad magic)"
+  | Version_mismatch { found; expected } ->
+      Printf.sprintf "snapshot format version %d, this binary expects %d"
+        found expected
+  | Binary_mismatch ->
+      "snapshot was produced by a different binary (closure images are \
+       only valid in the executable that wrote them)"
+  | Config_mismatch { found; expected } ->
+      Printf.sprintf "snapshot config mismatch: file has %S, expected %S"
+        found expected
+  | Io_error msg -> "snapshot i/o error: " ^ msg
+
+(* The trailing byte doubles as a container version, distinct from
+   [format_version] which covers the header record and payload shape. *)
+let magic = "LVMSNAP\x01"
+
+let format_version = 1
+
+type header = {
+  h_version : int;
+  h_binary : Digest.t; (* of the producing executable *)
+  h_config : string; (* producing config, in the clear *)
+  h_config_digest : Digest.t; (* of [h_config]: header integrity *)
+}
+
+let self_digest = lazy (Digest.file Sys.executable_name)
+
+let freeze payload =
+  match Marshal.to_string payload [ Marshal.Closures ] with
+  | bytes -> Ok bytes
+  | exception Invalid_argument msg -> Error (Not_quiesced msg)
+  | exception Failure msg -> Error (Not_quiesced msg)
+
+let thaw bytes =
+  match Marshal.from_string bytes 0 with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (Io_error msg)
+  | exception Failure msg -> Error (Io_error msg)
+
+let fork payload = Result.bind (freeze payload) thaw
+
+let save_bytes ~path ~config bytes =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        output_value oc
+          {
+            h_version = format_version;
+            h_binary = Lazy.force self_digest;
+            h_config = config;
+            h_config_digest = Digest.string config;
+          };
+        output_string oc bytes);
+    Ok ()
+  with Sys_error msg -> Error (Io_error msg)
+
+let save ~path ~config payload =
+  match freeze payload with
+  | Error err -> Error err
+  | Ok bytes -> save_bytes ~path ~config bytes
+
+let read_header ic =
+  let m = Bytes.create (String.length magic) in
+  match really_input ic m 0 (String.length magic) with
+  | exception End_of_file -> Error Bad_magic
+  | () -> (
+      if not (String.equal (Bytes.to_string m) magic) then Error Bad_magic
+      else
+        match (input_value ic : header) with
+        | exception _ -> Error (Io_error "truncated or corrupt header")
+        | h ->
+            if h.h_version <> format_version then
+              Error
+                (Version_mismatch
+                   { found = h.h_version; expected = format_version })
+            else if not (Digest.equal h.h_config_digest (Digest.string h.h_config))
+            then Error (Io_error "corrupt header (config digest)")
+            else if not (Digest.equal h.h_binary (Lazy.force self_digest)) then
+              Error Binary_mismatch
+            else Ok h)
+
+let with_in path f =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let inspect ~path =
+  with_in path (fun ic ->
+      Result.map (fun h -> h.h_config) (read_header ic))
+
+let load_bytes ?expect_config ~path () =
+  with_in path (fun ic ->
+      match read_header ic with
+      | Error err -> Error err
+      | Ok h -> (
+          match expect_config with
+          | Some c when not (String.equal c h.h_config) ->
+              Error (Config_mismatch { found = h.h_config; expected = c })
+          | _ -> (
+              match In_channel.input_all ic with
+              | exception Sys_error msg -> Error (Io_error msg)
+              | bytes -> Ok (h.h_config, bytes))))
+
+let load ?expect_config ~path () =
+  match load_bytes ?expect_config ~path () with
+  | Error err -> Error err
+  | Ok (config, bytes) -> Result.map (fun v -> (config, v)) (thaw bytes)

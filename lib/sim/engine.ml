@@ -13,6 +13,13 @@ type eng = {
   mutable wend : float;
       (* current synchronization-window end for partitioned runs;
          infinity for plain runs and between windows *)
+  mutable vwend : float;
+      (* end of the current *virtual* fixed-lookahead round. In a
+         classic window this equals [wend]; in an adaptively grown
+         window it tracks where each fixed-window round boundary would
+         have fallen, so cross-partition sends are batched exactly as
+         the fixed-window protocol would batch them (see
+         [run_partitioned]) *)
   mutable next_pid : int;
       (* per-engine so pid allocation is independent of how partitions
          interleave across worker domains *)
@@ -27,6 +34,7 @@ let fresh_eng ?(horizon = infinity) () =
     stopped = false;
     horizon;
     wend = infinity;
+    vwend = infinity;
     next_pid = 1;
     out_seq = 0;
     outbox = [];
@@ -268,7 +276,13 @@ let post ~partition ~delay thunk =
             out_thunk = thunk;
           }
           :: eng.outbox;
-        eng.out_seq <- eng.out_seq + 1
+        eng.out_seq <- eng.out_seq + 1;
+        (* An adaptively grown window must close at the end of the
+           virtual round that produced the first send, so the message
+           is merged in exactly the batch the fixed-window protocol
+           would merge it in. In a classic window [vwend = wend] and
+           this clamp is a no-op. *)
+        eng.wend <- Float.min eng.wend eng.vwend
       end
 
 let spawn_in ?(name = "anonymous") ~partition ~delay f =
@@ -286,7 +300,12 @@ let spawn_in ?(name = "anonymous") ~partition ~delay f =
    waking would cross the [run ~until] horizon (the park-forever
    behaviour is the contract there), and when waking would cross the
    current synchronization window (the wake entry must stay in the heap
-   so the next window's start time accounts for it). *)
+   so the next window's start time accounts for it). The window bound
+   is the *virtual* fixed-lookahead round end [vwend], not the possibly
+   grown [wend]: an adaptively grown window relies on the heap's peek
+   times to reconstruct where every fixed-window round boundary would
+   have fallen, so a sleep crossing a virtual boundary must surface as
+   a heap entry exactly as it would under fixed windows. *)
 let sleep delay =
   if delay < 0. then invalid_arg "Sim.Engine.sleep: negative delay"
   else if delay = 0. then ()
@@ -307,7 +326,7 @@ let sleep delay =
       idle && st.hooks = None
       && (not eng.stopped)
       && wake <= eng.horizon
-      && wake < eng.wend
+      && wake < eng.vwend
     then eng.clock <- wake
     else suspend (fun resume -> ignore (after delay (fun () -> resume ())))
   end
@@ -316,7 +335,59 @@ let yield () = suspend (fun resume -> ignore (after 0. (fun () -> resume ())))
 
 let stop () = (get_eng ()).stopped <- true
 
-let run ?until main =
+(* ------------------------------------------------------------------ *)
+(* Checkpointable engine state. A quiesced engine is fully described by
+   its clock, its pid/outbox counters and the live heap entries in pop
+   order: re-pushing those entries into a fresh heap (fresh sequence
+   numbers, same relative order) reproduces the exact pop order, and a
+   suffix scheduled *first* at the restored clock runs before any
+   same-time image entry — exactly as the unbroken run's prefix process
+   continues inline into the suffix. The thunks are ordinary closures;
+   [Checkpoint] marshals them (together with whatever model state they
+   reach) to freeze a run to bytes. A simulation with parked effect
+   continuations in its heap cannot be marshalled — that is the
+   quiesce-point condition [Checkpoint] reports as [Not_quiesced]. *)
+
+type saved_eng = {
+  sv_clock : float;
+  sv_next_pid : int;
+  sv_out_seq : int;
+  sv_events : (float * (unit -> unit)) array; (* live entries, pop order *)
+}
+
+type saved = {
+  sv_lookahead : float option;
+      (* [None] for a plain run; [Some l] for a partitioned run with
+         conservative-sync lookahead [l] *)
+  sv_engs : saved_eng array; (* one per partition; plain runs have one *)
+}
+
+let harvest eng =
+  {
+    sv_clock = eng.clock;
+    sv_next_pid = eng.next_pid;
+    sv_out_seq = eng.out_seq;
+    sv_events = Heap.entries eng.heap;
+  }
+
+let saved_partitions s =
+  match s.sv_lookahead with
+  | None -> None
+  | Some _ -> Some (Array.length s.sv_engs - 1)
+
+let restore_eng sv =
+  let eng = fresh_eng () in
+  eng.clock <- sv.sv_clock;
+  eng.next_pid <- sv.sv_next_pid;
+  eng.out_seq <- sv.sv_out_seq;
+  eng
+
+let repush eng sv =
+  Array.iter
+    (fun (time, thunk) -> ignore (Heap.push eng.heap ~time thunk))
+    sv.sv_events
+
+let run_eng ?until main =
   let st = dls () in
   (match st.current with
   | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
@@ -331,18 +402,60 @@ let run ?until main =
       let rec loop () =
         if eng.stopped then ()
         else
-        match Heap.pop eng.heap with
+        (* Peek before popping: an event beyond the horizon must stay
+           in the heap, not be popped and dropped — a capture taken
+           from a [~until]-bounded run resumes unbounded and still owes
+           that event. *)
+        match Heap.peek_time eng.heap with
         | None -> ()
-        | Some (time, thunk) ->
-            if time > horizon then eng.clock <- horizon
-            else begin
+        | Some time when time > horizon -> eng.clock <- horizon
+        | Some _ ->
+            (match Heap.pop eng.heap with
+            | None -> assert false
+            | Some (time, thunk) ->
+                eng.clock <- time;
+                thunk ());
+            loop ()
+      in
+      loop ();
+      eng)
+
+let run ?until main = (run_eng ?until main).clock
+
+let run_capture ?until main =
+  let eng = run_eng ?until main in
+  (eng.clock, { sv_lookahead = None; sv_engs = [| harvest eng |] })
+
+(* Resume a plain run: the suffix main is scheduled *before* the image
+   events are re-pushed, so at the restored clock it wins every
+   same-time tie — matching the unbroken run, where the prefix process
+   continues inline into the suffix while those entries wait in the
+   heap. *)
+let resume_plain sv main =
+  let st = dls () in
+  (match st.current with
+  | Some _ ->
+      invalid_arg "Sim.Engine.resume: a simulation is already running"
+  | None -> ());
+  let eng = restore_eng sv.sv_engs.(0) in
+  ignore (schedule_at eng eng.clock (fun () -> exec "main" main));
+  repush eng sv.sv_engs.(0);
+  st.current <- Some eng;
+  Fun.protect
+    ~finally:(fun () -> (dls ()).current <- None)
+    (fun () ->
+      let rec loop () =
+        if eng.stopped then ()
+        else
+          match Heap.pop eng.heap with
+          | None -> ()
+          | Some (time, thunk) ->
               eng.clock <- time;
               thunk ();
               loop ()
-            end
       in
       loop ();
-      eng.clock)
+      eng)
 
 (* ------------------------------------------------------------------ *)
 (* Partitioned runs: conservative-synchronization parallel DES.
@@ -360,7 +473,19 @@ let run ?until main =
    then preserves: the merged schedule, and hence the whole run, is
    bit-identical whatever the worker count. *)
 
-let run_window ctx idx wend =
+(* Run partition [idx] for one window. A classic window executes every
+   event in [eng.clock, wend); [grow = Some limit] marks an adaptively
+   grown window (see [drive_rounds]): [wend] is then the end of the
+   *first* virtual fixed-lookahead round and the window keeps absorbing
+   later virtual rounds — advancing [eng.vwend] to [t + lookahead] for
+   each first event [t] past the current virtual boundary — for as long
+   as the outbox is empty (a send pins the merge batch to its virtual
+   round) and the next virtual round would still be single-active
+   ([t + lookahead <= limit], the earliest foreign event). Every event
+   executed this way runs in exactly the virtual round the fixed-window
+   protocol would have run it in, so the grown window is bit-identical
+   to the sequence of fixed windows it replaces. *)
+let run_window ?grow ctx idx wend =
   let st = dls () in
   (match st.current with
   | Some _ ->
@@ -376,14 +501,33 @@ let run_window ctx idx wend =
       st.current <- None;
       st.pctx <- None;
       st.cur_idx <- 0;
-      eng.wend <- infinity)
+      eng.wend <- infinity;
+      eng.vwend <- infinity)
     (fun () ->
-      eng.wend <- wend;
+      eng.wend <- (match grow with None -> wend | Some _ -> infinity);
+      eng.vwend <- wend;
+      (* Admit the next event at [t], advancing the virtual round
+         boundary when growing; [false] closes the window. *)
+      let admit t =
+        t < eng.vwend
+        ||
+        match grow with
+        | None -> false
+        | Some limit -> (
+            match eng.outbox with
+            | _ :: _ -> false (* batch closed by a send *)
+            | [] ->
+                t +. ctx.lookahead <= limit
+                && begin
+                     eng.vwend <- t +. ctx.lookahead;
+                     true
+                   end)
+      in
       let rec loop () =
         if eng.stopped then ()
         else
           match Heap.peek_time eng.heap with
-          | Some t when t < wend -> (
+          | Some t when t < eng.wend && admit t -> (
               match Heap.pop eng.heap with
               | None -> ()
               | Some (time, thunk) ->
@@ -394,24 +538,23 @@ let run_window ctx idx wend =
       in
       loop ())
 
-let run_partitioned ?jobs ~lookahead ~partitions main =
-  if not (lookahead > 0.) then
-    invalid_arg "Sim.Engine.run_partitioned: lookahead must be positive";
-  if partitions < 0 then
-    invalid_arg "Sim.Engine.run_partitioned: negative partition count";
-  let st = dls () in
-  (match st.current with
-  | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
-  | None -> ());
+(* The round loop shared by [run_partitioned] and [resume]: open a
+   window at the earliest pending event, run every partition with work
+   in it (possibly on worker domains), then deterministically merge the
+   outboxes. With [adaptive] (the default), a round whose base window
+   [T, T + lookahead) contains events of only one partition — the
+   observed cross-partition traffic is sparse there — is handed to
+   [run_window ~grow]: the single active partition absorbs consecutive
+   single-active virtual rounds in one window instead of paying a
+   barrier per lookahead. The growth rules above make the executed
+   schedule — and hence every digest — bit-identical to fixed windows;
+   rounds where two or more partitions have work (dense traffic) shrink
+   back to the classic window. *)
+let drive_rounds ?jobs ~adaptive ctx =
   let jobs = match jobs with Some j -> max 1 j | None -> 1 in
-  let ctx =
-    { engs = Array.init (partitions + 1) (fun _ -> fresh_eng ()); lookahead }
-  in
-  ignore (Heap.push ctx.engs.(0).heap ~time:0. (fun () -> exec "main" main));
   let n = Array.length ctx.engs in
   let pool =
-    if jobs > 1 && partitions > 0 then
-      Some (Pool.create ~workers:(min jobs n))
+    if jobs > 1 && n > 1 then Some (Pool.create ~workers:(min jobs n))
     else None
   in
   Fun.protect
@@ -424,58 +567,136 @@ let run_partitioned ?jobs ~lookahead ~partitions main =
         | 0 -> ( match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c)
         | c -> c
       in
+      let merge_outboxes () =
+        let msgs = ref [] in
+        Array.iteri
+          (fun src e ->
+            List.iter
+              (fun m -> msgs := (m.out_time, src, m.out_seq, m) :: !msgs)
+              e.outbox;
+            e.outbox <- [])
+          ctx.engs;
+        List.iter
+          (fun (_, _, _, m) ->
+            ignore
+              (schedule_at ctx.engs.(m.out_target) m.out_time m.out_thunk))
+          (List.sort compare_msg !msgs)
+      in
       let rec round () =
         if Array.exists (fun e -> e.stopped) ctx.engs then ()
         else begin
-          let next = ref infinity in
-          Array.iter
-            (fun e ->
+          let next = ref infinity and imin = ref 0 in
+          Array.iteri
+            (fun i e ->
               match Heap.peek_time e.heap with
-              | Some t when t < !next -> next := t
+              | Some t when t < !next ->
+                  next := t;
+                  imin := i
               | _ -> ())
             ctx.engs;
           if !next = infinity then ()
           else begin
-            let wend = !next +. lookahead in
-            let active = ref [] in
-            for idx = n - 1 downto 0 do
-              match Heap.peek_time ctx.engs.(idx).heap with
-              | Some t when t < wend -> active := idx :: !active
-              | _ -> ()
-            done;
-            (match pool with
-            | None -> List.iter (fun idx -> run_window ctx idx wend) !active
-            | Some p ->
-                !active
-                |> List.map (fun idx ->
-                       Pool.submit p (fun () -> run_window ctx idx wend))
-                |> List.iter (fun pr ->
-                       match Pool.await pr with
-                       | Ok () -> ()
-                       | Error (e, bt) ->
-                           Printexc.raise_with_backtrace e bt));
-            (* Barrier: deterministically merge the windows' outboxes. *)
-            let msgs = ref [] in
+            let wend = !next +. ctx.lookahead in
+            (* Earliest event outside the leading partition: the base
+               window is single-active iff it stays clear of it. *)
+            let min2 = ref infinity in
             Array.iteri
-              (fun src e ->
-                List.iter
-                  (fun m ->
-                    msgs :=
-                      (m.out_time, src, m.out_seq, m) :: !msgs)
-                  e.outbox;
-                e.outbox <- [])
+              (fun i e ->
+                if i <> !imin then
+                  match Heap.peek_time e.heap with
+                  | Some t when t < !min2 -> min2 := t
+                  | _ -> ())
               ctx.engs;
-            List.iter
-              (fun (_, _, _, m) ->
-                ignore
-                  (schedule_at ctx.engs.(m.out_target) m.out_time m.out_thunk))
-              (List.sort compare_msg !msgs);
+            if adaptive && !min2 >= wend then
+              (* One partition, one window: no worker handoff. *)
+              run_window ~grow:!min2 ctx !imin wend
+            else begin
+              let active = ref [] in
+              for idx = n - 1 downto 0 do
+                match Heap.peek_time ctx.engs.(idx).heap with
+                | Some t when t < wend -> active := idx :: !active
+                | _ -> ()
+              done;
+              match pool with
+              | None -> List.iter (fun idx -> run_window ctx idx wend) !active
+              | Some p ->
+                  !active
+                  |> List.map (fun idx ->
+                         Pool.submit p (fun () -> run_window ctx idx wend))
+                  |> List.iter (fun pr ->
+                         match Pool.await pr with
+                         | Ok () -> ()
+                         | Error (e, bt) ->
+                             Printexc.raise_with_backtrace e bt)
+            end;
+            (* Barrier: deterministically merge the windows' outboxes. *)
+            merge_outboxes ();
             round ()
           end
         end
       in
-      round ();
-      Array.fold_left (fun acc e -> Float.max acc e.clock) 0. ctx.engs)
+      round ())
+
+let check_partitioned_args ~lookahead ~partitions =
+  if not (lookahead > 0.) then
+    invalid_arg "Sim.Engine.run_partitioned: lookahead must be positive";
+  if partitions < 0 then
+    invalid_arg "Sim.Engine.run_partitioned: negative partition count";
+  match (dls ()).current with
+  | Some _ -> invalid_arg "Sim.Engine.run: a simulation is already running"
+  | None -> ()
+
+let max_clock ctx =
+  Array.fold_left (fun acc e -> Float.max acc e.clock) 0. ctx.engs
+
+let run_partitioned_ctx ?jobs ~adaptive ~lookahead ~partitions main =
+  check_partitioned_args ~lookahead ~partitions;
+  let ctx =
+    { engs = Array.init (partitions + 1) (fun _ -> fresh_eng ()); lookahead }
+  in
+  ignore (Heap.push ctx.engs.(0).heap ~time:0. (fun () -> exec "main" main));
+  drive_rounds ?jobs ~adaptive ctx;
+  ctx
+
+let run_partitioned ?jobs ?(adaptive = true) ~lookahead ~partitions main =
+  max_clock (run_partitioned_ctx ?jobs ~adaptive ~lookahead ~partitions main)
+
+let run_partitioned_capture ?jobs ?(adaptive = true) ~lookahead ~partitions
+    main =
+  let ctx = run_partitioned_ctx ?jobs ~adaptive ~lookahead ~partitions main in
+  ( max_clock ctx,
+    { sv_lookahead = Some lookahead; sv_engs = Array.map harvest ctx.engs } )
+
+(* Resume a partitioned run. As in [resume_plain], the suffix main is
+   pushed into partition 0 before that partition's image events, so it
+   wins same-time ties exactly as the unbroken run's inline
+   continuation would. *)
+let resume_pctx ?jobs ~adaptive ~lookahead sv main =
+  check_partitioned_args ~lookahead
+    ~partitions:(Array.length sv.sv_engs - 1);
+  let ctx = { engs = Array.map restore_eng sv.sv_engs; lookahead } in
+  let e0 = ctx.engs.(0) in
+  ignore
+    (Heap.push e0.heap ~time:e0.clock (fun () -> exec "main" main));
+  Array.iteri (fun i sve -> repush ctx.engs.(i) sve) sv.sv_engs;
+  drive_rounds ?jobs ~adaptive ctx;
+  ctx
+
+let resume ?jobs ?(adaptive = true) sv main =
+  match sv.sv_lookahead with
+  | None -> (resume_plain sv main).clock
+  | Some lookahead -> max_clock (resume_pctx ?jobs ~adaptive ~lookahead sv main)
+
+let resume_capture ?jobs ?(adaptive = true) sv main =
+  match sv.sv_lookahead with
+  | None ->
+      let eng = resume_plain sv main in
+      (eng.clock, { sv_lookahead = None; sv_engs = [| harvest eng |] })
+  | Some lookahead ->
+      let ctx = resume_pctx ?jobs ~adaptive ~lookahead sv main in
+      ( max_clock ctx,
+        { sv_lookahead = Some lookahead; sv_engs = Array.map harvest ctx.engs }
+      )
 
 module Ivar = struct
   type 'a state =

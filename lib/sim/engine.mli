@@ -26,7 +26,12 @@ val run : ?until:float -> (unit -> unit) -> float
     simulation ends when no more events can fire. *)
 
 val run_partitioned :
-  ?jobs:int -> lookahead:float -> partitions:int -> (unit -> unit) -> float
+  ?jobs:int ->
+  ?adaptive:bool ->
+  lookahead:float ->
+  partitions:int ->
+  (unit -> unit) ->
+  float
 (** Conservative-synchronization parallel run: [partitions] host
     partitions plus partition 0 (dom0/global, where [main] starts),
     each with its own heap, clock and pid space. The coordinator
@@ -40,7 +45,75 @@ val run_partitioned :
     bit-identical for every [jobs]. [stop] from any partition ends the
     run at the round boundary. Returns the largest partition clock.
     Tracing hooks only observe windows run on the calling domain; use
-    [jobs:1] when tracing. *)
+    [jobs:1] when tracing.
+
+    [adaptive] (default [true]) sizes windows from the observed
+    cross-partition traffic density: a round whose base window holds
+    events of only one partition grows to absorb the consecutive
+    single-active fixed-lookahead rounds that would follow it — one
+    barrier instead of one per lookahead — and shrinks back to the
+    fixed window as soon as a second partition has work. Growth stops
+    at the earliest foreign event and at the first cross-partition
+    send's virtual round boundary, so every event still executes in
+    the virtual fixed round it would have executed in and sends merge
+    in the same batches: output is bit-identical with [adaptive] on or
+    off (pinned by the qcheck matrix in test/test_partition.ml). *)
+
+(** {2 Checkpoint / resume}
+
+    A quiesced simulation — no parked effect continuations, only plain
+    event thunks in the heap(s) — can be captured as a {!saved} value
+    and resumed later, any number of times. The contract: resuming a
+    captured prefix with a suffix [main] produces bit-identical model
+    state and output to the unbroken run that executed the prefix and
+    suffix in one simulation (the suffix runs at the restored clock
+    before any same-time image event, exactly as the unbroken run's
+    prefix process continues inline into its suffix; relative event
+    order, per-partition clocks and cross-partition merge batches are
+    all preserved, for every [jobs] count and with [adaptive] on or
+    off). {!Checkpoint} turns a [saved] value plus the model roots it
+    references into bytes on disk. *)
+
+type saved
+(** Captured engine state: per-partition clocks, pid/outbox counters
+    and live heap entries in pop order. The thunks are ordinary
+    closures over model state; a [saved] value is only as quiesced as
+    the run that produced it (see {!Checkpoint.freeze}). *)
+
+val run_capture : ?until:float -> (unit -> unit) -> float * saved
+(** {!run}, additionally capturing the engine state at exit (after
+    [stop] or queue drain). A capture taken from a [~until]-bounded run
+    resumes unbounded. *)
+
+val run_partitioned_capture :
+  ?jobs:int ->
+  ?adaptive:bool ->
+  lookahead:float ->
+  partitions:int ->
+  (unit -> unit) ->
+  float * saved
+(** {!run_partitioned}, additionally capturing every partition's state
+    at exit. Outboxes are always empty at round barriers, so the heaps
+    and clocks are the whole synchronization state. *)
+
+val resume : ?jobs:int -> ?adaptive:bool -> saved -> (unit -> unit) -> float
+(** [resume saved main] rebuilds the engine(s) from [saved] and runs
+    [main] as the suffix process in partition 0 at the restored clock.
+    Plain captures resume on a plain engine; partitioned captures
+    resume under the same lookahead with [jobs] workers. Returns the
+    final (largest) clock. A [saved] value may be resumed any number of
+    times, but the closures it holds share model state: to fork
+    independent variants, deep-copy the image first
+    ({!Checkpoint.fork}). *)
+
+val resume_capture :
+  ?jobs:int -> ?adaptive:bool -> saved -> (unit -> unit) -> float * saved
+(** {!resume} that captures again at exit — the chaining primitive for
+    incremental prefixes (boot to N, snapshot, extend to M, snapshot). *)
+
+val saved_partitions : saved -> int option
+(** [None] for a plain capture, [Some n] for a partitioned capture with
+    [n] host partitions. *)
 
 val current_partition : unit -> int
 (** The partition the calling process/callback runs in; 0 outside

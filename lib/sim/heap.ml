@@ -143,6 +143,26 @@ let rec peek_time t =
     else Some top.time
   end
 
+(* Non-destructive snapshot of the live entries in pop order. The
+   order is the same (time, seq) key [pop] uses, so re-pushing the
+   returned pairs into a fresh heap — in array order, with fresh
+   sequence numbers — reproduces the exact pop order of this heap.
+   That is the contract checkpoint/restore relies on. *)
+let entries t =
+  let out = ref [] in
+  for i = 0 to t.len - 1 do
+    let e = get t i in
+    if not e.cancelled then out := e :: !out
+  done;
+  let arr = Array.of_list !out in
+  Array.sort
+    (fun a b ->
+      match Float.compare a.time b.time with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+    arr;
+  Array.map (fun e -> (e.time, e.payload)) arr
+
 let cancel t entry =
   if not (entry.cancelled || entry.departed) then begin
     entry.cancelled <- true;

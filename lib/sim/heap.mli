@@ -28,6 +28,12 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_time : 'a t -> float option
 
+val entries : 'a t -> (float * 'a) array
+(** Non-destructive snapshot of the live entries, in pop order (the
+    [(time, seq)] key). Re-pushing the pairs into a fresh heap in array
+    order reproduces this heap's exact pop order — the contract
+    sim-state checkpoint/restore is built on. *)
+
 val cancel : 'a t -> 'a entry -> unit
 (** Idempotent. A cancelled entry is never returned by [pop];
     cancelling an entry [pop] already returned is a no-op. *)

@@ -71,6 +71,65 @@ let test_simultaneous_merge_order jobs () =
     (List.rev !order)
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive window sizing must be invisible: a random multi-partition
+   workload of self-hops (sub-lookahead delays) and cross-partition
+   posts produces the exact same per-partition event logs — times
+   included — with [adaptive] on or off, at any jobs count. *)
+
+let adaptive_workload ~adaptive ~jobs ~partitions ~seed =
+  let steps = 10 in
+  let logs = Array.make (partitions + 1) [] in
+  (* Each cell is only ever touched by events of its own partition, so
+     partitions running concurrently never share a cell. *)
+  let record p tag = logs.(p) <- (Engine.now (), tag) :: logs.(p) in
+  ignore
+    (Engine.run_partitioned ~jobs ~adaptive ~lookahead ~partitions (fun () ->
+         for p = 1 to partitions do
+           (* One driver chain per partition, each with its own stream:
+              the draws depend only on (seed, p, step), never on the
+              interleaving. *)
+           let rng = Random.State.make [| 0x5eed; seed; p |] in
+           let rec step i =
+             if i <= steps then begin
+               record p (Printf.sprintf "p%d step%d" p i);
+               let target = 1 + Random.State.int rng partitions in
+               let cross =
+                 lookahead *. (1. +. (float (Random.State.int rng 5) /. 2.))
+               in
+               Engine.post ~partition:target ~delay:cross (fun () ->
+                   record target (Printf.sprintf "p%d->p%d msg%d" p target i));
+               let hop =
+                 lookahead *. float (Random.State.int rng 100) /. 150.
+               in
+               Engine.post ~partition:p ~delay:hop (fun () -> step (i + 1))
+             end
+           in
+           Engine.post ~partition:p ~delay:lookahead (fun () -> step 1)
+         done));
+  Array.map
+    (fun l ->
+      List.rev_map (fun (t, tag) -> Printf.sprintf "%h %s" t tag) l)
+    logs
+
+let adaptive_arb =
+  QCheck.make
+    ~print:(fun (partitions, seed) ->
+      Printf.sprintf "partitions=%d seed=%d" partitions seed)
+    QCheck.Gen.(pair (int_range 2 4) (int_bound 100_000))
+
+let prop_adaptive_matrix =
+  QCheck.Test.make
+    ~name:"adaptive windows: logs identical to fixed windows (jobs 1/4)"
+    ~count:6 adaptive_arb (fun (partitions, seed) ->
+      let run ~adaptive ~jobs =
+        adaptive_workload ~adaptive ~jobs ~partitions ~seed
+      in
+      let reference = run ~adaptive:false ~jobs:1 in
+      reference = run ~adaptive:true ~jobs:1
+      && reference = run ~adaptive:false ~jobs:4
+      && reference = run ~adaptive:true ~jobs:4)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism matrix: random cluster workloads with migration faults
    enabled must produce bit-identical output whether the hosts share
    one heap or run as partitions on 1, 2 or 8 workers. *)
@@ -191,6 +250,7 @@ let suites =
           (test_simultaneous_merge_order 1);
         Alcotest.test_case "simultaneous merge order (jobs=8)" `Quick
           (test_simultaneous_merge_order 8);
+        QCheck_alcotest.to_alcotest prop_adaptive_matrix;
       ] );
     ( "partition.determinism",
       [
