@@ -239,6 +239,64 @@ let cluster_cmd =
       $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serverless: open-loop traffic onto an autoscaled pool *)
+
+let arrival_arg =
+  Arg.(value & opt string "poisson"
+       & info [ "arrival" ] ~docv:"PROCESS"
+           ~doc:"Arrival process: $(b,poisson) (homogeneous), \
+                 $(b,diurnal) (sinusoidal rate, +/-60% of --rate over \
+                 the run) or $(b,mmpp) (two-state Markov-modulated: \
+                 calm at half --rate, bursts at 4x).")
+
+let rate_arg =
+  Arg.(value & opt float 2000.
+       & info [ "rate" ] ~docv:"REQ_PER_S"
+           ~doc:"Mean arrival rate in requests/second.")
+
+let policy_arg =
+  Arg.(value & opt string "warmpool"
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Instance policy: $(b,warmpool) (split-toolstack \
+                 shell pool with the autoscaler), $(b,coldboot) (full \
+                 creation pipeline per request) or $(b,container) \
+                 (docker run per request).")
+
+let duration_arg =
+  Arg.(value & opt (some float) None
+       & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated seconds of arrivals (wins over -n; the \
+                 backlog still drains after arrivals stop). Default: \
+                 a 2000-request budget, i.e. 2000/rate seconds.")
+
+let run_serverless arrival rate policy duration n spec_str fault_seed =
+  let spec = Option.map parse_spec_or_exit spec_str in
+  match
+    E.serverless_run ?n ?duration ?spec ~fault_seed ~arrival ~rate ~policy ()
+  with
+  | Ok r -> print_result r
+  | Error msg ->
+      Printf.eprintf "serverless: %s\n" msg;
+      exit 1
+
+let serverless_cmd =
+  let doc =
+    "Open-loop serverless traffic: an arrival process dispatches \
+     function invocations onto VM (or container) instances and \
+     reports p50/p99/p999 sojourn times, the queue-depth trace and \
+     the warm-pool hit rate. The full calibrated family (coldboot vs \
+     warmpool vs container, diurnal/mmpp shapes, the multi-host \
+     fleet) runs via $(b,figure serverless); this command runs one \
+     configurable cell. Same seed and flags produce bit-identical \
+     output for any --jobs or --partition setting. --faults injects \
+     creation faults, surfacing as failed requests."
+  in
+  Cmd.v (Cmd.info "serverless" ~doc)
+    Term.(
+      const run_serverless $ arrival_arg $ rate_arg $ policy_arg
+      $ duration_arg $ n_arg $ faults_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* snapshot / resume: boot-once prefixes on disk *)
 
 let run_snapshot key n partition sim_jobs out =
@@ -539,5 +597,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ figure_cmd; trace_cmd; reliability_cmd; cluster_cmd;
-            snapshot_cmd; resume_cmd; list_cmd; headline_cmd; tinyx_cmd;
-            minipy_cmd; boot_cmd; xenstore_cmd ]))
+            serverless_cmd; snapshot_cmd; resume_cmd; list_cmd;
+            headline_cmd; tinyx_cmd; minipy_cmd; boot_cmd; xenstore_cmd ]))

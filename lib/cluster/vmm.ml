@@ -347,6 +347,23 @@ let prefill_pool t image ~nics ~disks =
   Toolstack.prefill_pool t.ts
     (config_for t ~name:"pool-template" ~nics ~disks image)
 
+let pool_size t image ~nics ~disks =
+  Toolstack.pool_size t.ts
+    (config_for t ~name:"pool-template" ~nics ~disks image)
+
+let pool_target t image ~nics ~disks =
+  Toolstack.pool_target t.ts
+    (config_for t ~name:"pool-template" ~nics ~disks image)
+
+let set_pool_target t image ~nics ~disks target =
+  Toolstack.set_pool_target t.ts
+    (config_for t ~name:"pool-template" ~nics ~disks image)
+    target
+
+let pool_stats t image ~nics ~disks =
+  Toolstack.pool_stats t.ts
+    (config_for t ~name:"pool-template" ~nics ~disks image)
+
 (* ------------------------------------------------------------------ *)
 (* Resource accounting *)
 

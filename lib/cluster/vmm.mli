@@ -217,6 +217,28 @@ val prefill_pool :
 (** Warm the split-toolstack shell pool for this image's flavor up to
     the pool target (no-op unless the mode is split). *)
 
+val pool_size : t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> int
+(** Pre-created shells currently queued for this image's flavor. *)
+
+val pool_target :
+  t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> int
+(** The flavor pool's current low-water mark ([0] unless split). *)
+
+val set_pool_target :
+  t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> int -> unit
+(** Autoscaler hook: move the flavor pool's low-water mark. Lowering it
+    immediately retires surplus shells (their domains, frames and store
+    state are released exactly — see {!Lightvm_toolstack.Toolstack.
+    set_pool_target}); raising it takes effect on the next take or
+    {!prefill_pool}.
+    @raise Invalid_argument on a negative target. *)
+
+val pool_stats :
+  t -> Lightvm_guest.Image.t -> nics:int -> disks:int -> int * int
+(** [(hits, takes)] for this image's flavor pool: shell requests served
+    from a pre-created shell vs total. The serverless experiments
+    report [hits / takes] as the warm-pool hit rate. *)
+
 (** {1 Resource accounting}
 
     A snapshot of every countable resource a VM creation acquires:

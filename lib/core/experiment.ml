@@ -29,6 +29,9 @@ module Firewall = Lightvm_workloads.Firewall
 module Jit = Lightvm_workloads.Jit
 module Tls_term = Lightvm_workloads.Tls_term
 module Lambda = Lightvm_workloads.Lambda
+module Serverless = Lightvm_serverless.Serverless
+module Arrival = Lightvm_serverless.Arrival
+module Quantiles = Lightvm_metrics.Quantiles
 
 type labelled = {
   label : string;
@@ -1825,6 +1828,288 @@ let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) ?(partition = `Host)
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Serverless (open-loop; DESIGN.md section 12).
+
+   The paper's Lambda rows (Figs 17/18) are closed-loop. This family is
+   the open-loop production regime: Lightvm_serverless drives an
+   arrival process against one instance-acquisition policy per cell and
+   reports the latency percentiles, queue-depth trace and pool hit
+   rate. The calibration below keeps the Poisson cells inside the dom0
+   creation capacity of the VM policies (~190 req/s for these modes on
+   the paper's Xeon, measured in simulation), so their tails reflect
+   queueing, not unbounded overload; the container cell at the same
+   rate is far beyond `docker run` capacity and drains its backlog
+   after arrivals stop — the Fig 10 contrast restated as sojourn
+   times. The mmpp cell's bursts (4x base) do exceed capacity, which is
+   what exercises the autoscaler's scale-up path.
+
+   Every warm-pool cell forks the same checkpoint prefix: a LightVM
+   host with the function-instance pool target set and synchronously
+   prefilled ("serverless:warm@<target>"). Prefilling parks no
+   continuation, so the image quiesces — unlike a host that has already
+   served a take (whose background refill daemon may be mid-build). *)
+
+let serverless_rate = 80.
+let serverless_pool_target = 4
+let serverless_cold_mode = Mode.chaos_xs
+
+let serverless_prefix_key target = Printf.sprintf "serverless:warm@%d" target
+
+let serverless_image target =
+  prefix_image ~key:(serverless_prefix_key target) (fun () ->
+      let host = ref None in
+      let _clock, saved =
+        Engine.run_capture (fun () ->
+            let h = Vmm.create () in
+            Serverless.warm_pool h ~target;
+            host := Some h;
+            Engine.stop ())
+      in
+      snap_err "serverless image" (Snap.freeze (saved, Option.get !host)))
+
+(* Distinct per-cell seed so cells stay independent whatever the job
+   order: a pure function of the base seed and the cell's position in
+   the family. *)
+let serverless_cell_seed ~seed i = Int64.add seed (Int64.of_int (i * 7919))
+
+let serverless_config ~arrival ~requests ~policy ~seed =
+  let duration = float_of_int requests /. Arrival.mean_rate arrival in
+  {
+    (Serverless.default_config ~arrival ~duration policy) with
+    Serverless.seed;
+    autoscaler =
+      {
+        Serverless.default_autoscaler with
+        min_target = serverless_pool_target;
+      };
+  }
+
+(* One cell's piece: the latency CDF (x in us, y the percentile), the
+   queue-depth trace and the percentile note. Everything rendered is
+   simulated data, so the piece digests identically however the cell
+   was scheduled. *)
+let serverless_render ~label ~prefix_seconds (s : Serverless.stats) =
+  let cdf = mk ("serverless cdf " ^ label) "us" in
+  let n = Quantiles.count s.Serverless.latency in
+  if n > 0 then
+    List.iter
+      (fun (v, frac) -> Series.add cdf ~x:(1e6 *. v) ~y:(100. *. frac))
+      (Quantiles.sorted_points s.Serverless.latency ~every:(max 1 (n / 200)));
+  piece
+    ~series:
+      [
+        { label = "cdf " ^ label; series = cdf };
+        { label = "queue " ^ label; series = s.Serverless.queue_depth };
+      ]
+    ~notes:[ Serverless.percentile_note ~label s ]
+    ~prefix_seconds ()
+
+(* A cell body: host of the right shape, then the open-loop run,
+   optionally under a fault injector (injected creation failures count
+   as failed requests; the arrival stream never blocks on them). *)
+let serverless_attempts ~cfg ~injector host =
+  match injector with
+  | None -> Serverless.run_node cfg host
+  | Some injector ->
+      Fault.with_injector injector (fun () -> Serverless.run_node cfg host)
+
+(* [(prefix_seconds, stats)] for one cell. Warm-pool cells fork the
+   shared prefix image by default; [~snapshot:false] keeps the unbroken
+   twin alive so the fork-equals-unbroken contract stays testable. *)
+let serverless_cell_stats ~snapshot ~requests ~policy ~arrival ?spec ~seed () =
+  let cfg = serverless_config ~arrival ~requests ~policy ~seed in
+  let injector = Option.map (fun spec -> Fault.create ~seed spec) spec in
+  match policy with
+  | Serverless.Warm_pool when snapshot ->
+      let t0 = wall () in
+      let bytes = serverless_image serverless_pool_target in
+      let ((saved : Engine.saved), (host : Vmm.t)) =
+        snap_err "serverless image" (Snap.thaw bytes)
+      in
+      let prefix_seconds = wall () -. t0 in
+      let out = ref None in
+      ignore
+        (Engine.resume saved (fun () ->
+             out := Some (serverless_attempts ~cfg ~injector host);
+             Engine.stop ()));
+      let stats =
+        match !out with
+        | Some s -> s
+        | None -> failwith "serverless: simulation did not complete"
+      in
+      (prefix_seconds, stats)
+  | _ ->
+      let stats =
+        run_sim (fun () ->
+            let host =
+              match policy with
+              | Serverless.Warm_pool ->
+                  let h = Vmm.create () in
+                  Serverless.warm_pool h ~target:serverless_pool_target;
+                  h
+              | Serverless.Cold_boot | Serverless.Container ->
+                  Vmm.create ~mode:serverless_cold_mode ()
+            in
+            serverless_attempts ~cfg ~injector host)
+      in
+      (0., stats)
+
+let serverless_label ~policy ~arrival ~spec =
+  Printf.sprintf "%s/%s"
+    (Serverless.policy_name policy)
+    (Arrival.name arrival)
+  ^ match spec with Some _ -> "/faults" | None -> ""
+
+let serverless_cell ~snapshot ~requests ~policy ~arrival ?spec ~seed () =
+  let prefix_seconds, stats =
+    serverless_cell_stats ~snapshot ~requests ~policy ~arrival ?spec ~seed ()
+  in
+  serverless_render
+    ~label:(serverless_label ~policy ~arrival ~spec)
+    ~prefix_seconds stats
+
+(* The fleet cell: [serverless_fleet_hosts] LightVM hosts each running
+   an independent warm-pool node in its own partition, per-host streams
+   split from the cell seed by host index. Hosts only write their own
+   slot of the results array (the disjoint-slot cross-domain pattern),
+   and the merge walks hosts in index order, so the render is identical
+   across the jobs x partition matrix. *)
+let serverless_fleet_hosts = 4
+
+let serverless_fleet ~requests ~partition ~sim_jobs ~seed () =
+  let hosts = serverless_fleet_hosts in
+  let per = max 1 (requests / hosts) in
+  let slots : Serverless.stats option array = Array.make hosts None in
+  let body () =
+    fan_out_hosts ~hosts
+      ~part_of:(fun h -> match partition with `Host -> h + 1 | `None -> 0)
+      (fun h ->
+        let host = Vmm.create ~host_id:h () in
+        Serverless.warm_pool host ~target:serverless_pool_target;
+        let cfg =
+          serverless_config
+            ~arrival:(Arrival.Poisson { rate = serverless_rate })
+            ~requests:per ~policy:Serverless.Warm_pool
+            ~seed:(Int64.add seed (Int64.of_int ((h + 1) * 104729)))
+        in
+        slots.(h) <- Some (Serverless.run_node cfg host))
+  in
+  (match partition with
+  | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
+  | `None -> run_sim body);
+  let per_host = Array.to_list (Array.map Option.get slots) in
+  let merged = Quantiles.create () in
+  List.iter
+    (fun (s : Serverless.stats) ->
+      Quantiles.merge_into merged ~src:s.Serverless.latency)
+    per_host;
+  let total f = List.fold_left (fun a s -> a + f s) 0 per_host in
+  let agg =
+    {
+      Serverless.requests = total (fun s -> s.Serverless.requests);
+      completed = total (fun s -> s.Serverless.completed);
+      failures = total (fun s -> s.Serverless.failures);
+      latency = merged;
+      queue_depth = (List.hd per_host).Serverless.queue_depth;
+      pool_hits = total (fun s -> s.Serverless.pool_hits);
+      pool_takes = total (fun s -> s.Serverless.pool_takes);
+      peak_target =
+        List.fold_left
+          (fun a (s : Serverless.stats) -> max a s.Serverless.peak_target)
+          0 per_host;
+      makespan =
+        List.fold_left
+          (fun a (s : Serverless.stats) -> Float.max a s.Serverless.makespan)
+          0. per_host;
+    }
+  in
+  let label = Printf.sprintf "fleet x%d warmpool/poisson" hosts in
+  let p = serverless_render ~label ~prefix_seconds:0. agg in
+  let host_notes =
+    List.mapi
+      (fun h s ->
+        Serverless.percentile_note ~label:(Printf.sprintf "fleet host %d" h) s)
+      per_host
+  in
+  { p with p_notes = p.p_notes @ host_notes }
+
+let serverless_jobs ?(n = 2000) ?spec ?(fault_seed = 42L)
+    ?(partition = `Host) ?(sim_jobs = 1) () : job list =
+  let requests = n in
+  let rate = serverless_rate in
+  let poisson = Arrival.Poisson { rate } in
+  let duration = float_of_int requests /. rate in
+  let diurnal = Arrival.Diurnal { base = rate; amplitude = 0.6; period = duration } in
+  let mmpp =
+    Arrival.Mmpp
+      {
+        calm_rate = rate /. 2.;
+        burst_rate = 4. *. rate;
+        mean_calm = duration /. 12.;
+        mean_burst = duration /. 60.;
+      }
+  in
+  let spec =
+    match spec with
+    | Some s -> s
+    | None -> (
+        match Fault.parse_spec reliability_default_spec with
+        | Ok s -> s
+        | Error m -> invalid_arg ("reliability_default_spec: " ^ m))
+  in
+  let cell i ?spec ~policy ~arrival () =
+    serverless_cell ~snapshot:true ~requests ~policy ~arrival ?spec
+      ~seed:(serverless_cell_seed ~seed:fault_seed i) ()
+  in
+  [
+    ( "serverless/coldboot",
+      fun () -> cell 0 ~policy:Serverless.Cold_boot ~arrival:poisson () );
+    ( "serverless/warmpool",
+      fun () -> cell 1 ~policy:Serverless.Warm_pool ~arrival:poisson () );
+    ( "serverless/container",
+      fun () -> cell 2 ~policy:Serverless.Container ~arrival:poisson () );
+    ( "serverless/warmpool-diurnal",
+      fun () -> cell 3 ~policy:Serverless.Warm_pool ~arrival:diurnal () );
+    ( "serverless/warmpool-mmpp",
+      fun () -> cell 4 ~policy:Serverless.Warm_pool ~arrival:mmpp () );
+    ( "serverless/coldboot-faults",
+      fun () -> cell 5 ~spec ~policy:Serverless.Cold_boot ~arrival:poisson ()
+    );
+    ( Printf.sprintf "serverless/fleet/%d" serverless_fleet_hosts,
+      fun () ->
+        serverless_fleet ~requests ~partition ~sim_jobs
+          ~seed:(serverless_cell_seed ~seed:fault_seed 6)
+          () );
+  ]
+
+(* CLI hook: one configurable cell from flag values, returning the
+   uniform [result] shape (defined below) via [serverless_run]. *)
+let serverless_cell_piece ?(snapshot = true) ~requests ~policy ~arrival ?spec
+    ~seed () =
+  match Serverless.policy_of_string policy with
+  | Error m -> Error m
+  | Ok policy ->
+      Ok (serverless_cell ~snapshot ~requests ~policy ~arrival ?spec ~seed ())
+
+(* Bench hook: [(cold_p99_us, warm_p99_us, warm_hit_rate)] for the
+   flagship Poisson pair, same seeds as the family jobs. The bench
+   emits these as JSON fields and CI asserts warm < cold. *)
+let serverless_bench_summary ?(requests = 2000) () =
+  let poisson = Arrival.Poisson { rate = serverless_rate } in
+  let stats i policy =
+    snd
+      (serverless_cell_stats ~snapshot:true ~requests ~policy ~arrival:poisson
+         ~seed:(serverless_cell_seed ~seed:42L i) ())
+  in
+  let cold = stats 0 Serverless.Cold_boot in
+  let warm = stats 1 Serverless.Warm_pool in
+  let p99 (s : Serverless.stats) =
+    if Quantiles.count s.Serverless.latency = 0 then 0.
+    else 1e6 *. Quantiles.quantile s.Serverless.latency 0.99
+  in
+  (p99 cold, p99 warm, Serverless.hit_rate warm)
+
+(* ------------------------------------------------------------------ *)
 (* Uniform result API: every experiment is reachable through [all] and
    returns the same record, so front ends (CLI, bench) dispatch and
    print generically instead of pattern-matching per-figure shapes. *)
@@ -1939,6 +2224,9 @@ let plans ?n ?partition ?sim_jobs () : (string * plan) list =
       single ~figure:"Sec 3.2" "tinyx" (fun () ->
           piece ~tables:[ tinyx_table () ] ()) );
     ("cluster", cluster_plan ?n ?partition ?sim_jobs ());
+    ( "serverless",
+      mk_plan ~figure:"Open-loop serverless" "serverless"
+        (serverless_jobs ?n ?partition ?sim_jobs ()) );
   ]
 
 let plan ?n ?partition ?sim_jobs name =
@@ -2056,7 +2344,18 @@ let prefixes ?n ?(partition = `Host) ?(sim_jobs = 1) () : prefix list =
       prefix_build = (fun () -> cluster_drain_image ~guests);
     }
   in
-  scale_prefixes @ [ fleet ] @ rel @ [ drain ]
+  let serverless_warm =
+    {
+      prefix_key = serverless_prefix_key serverless_pool_target;
+      prefix_describe =
+        Printf.sprintf
+          "one LightVM host, function-instance pool prefilled to %d \
+           (serverless warm prefix)"
+          serverless_pool_target;
+      prefix_build = (fun () -> serverless_image serverless_pool_target);
+    }
+  in
+  scale_prefixes @ [ fleet ] @ rel @ [ drain; serverless_warm ]
 
 let snapshot_to_file ?n ?partition ?sim_jobs ~key ~path () =
   let avail = prefixes ?n ?partition ?sim_jobs () in
@@ -2175,6 +2474,33 @@ let resume_drain ~spec ~fault_seed bytes =
       in
       Ok (mk_result ~name:"resume" ~notes:p.p_notes p.p_series)
 
+(* "serverless:warm@<target>": the flagship warm-pool Poisson cell run
+   as a suffix of the prefilled-host image. *)
+let resume_serverless ~requests bytes =
+  match (Snap.thaw bytes : (Engine.saved * Vmm.t, _) Stdlib.result) with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (saved, host) ->
+      let policy = Serverless.Warm_pool in
+      let arrival = Arrival.Poisson { rate = serverless_rate } in
+      let cfg =
+        serverless_config ~arrival ~requests ~policy
+          ~seed:(serverless_cell_seed ~seed:42L 1)
+      in
+      let out = ref None in
+      ignore
+        (Engine.resume saved (fun () ->
+             out := Some (Serverless.run_node cfg host);
+             Engine.stop ()));
+      (match !out with
+      | None -> Error "serverless: simulation did not complete"
+      | Some stats ->
+          let p =
+            serverless_render
+              ~label:(serverless_label ~policy ~arrival ~spec:None)
+              ~prefix_seconds:0. stats
+          in
+          Ok (mk_result ~name:"resume" ~notes:p.p_notes p.p_series))
+
 let split_once ~on s =
   match String.index_opt s on with
   | None -> None
@@ -2242,6 +2568,12 @@ let resume_from_file ?n ?spec ?(fault_seed = 42L) ~path () =
           | Some ("drain", _), Ok spec -> resume_drain ~spec ~fault_seed bytes
           | _, Error m -> Error m
           | _ -> bad ())
+      | Some ("serverless", rest) -> (
+          match split_once ~on:'@' rest with
+          | Some ("warm", target) when int_of_string_opt target <> None ->
+              let requests = match n with Some v -> v | None -> 2000 in
+              resume_serverless ~requests bytes
+          | _ -> bad ())
       | _ -> bad ())
 
 (* ------------------------------------------------------------------ *)
@@ -2300,3 +2632,38 @@ let scale_fork_suffix ~n ~extra =
   match scale_curve_rows ~mode:Mode.chaos_xs ~counts:[ total ] lat with
   | [ row ] -> row
   | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* The CLI's `serverless` subcommand: one configurable cell from flag
+   values. [duration] wins over [n] when both are given (requests
+   follow from rate * duration); otherwise [n] is the request budget
+   and the duration follows from the mean rate. *)
+
+let serverless_run ?(snapshot = true) ?n ?duration ?spec
+    ?(fault_seed = 42L) ~arrival ~rate ~policy () =
+  if rate <= 0. then Error "rate must be positive"
+  else
+    let requests, period =
+      match (duration, n) with
+      | Some d, _ -> (max 1 (int_of_float (rate *. d)), d)
+      | None, Some v -> (v, float_of_int v /. rate)
+      | None, None -> (2000, 2000. /. rate)
+    in
+    match Arrival.of_flag ~rate ~period arrival with
+    | Error m -> Error m
+    | Ok arrival -> (
+        match
+          serverless_cell_piece ~snapshot ~requests ~policy ~arrival ?spec
+            ~seed:fault_seed ()
+        with
+        | Error m -> Error m
+        | Ok p ->
+            Ok
+              {
+                name = "serverless";
+                figure = "Open-loop serverless";
+                series = p.p_series;
+                tables = p.p_tables;
+                notes = p.p_notes;
+                prefix_seconds = p.p_prefix_seconds;
+              })

@@ -388,3 +388,63 @@ val scale_fork_suffix : n:int -> extra:int -> labelled
 (** Bench fork path: thaw the [n]-guest image and extend by [extra]
     creations. Renders the same curve as {!scale_cold_full} (the
     resume contract) for a fraction of the work. *)
+
+(** {1 Serverless hooks}
+
+    The open-loop serverless family's CLI, test and bench surface
+    (DESIGN.md section 12; the family itself runs via the
+    ["serverless"] plan). *)
+
+val serverless_rate : float
+(** Mean arrival rate of the family's calibrated cells, req/s — chosen
+    inside the VM policies' dom0 creation capacity so Poisson tails
+    reflect queueing, not unbounded overload. *)
+
+val serverless_run :
+  ?snapshot:bool ->
+  ?n:int ->
+  ?duration:float ->
+  ?spec:Lightvm_sim.Fault.spec ->
+  ?fault_seed:int64 ->
+  arrival:string ->
+  rate:float ->
+  policy:string ->
+  unit ->
+  (result, string) Stdlib.result
+(** One configurable cell from CLI flag values: [arrival] is
+    ["poisson"], ["diurnal"] or ["mmpp"]; [policy] is ["coldboot"],
+    ["warmpool"] or ["container"]. [duration] (simulated seconds of
+    arrivals) wins over [n] (a request budget) when both are given.
+    [spec] injects creation faults, which surface as failed requests.
+    [Error] on an unknown arrival or policy name. *)
+
+val serverless_cell_piece :
+  ?snapshot:bool ->
+  requests:int ->
+  policy:string ->
+  arrival:Lightvm_serverless.Arrival.process ->
+  ?spec:Lightvm_sim.Fault.spec ->
+  seed:int64 ->
+  unit ->
+  (piece, string) Stdlib.result
+(** One family cell with an explicit arrival process and seed;
+    [~snapshot:false] runs warm-pool cells unbroken instead of forking
+    the prefix image (the checkpoint-equality tests pin both paths to
+    the same render). *)
+
+val serverless_fleet :
+  requests:int ->
+  partition:partition ->
+  sim_jobs:int ->
+  seed:int64 ->
+  unit ->
+  piece
+(** The multi-host fleet cell: independent warm-pool nodes, one per
+    host partition (or all on the single heap with [`None]), merged in
+    host order — bit-identical across the jobs x partition matrix. *)
+
+val serverless_bench_summary :
+  ?requests:int -> unit -> float * float * float
+(** [(cold_p99_us, warm_p99_us, warm_hit_rate)] for the flagship
+    Poisson pair at the family seeds — the bench's JSON fields, and
+    CI's warm-beats-cold assertion. *)

@@ -344,6 +344,15 @@ let prepare env ~mem_mb ~vcpus ~nics ~disks ?breakdown () =
       ~xl_nodes:false ~xl_watch:false;
     raise (as_create_failed e)
 
+(* Retire an unused shell: the inverse of a completed [prepare], i.e.
+   exactly the rollback [execute] performs before xl's phase-7 state
+   exists. Releases the domain, its frames, the XenStore skeleton and
+   backend directories (or the noxs pre-created device resources), so a
+   pool scale-down restores the host's resource counts bit-exactly. *)
+let discard_shell env (shell : shell) =
+  rollback env ~domid:shell.s_domid ~skeleton:(uses_xenstore env)
+    ~devices:shell.s_devices ~xl_nodes:false ~xl_watch:false
+
 (* ------------------------------------------------------------------ *)
 (* Execute: phases 6-9 *)
 
@@ -652,6 +661,18 @@ let destroy env created =
       (fun (dev, gref) ->
         Backend.destroy_device env.backend ~domid dev ~grant_ref:gref)
       created.noxs_grants;
-  match Xen.destroy env.xen ~domid with
+  (match Xen.destroy env.xen ~domid with
   | Ok () -> ()
-  | Error _ -> ()
+  | Error _ -> ());
+  (* The backend's control-page grants can only be freed once the dying
+     guest's foreign mappings are gone, i.e. after the domain destroy.
+     They are Dom0-owned, so [Xen.destroy] itself never reclaims them;
+     the gnttab free is part of the [noxs_device_destroy] work already
+     charged by [Backend.destroy_device] above. *)
+  if not (uses_xenstore env) then
+    List.iter
+      (fun ((dev : Device.config), gref) ->
+        ignore
+          (Lightvm_hv.Gnttab.end_access (Xen.gnttab env.xen)
+             ~owner:dev.Device.backend_domid gref))
+      created.noxs_grants

@@ -91,6 +91,12 @@ val prepare :
     @raise Create_failed on out-of-memory, an allocation failure or an
     injected fault; the partial shell is rolled back first. *)
 
+val discard_shell : env -> shell -> unit
+(** Tear down a pre-created shell that will never be executed (pool
+    scale-down): releases the domain and everything {!prepare} acquired
+    for it, restoring the host's resource counts exactly. The shell
+    must not be reused afterwards. *)
+
 val execute :
   env -> shell -> ?config_text:string ->
   ?image_override:Lightvm_guest.Image.t -> Vmconfig.t ->

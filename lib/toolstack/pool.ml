@@ -1,16 +1,26 @@
 module Engine = Lightvm_sim.Engine
 
 type 'a t = {
-  target : int;
+  mutable target : int;
   make : unit -> 'a;
   shells : 'a Queue.t;
   mutable refilling : bool;
   mutable made : int;
+  mutable takes : int;
+  mutable hits : int;
 }
 
 let create ~target ~make =
   if target < 1 then invalid_arg "Pool.create: target < 1";
-  { target; make; shells = Queue.create (); refilling = false; made = 0 }
+  {
+    target;
+    make;
+    shells = Queue.create ();
+    refilling = false;
+    made = 0;
+    takes = 0;
+    hits = 0;
+  }
 
 let build t =
   let shell = t.make () in
@@ -24,6 +34,13 @@ let prefill t =
 
 let size t = Queue.length t.shells
 let target t = t.target
+
+let set_target t n =
+  if n < 0 then invalid_arg "Pool.set_target: negative target";
+  t.target <- n
+
+let take_surplus t =
+  if Queue.length t.shells > t.target then Queue.take_opt t.shells else None
 
 let rec refill_loop t =
   if Queue.length t.shells < t.target then begin
@@ -46,8 +63,10 @@ let kick_refill t =
   end
 
 let take t =
+  t.takes <- t.takes + 1;
   match Queue.take_opt t.shells with
   | Some shell ->
+      t.hits <- t.hits + 1;
       kick_refill t;
       shell
   | None ->
@@ -55,3 +74,5 @@ let take t =
       build t
 
 let made_total t = t.made
+let takes t = t.takes
+let hits t = t.hits

@@ -18,6 +18,18 @@ val size : 'a t -> int
 
 val target : 'a t -> int
 
+val set_target : 'a t -> int -> unit
+(** Move the low-water mark (the serverless autoscaler's knob). Raising
+    it takes effect on the next [take]/[prefill]; lowering it stops the
+    background refill at the new mark but does not destroy queued
+    shells — drain surplus with {!take_surplus} and tear each shell
+    down through the toolstack.
+    @raise Invalid_argument on a negative target. *)
+
+val take_surplus : 'a t -> 'a option
+(** Pop one shell iff the pool currently holds more than [target]
+    (scale-down): [None] once the pool is at or below the mark. *)
+
 val take : 'a t -> 'a
 (** Pop a shell; falls back to building one synchronously when the
     pool is empty (and still triggers the background refill). Whatever
@@ -27,3 +39,11 @@ val take : 'a t -> 'a
 
 val made_total : 'a t -> int
 (** Shells built over the pool's lifetime (for tests). *)
+
+val takes : 'a t -> int
+(** {!take} calls over the pool's lifetime. *)
+
+val hits : 'a t -> int
+(** {!take} calls served from a queued shell (no synchronous build).
+    [hits / takes] is the warm-pool hit rate the serverless experiments
+    report. *)

@@ -109,5 +109,32 @@ let prefill_pool t cfg =
 let pool_size t cfg =
   if (mode t).Mode.split then Pool.size (pool_for t cfg) else 0
 
+let pool_target t cfg =
+  if (mode t).Mode.split then Pool.target (pool_for t cfg) else 0
+
+(* Scale the flavor's pool: raising the target leaves refilling to the
+   next take (or an explicit [prefill_pool]); lowering it retires the
+   surplus shells immediately through the full prepare-inverse, so no
+   domain, frame or store node outlives the scale-down. *)
+let set_pool_target t cfg target =
+  if (mode t).Mode.split then begin
+    let pool = pool_for t cfg in
+    Pool.set_target pool target;
+    let rec drain () =
+      match Pool.take_surplus pool with
+      | None -> ()
+      | Some shell ->
+          Create.discard_shell t.env shell;
+          drain ()
+    in
+    drain ()
+  end
+
+let pool_stats t cfg =
+  if (mode t).Mode.split then
+    let pool = pool_for t cfg in
+    (Pool.hits pool, Pool.takes pool)
+  else (0, 0)
+
 let shell_count t =
   Hashtbl.fold (fun _ pool acc -> acc + Pool.size pool) t.pools 0

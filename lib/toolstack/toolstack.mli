@@ -60,6 +60,23 @@ val prefill_pool : t -> Vmconfig.t -> unit
 
 val pool_size : t -> Vmconfig.t -> int
 
+val pool_target : t -> Vmconfig.t -> int
+(** Current low-water mark of this config's flavor pool ([0] when the
+    mode is not split). *)
+
+val set_pool_target : t -> Vmconfig.t -> int -> unit
+(** Autoscaler hook: move the flavor pool's low-water mark. Raising it
+    takes effect on the next take or {!prefill_pool}; lowering it
+    immediately retires every surplus shell through
+    {!Create.discard_shell}, releasing the shells' domains and store
+    state (no-op unless the mode is split).
+    @raise Invalid_argument on a negative target. *)
+
+val pool_stats : t -> Vmconfig.t -> int * int
+(** [(hits, takes)] of this config's flavor pool since host creation:
+    [takes] counts shell requests, [hits] the ones served from a
+    pre-created shell. [(0, 0)] unless the mode is split. *)
+
 val shell_count : t -> int
 (** Total pre-created shells across all flavors (these exist as paused
     domains, so they show up in the hypervisor's domain count). *)

@@ -6,4 +6,5 @@ let () =
     @ Test_core.suites @ Test_metrics.suites @ Test_xenstore_model.suites
     @ Test_guest.suites @ Test_extra.suites @ Test_trace.suites
     @ Test_fault.suites @ Test_parallel.suites @ Test_cluster.suites
-    @ Test_partition.suites @ Test_checkpoint.suites)
+    @ Test_partition.suites @ Test_checkpoint.suites
+    @ Test_serverless.suites)
