@@ -4,9 +4,11 @@
    then runs a Bechamel micro-benchmark suite over the substrate
    operations each figure leans on.
 
-     dune exec bench/main.exe            medium scale (~1 minute)
+     dune exec bench/main.exe            medium scale (~10 minutes: the
+                                         serverless-day row alone pushes
+                                         a ~7M-request simulated day)
      dune exec bench/main.exe -- quick   CI scale (seconds)
-     dune exec bench/main.exe -- full    paper scale (several minutes)
+     dune exec bench/main.exe -- full    paper scale (tens of minutes)
 
    Options:
      --jobs N         worker domains for the per-curve job pool
@@ -20,7 +22,8 @@
                       identical workload single-heap. Output is
                       bit-identical either way.
      --json PATH      also write the machine-readable perf trajectory
-                      (per-experiment job/wall seconds, micro ns/op)
+                      (per-experiment job/wall seconds and GC counters,
+                      micro ns/op)
 *)
 
 module E = Lightvm.Experiment
@@ -59,6 +62,10 @@ let scale, jobs, partition, json_path =
   in
   go (List.tl (Array.to_list Sys.argv));
   (!scale, !jobs, !partition, !json)
+
+(* The sequential (jobs <= 1) path runs simulations on this domain;
+   pool workers tune themselves in [Pool.create]. *)
+let () = Pool.tune_gc ()
 
 let scale_name =
   match scale with Quick -> "quick" | Medium -> "medium" | Full -> "full"
@@ -185,12 +192,22 @@ let experiments =
       "beyond the paper: 3 placement policies on a multi-host cluster, \
        plus drain/rebalance under injected migration corruption \
        (leak-free accounting)" );
+    ( "cluster-scale",
+      Some (pick ~quick:1000 ~medium:10_000 ~full:10_000),
+      "beyond the paper: the event-core headline — 100 hosts x 10k \
+       guests scheduled, then drained and rebalanced from the cached \
+       prefix image, leak-free" );
     ( "serverless",
       Some (pick ~quick:600 ~medium:2000 ~full:4000),
       "beyond the paper: open-loop invocations on one dom0-bottlenecked \
        host; the split-toolstack warm pool moves create work off the \
        request path, winning at the tail (p99/p999) while background \
        refill cedes a little median" );
+    ( "serverless-day",
+      Some (pick ~quick:40_000 ~medium:7_000_000 ~full:7_000_000),
+      "beyond the paper: a full simulated day of open-loop traffic \
+       (~7M requests at the calibrated 80 req/s per host) through the \
+       prefix-cached warm fleet" );
     ("wan-migration", None, "ClickOS guest in ~150 ms");
     ("pause", None, "must match container freeze/thaw");
     ("headline", None, "");
@@ -208,11 +225,49 @@ let planned =
       | None -> failwith ("bench: unknown experiment " ^ id))
     experiments
 
-(* Wrap a job so its start/end timestamps ride along with its piece. *)
+(* GC counter deltas around a region of the calling domain: allocation
+   pressure (minor/promoted words) and how many major collections the
+   region forced. OCaml 5 counters are per-domain, and a pool worker
+   runs one job at a time, so the deltas taken inside the job closure
+   belong to that job alone. *)
+type gc_delta = {
+  gd_minor_words : float;
+  gd_promoted_words : float;
+  gd_major_collections : int;
+}
+
+let gc_zero =
+  { gd_minor_words = 0.; gd_promoted_words = 0.; gd_major_collections = 0 }
+
+let gc_add a b =
+  {
+    gd_minor_words = a.gd_minor_words +. b.gd_minor_words;
+    gd_promoted_words = a.gd_promoted_words +. b.gd_promoted_words;
+    gd_major_collections = a.gd_major_collections + b.gd_major_collections;
+  }
+
+let gc_delta g0 g1 =
+  {
+    gd_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    gd_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    gd_major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+  }
+
+let gc_note g =
+  Printf.sprintf "%.1fM minor / %.1fM promoted words, %d major gc"
+    (g.gd_minor_words /. 1e6)
+    (g.gd_promoted_words /. 1e6)
+    g.gd_major_collections
+
+(* Wrap a job so its start/end timestamps and GC deltas ride along
+   with its piece. *)
 let timed job () =
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let v = job () in
-  (v, t0, Unix.gettimeofday ())
+  let t1 = Unix.gettimeofday () in
+  let g1 = Gc.quick_stat () in
+  (v, t0, t1, gc_delta g0 g1)
 
 (* Run every curve-job of every experiment. With a pool, all jobs are
    submitted up front (in registry order) so long experiments overlap
@@ -270,20 +325,27 @@ let experiment_rows =
     (E.partition_name partition);
   List.map
     (fun (id, n, note, p, timed_pieces) ->
-      let pieces = List.map (fun (v, _, _) -> v) timed_pieces in
+      let pieces = List.map (fun (v, _, _, _) -> v) timed_pieces in
       let job_secs =
-        List.fold_left (fun a (_, t0, t1) -> a +. (t1 -. t0)) 0. timed_pieces
+        List.fold_left
+          (fun a (_, t0, t1, _) -> a +. (t1 -. t0))
+          0. timed_pieces
       in
       let wall_secs =
         match timed_pieces with
         | [] -> 0.
-        | (_, t0, t1) :: rest ->
+        | (_, t0, t1, _) :: rest ->
             let start, stop =
               List.fold_left
-                (fun (a, b) (_, t0, t1) -> (min a t0, max b t1))
+                (fun (a, b) (_, t0, t1, _) -> (min a t0, max b t1))
                 (t0, t1) rest
             in
             stop -. start
+      in
+      let gc =
+        List.fold_left
+          (fun a (_, _, _, g) -> gc_add a g)
+          gc_zero timed_pieces
       in
       let prefix_secs =
         List.fold_left (fun a p -> a +. p.E.p_prefix_seconds) 0. pieces
@@ -292,12 +354,15 @@ let experiment_rows =
       | Some n -> section (Printf.sprintf "%s (n = %d)" id n) note
       | None -> section id note);
       print_result (finish_result p pieces);
-      Printf.printf "[%s: %.2f s over %d job(s), %.2f s wall%s]\n" id job_secs
-        (List.length timed_pieces) wall_secs
+      Printf.printf "[%s: %.2f s over %d job(s), %.2f s wall%s; %s]\n" id
+        job_secs
+        (List.length timed_pieces)
+        wall_secs
         (if prefix_secs > 0. then
            Printf.sprintf ", %.2f s on shared prefixes" prefix_secs
-         else "");
-      (id, List.length timed_pieces, job_secs, wall_secs, prefix_secs))
+         else "")
+        (gc_note gc);
+      (id, List.length timed_pieces, job_secs, wall_secs, prefix_secs, gc))
     (run_all ())
 
 (* ------------------------------------------------------------------ *)
@@ -318,13 +383,17 @@ let snapshot_pair_rows =
   (* Earlier experiments may have cached overlapping images; reset so
      the pair measures a true build. *)
   E.prefix_cache_reset ();
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let cold = E.scale_cold_full ~n ~extra in
   let t1 = Unix.gettimeofday () in
+  let g1 = Gc.quick_stat () in
   let prefix_secs = E.scale_prefix_warm ~n in
+  let g2 = Gc.quick_stat () in
   let t2 = Unix.gettimeofday () in
   let fork = E.scale_fork_suffix ~n ~extra in
   let t3 = Unix.gettimeofday () in
+  let g3 = Gc.quick_stat () in
   let identical =
     Series.points cold.E.series = Series.points fork.E.series
   in
@@ -337,8 +406,8 @@ let snapshot_pair_rows =
   if not identical then
     failwith "snapshot bench: fork and cold curves diverge";
   [
-    ("snapshot-cold", 1, t1 -. t0, t1 -. t0, 0.);
-    ("snapshot-fork", 1, t3 -. t2, t3 -. t2, prefix_secs);
+    ("snapshot-cold", 1, t1 -. t0, t1 -. t0, 0., gc_delta g0 g1);
+    ("snapshot-fork", 1, t3 -. t2, t3 -. t2, prefix_secs, gc_delta g2 g3);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -350,18 +419,20 @@ let snapshot_pair_rows =
 let serverless_slo_rows, serverless_slo =
   section "serverless SLO summary (requests = 2000)"
     "warm pool beats cold boot at p99; refill contention cedes median";
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let cold_p99_us, warm_p99_us, pool_hit_rate =
     E.serverless_bench_summary ~requests:2000 ()
   in
   let dt = Unix.gettimeofday () -. t0 in
+  let gc = gc_delta g0 (Gc.quick_stat ()) in
   Printf.printf
     "  cold-boot p99: %10.1f us\n  warm-pool p99: %10.1f us\n\
     \  pool hit rate: %10.3f\n[serverless-slo: %.2f s]\n"
     cold_p99_us warm_p99_us pool_hit_rate dt;
   if warm_p99_us >= cold_p99_us then
     failwith "serverless bench: warm-pool p99 did not beat cold boot";
-  ( [ ("serverless-slo", 2, dt, dt, 0.) ],
+  ( [ ("serverless-slo", 2, dt, dt, 0., gc) ],
     (cold_p99_us, warm_p99_us, pool_hit_rate) )
 
 let all_experiment_rows =
@@ -519,6 +590,152 @@ let event_heap_churn () =
       Lightvm_sim.Heap.cancel heap a;
       Lightvm_sim.Heap.cancel heap b;
       ignore (Lightvm_sim.Heap.pop heap))
+
+(* Reference replica of the event heap the 4-ary index heap replaced:
+   one boxed record per entry behind an option slot, binary sift_up/
+   sift_down chasing entry pointers on every comparison, pop returning
+   a fresh [(time, payload) option]. Only the push/pop core is
+   replicated — exactly what the hold-model pair below exercises. Kept
+   verbatim so the pair keeps measuring the same before/after as the
+   live heap evolves. *)
+module Old_heap_ref = struct
+  type 'a entry = {
+    time : float;
+    seq : int;
+    payload : 'a;
+    mutable cancelled : bool;
+    mutable departed : bool;
+  }
+
+  type 'a t = {
+    mutable data : 'a entry option array;
+    mutable len : int;
+    mutable next_seq : int;
+    mutable live : int;
+  }
+
+  let create () = { data = [||]; len = 0; next_seq = 0; live = 0 }
+
+  let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let get t i =
+    match t.data.(i) with Some e -> e | None -> assert false
+
+  let swap t i j =
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- tmp
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt (get t i) (get t parent) then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.len && lt (get t l) (get t !smallest) then smallest := l;
+    if r < t.len && lt (get t r) (get t !smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let ensure_capacity t =
+    let cap = Array.length t.data in
+    if t.len >= cap then begin
+      let ncap = if cap = 0 then 16 else 2 * cap in
+      let fresh = Array.make ncap None in
+      Array.blit t.data 0 fresh 0 t.len;
+      t.data <- fresh
+    end
+
+  let push t ~time payload =
+    let entry =
+      { time; seq = t.next_seq; payload; cancelled = false;
+        departed = false }
+    in
+    t.next_seq <- t.next_seq + 1;
+    ensure_capacity t;
+    t.data.(t.len) <- Some entry;
+    t.len <- t.len + 1;
+    t.live <- t.live + 1;
+    sift_up t (t.len - 1);
+    entry
+
+  let pop_any t =
+    if t.len = 0 then None
+    else begin
+      let top = get t 0 in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.data.(0) <- t.data.(t.len);
+        t.data.(t.len) <- None;
+        sift_down t 0
+      end
+      else t.data.(0) <- None;
+      Some top
+    end
+
+  let rec pop t =
+    match pop_any t with
+    | None -> None
+    | Some entry ->
+        if entry.cancelled then pop t
+        else begin
+          entry.departed <- true;
+          t.live <- t.live - 1;
+          Some (entry.time, entry.payload)
+        end
+end
+
+(* The hold model on a deep standing heap — the regime the 100-host
+   cluster and the simulated day put the event core in: ~10k pending
+   timers, every operation a full-depth sift. Each hold schedules one
+   event a random delay ahead of the clock and pops the next one,
+   exactly the engine hot loop's next_time/pop_payload sequence.
+   8 holds per measured op, same amortization as the wire pair, so the
+   harness floor does not flatten the old/new ratio. *)
+let deep_heap_standing = 10_000
+
+let event_heap_deep () =
+  let heap = Lightvm_sim.Heap.create () in
+  let rng = Lightvm_sim.Rng.create 7L in
+  for _ = 1 to deep_heap_standing do
+    ignore (Lightvm_sim.Heap.push heap ~time:(Lightvm_sim.Rng.float rng 1.) ())
+  done;
+  let clock = ref 0. in
+  Staged.stage (fun () ->
+      for _ = 1 to 8 do
+        ignore
+          (Lightvm_sim.Heap.push heap
+             ~time:(!clock +. Lightvm_sim.Rng.float rng 1.)
+             ());
+        clock := Lightvm_sim.Heap.next_time heap;
+        ignore (Lightvm_sim.Heap.pop_payload heap)
+      done)
+
+let event_heap_deep_old () =
+  let heap = Old_heap_ref.create () in
+  let rng = Lightvm_sim.Rng.create 7L in
+  for _ = 1 to deep_heap_standing do
+    ignore (Old_heap_ref.push heap ~time:(Lightvm_sim.Rng.float rng 1.) ())
+  done;
+  let clock = ref 0. in
+  Staged.stage (fun () ->
+      for _ = 1 to 8 do
+        ignore
+          (Old_heap_ref.push heap
+             ~time:(!clock +. Lightvm_sim.Rng.float rng 1.)
+             ());
+        match Old_heap_ref.pop heap with
+        | Some (t, ()) -> clock := t
+        | None -> ()
+      done)
 
 let minipy_src = "total = 0\nfor i in range(50):\n    total += i\n"
 
@@ -802,6 +1019,11 @@ let micro_tests =
     Test.make ~name:"all figs: event heap push/pop" (event_heap ());
     Test.make ~name:"all figs: event heap push/cancel/pop"
       (event_heap_churn ());
+    Test.make ~name:"cluster-scale: event heap hold@10k (4-ary index)"
+      (event_heap_deep ());
+    Test.make
+      ~name:"cluster-scale: event heap hold@10k (boxed binary ref)"
+      (event_heap_deep_old ());
     Test.make ~name:"fig17/18: minipy program" (minipy_run ());
     Test.make ~name:"fig17/18: minipy program (fresh-parse ref)"
       (minipy_run_fresh ());
@@ -885,14 +1107,20 @@ let write_json path ~total =
   out "  \"total_wall_seconds\": %.3f,\n" total;
   (* [prefix_seconds] (wall time spent building/loading shared boot
      prefixes — included in [job_seconds], broken out so the trajectory
-     shows what prefix caching amortizes) *)
+     shows what prefix caching amortizes). The GC columns are the
+     executing domains' counter deltas over the row's jobs: allocation
+     regressions show up in [minor_words] long before they move the
+     noisy wall clocks, so the CI gate compares those. *)
   out "  \"experiments\": [\n";
   List.iteri
-    (fun i (id, njobs, job_secs, wall_secs, prefix_secs) ->
+    (fun i (id, njobs, job_secs, wall_secs, prefix_secs, gc) ->
       out
         "    { \"name\": %S, \"jobs\": %d, \"job_seconds\": %.3f, \
-         \"wall_seconds\": %.3f, \"prefix_seconds\": %.3f }%s\n"
-        id njobs job_secs wall_secs prefix_secs
+         \"wall_seconds\": %.3f, \"prefix_seconds\": %.3f, \
+         \"minor_words\": %.0f, \"promoted_words\": %.0f, \
+         \"major_collections\": %d }%s\n"
+        id njobs job_secs wall_secs prefix_secs gc.gd_minor_words
+        gc.gd_promoted_words gc.gd_major_collections
         (if i = List.length all_experiment_rows - 1 then "" else ","))
     all_experiment_rows;
   out "  ],\n";

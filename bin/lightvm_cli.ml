@@ -591,6 +591,7 @@ let xenstore_cmd =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Lightvm_sim.Pool.tune_gc ();
   let doc = "LightVM (SOSP'17) reproduction toolkit" in
   let info = Cmd.info "lightvm_cli" ~version:"1.0.0" ~doc in
   exit

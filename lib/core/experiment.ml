@@ -1628,8 +1628,11 @@ let cluster_boot c (p : Cluster.placement) =
    host, in the host's own partition when [`Host]. Latencies land in a
    preallocated per-guest slot, so the merge is by global index and the
    series is identical whatever the partitioning or [sim_jobs]. *)
-let cluster_policy_job ~guests ~partition ~sim_jobs policy () =
-  let hosts = cluster_hosts ~guests in
+let cluster_policy_job ?hosts ?(summarize = false) ~guests ~partition
+    ~sim_jobs policy () =
+  let hosts =
+    match hosts with Some h -> h | None -> cluster_hosts ~guests
+  in
   let pname = Scheduler.policy_name policy in
   let latency = mk (Printf.sprintf "cluster boot latency %s" pname) "ms" in
   let sample = max 1 (guests / 50) in
@@ -1701,15 +1704,28 @@ let cluster_policy_job ~guests ~partition ~sim_jobs policy () =
     if i mod sample = 0 || i = 1 then
       Series.add latency ~x:(float_of_int i) ~y:(ms lat.(i - 1))
   done;
-  let placement =
-    List.map
-      (fun (v : Scheduler.host_view) -> string_of_int v.Scheduler.hv_vms)
-      !final_views
+  let counts =
+    List.map (fun (v : Scheduler.host_view) -> v.Scheduler.hv_vms) !final_views
   in
   let note =
-    Printf.sprintf "cluster %s: %d guests on %d hosts, placement [%s]"
-      pname guests hosts
-      (String.concat "; " placement)
+    (* A 100-host placement list is noise; the scale row reports the
+       distribution instead. Both forms are pure functions of the
+       placements, so either digests deterministically. *)
+    if summarize then begin
+      let mn = List.fold_left min max_int counts
+      and mx = List.fold_left max 0 counts
+      and total = List.fold_left ( + ) 0 counts in
+      Printf.sprintf
+        "cluster %s: %d guests on %d hosts, per-host min %d / mean %.1f / \
+         max %d"
+        pname guests hosts mn
+        (float_of_int total /. float_of_int (max 1 hosts))
+        mx
+    end
+    else
+      Printf.sprintf "cluster %s: %d guests on %d hosts, placement [%s]"
+        pname guests hosts
+        (String.concat "; " (List.map string_of_int counts))
   in
   piece
     ~series:[ { label = "cluster " ^ pname; series = latency } ]
@@ -1722,9 +1738,8 @@ let cluster_drain_prefix_key guests = Printf.sprintf "cluster:drain@%d" guests
    fault. (The policy bring-up jobs are not prefixed: pool-everywhere
    runs split toolstacks whose warm-pool refill daemons park effect
    continuations, which is exactly what a checkpoint cannot hold.) *)
-let cluster_drain_image ~guests =
-  prefix_image ~key:(cluster_drain_prefix_key guests) (fun () ->
-      let hosts = cluster_hosts ~guests in
+let cluster_drain_image_for ~key ~hosts ~guests =
+  prefix_image ~key (fun () ->
       let cl = ref None in
       let _clock, saved =
         Engine.run_capture (fun () ->
@@ -1741,6 +1756,11 @@ let cluster_drain_image ~guests =
             Engine.stop ())
       in
       snap_err "cluster drain image" (Snap.freeze (saved, Option.get !cl)))
+
+let cluster_drain_image ~guests =
+  cluster_drain_image_for
+    ~key:(cluster_drain_prefix_key guests)
+    ~hosts:(cluster_hosts ~guests) ~guests
 
 (* The drain suffix: snapshot accounting, drain host 0 under the
    injector, rebalance, leak check. Runs inside the simulation, after
@@ -1772,10 +1792,10 @@ let cluster_drain_suffix ~spec ~fault_seed c =
       ]
     ()
 
-let cluster_drain_job ~snapshot ~guests ~spec ~fault_seed () =
+let cluster_drain_job_for ~image ~hosts ~snapshot ~guests ~spec ~fault_seed
+    () =
   if not snapshot then
     run_sim (fun () ->
-        let hosts = cluster_hosts ~guests in
         let c =
           Cluster.create ~hosts ~racks:cluster_racks ~mode:Mode.chaos_xs
             ~policy:Scheduler.Spread ()
@@ -1788,7 +1808,7 @@ let cluster_drain_job ~snapshot ~guests ~spec ~fault_seed () =
         cluster_drain_suffix ~spec ~fault_seed c)
   else begin
     let t0 = wall () in
-    let bytes = cluster_drain_image ~guests in
+    let bytes = image () in
     let ((saved : Engine.saved), (c : Cluster.t)) =
       snap_err "cluster drain image" (Snap.thaw bytes)
     in
@@ -1802,6 +1822,11 @@ let cluster_drain_job ~snapshot ~guests ~spec ~fault_seed () =
     | Some p -> { p with p_prefix_seconds = prefix_seconds }
     | None -> failwith "cluster drain: simulation did not complete"
   end
+
+let cluster_drain_job ~snapshot ~guests ~spec ~fault_seed () =
+  cluster_drain_job_for
+    ~image:(fun () -> cluster_drain_image ~guests)
+    ~hosts:(cluster_hosts ~guests) ~snapshot ~guests ~spec ~fault_seed ()
 
 let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) ?(partition = `Host)
     ?(sim_jobs = 1) () : job list =
@@ -1826,6 +1851,51 @@ let cluster_jobs ?(n = 500) ?spec ?(fault_seed = 42L) ?(partition = `Host)
       ( "cluster/drain",
         cluster_drain_job ~snapshot:true ~guests ~spec ~fault_seed );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* cluster-scale: ROADMAP item 1's end state — 100 hosts x 10k guests
+   scheduled, migrated and rebalanced. Same machinery as the [cluster]
+   family, but hosts are sized for cloud scale (one host per ~100
+   guests, capped at 100) rather than per ~25 capped at 20, the
+   placement note is summarized (a 100-element list is noise), and the
+   family runs one policy bring-up instead of three — at this scale the
+   row exists to exercise the control plane and the event core, not to
+   compare policies again. The drain job forks its own prefix image
+   (the full fleet booted), keyed separately from [cluster]'s so the
+   two families cache independently. *)
+
+let cluster_scale_hosts ~guests = max 4 (min 100 (guests / 100))
+
+let cluster_scale_prefix_key guests =
+  Printf.sprintf "cluster-scale:drain@%d" guests
+
+let cluster_scale_drain_image ~guests =
+  cluster_drain_image_for
+    ~key:(cluster_scale_prefix_key guests)
+    ~hosts:(cluster_scale_hosts ~guests)
+    ~guests
+
+let cluster_scale_jobs ?(n = 2000) ?spec ?(fault_seed = 42L)
+    ?(partition = `Host) ?(sim_jobs = 1) () : job list =
+  let guests = n in
+  let hosts = cluster_scale_hosts ~guests in
+  let spec =
+    match spec with
+    | Some s -> s
+    | None -> (
+        match Fault.parse_spec cluster_fault_spec with
+        | Ok s -> s
+        | Error m -> invalid_arg ("cluster_fault_spec: " ^ m))
+  in
+  [
+    ( "cluster-scale/spread",
+      cluster_policy_job ~hosts ~summarize:true ~guests ~partition ~sim_jobs
+        Scheduler.Spread );
+    ( "cluster-scale/drain",
+      cluster_drain_job_for
+        ~image:(fun () -> cluster_scale_drain_image ~guests)
+        ~hosts ~snapshot:true ~guests ~spec ~fault_seed );
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Serverless (open-loop; DESIGN.md section 12).
@@ -1976,27 +2046,28 @@ let serverless_cell ~snapshot ~requests ~policy ~arrival ?spec ~seed () =
    across the jobs x partition matrix. *)
 let serverless_fleet_hosts = 4
 
-let serverless_fleet ~requests ~partition ~sim_jobs ~seed () =
-  let hosts = serverless_fleet_hosts in
-  let per = max 1 (requests / hosts) in
-  let slots : Serverless.stats option array = Array.make hosts None in
-  let body () =
-    fan_out_hosts ~hosts
-      ~part_of:(fun h -> match partition with `Host -> h + 1 | `None -> 0)
-      (fun h ->
-        let host = Vmm.create ~host_id:h () in
-        Serverless.warm_pool host ~target:serverless_pool_target;
-        let cfg =
-          serverless_config
-            ~arrival:(Arrival.Poisson { rate = serverless_rate })
-            ~requests:per ~policy:Serverless.Warm_pool
-            ~seed:(Int64.add seed (Int64.of_int ((h + 1) * 104729)))
-        in
-        slots.(h) <- Some (Serverless.run_node cfg host))
-  in
-  (match partition with
-  | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
-  | `None -> run_sim body);
+(* The per-host fan-out shared by the fleet cell and the day row:
+   [node h] supplies host [h]'s (already warm, or freshly warmed) VMM,
+   each host runs its own Poisson stream split from the cell seed by
+   host index, and results land in disjoint slots. *)
+let serverless_fleet_cells ~partition ~per ~seed ~node slots =
+  let hosts = Array.length slots in
+  fan_out_hosts ~hosts
+    ~part_of:(fun h -> match partition with `Host -> h + 1 | `None -> 0)
+    (fun h ->
+      let host = node h in
+      let cfg =
+        serverless_config
+          ~arrival:(Arrival.Poisson { rate = serverless_rate })
+          ~requests:per ~policy:Serverless.Warm_pool
+          ~seed:(Int64.add seed (Int64.of_int ((h + 1) * 104729)))
+      in
+      slots.(h) <- Some (Serverless.run_node cfg host))
+
+(* Merge the per-host results in host index order (latency quantiles
+   merged into one accumulator, counters summed) and render: identical
+   whatever the partitioning or worker count. *)
+let serverless_fleet_finish ~label ~prefix_seconds slots =
   let per_host = Array.to_list (Array.map Option.get slots) in
   let merged = Quantiles.create () in
   List.iter
@@ -2023,8 +2094,7 @@ let serverless_fleet ~requests ~partition ~sim_jobs ~seed () =
           0. per_host;
     }
   in
-  let label = Printf.sprintf "fleet x%d warmpool/poisson" hosts in
-  let p = serverless_render ~label ~prefix_seconds:0. agg in
+  let p = serverless_render ~label ~prefix_seconds agg in
   let host_notes =
     List.mapi
       (fun h s ->
@@ -2032,6 +2102,25 @@ let serverless_fleet ~requests ~partition ~sim_jobs ~seed () =
       per_host
   in
   { p with p_notes = p.p_notes @ host_notes }
+
+let serverless_fleet ~requests ~partition ~sim_jobs ~seed () =
+  let hosts = serverless_fleet_hosts in
+  let per = max 1 (requests / hosts) in
+  let slots : Serverless.stats option array = Array.make hosts None in
+  let body () =
+    serverless_fleet_cells ~partition ~per ~seed
+      ~node:(fun h ->
+        let host = Vmm.create ~host_id:h () in
+        Serverless.warm_pool host ~target:serverless_pool_target;
+        host)
+      slots
+  in
+  (match partition with
+  | `Host -> run_sim_partitioned ~jobs:sim_jobs ~partitions:hosts body
+  | `None -> run_sim body);
+  serverless_fleet_finish
+    ~label:(Printf.sprintf "fleet x%d warmpool/poisson" hosts)
+    ~prefix_seconds:0. slots
 
 let serverless_jobs ?(n = 2000) ?spec ?(fault_seed = 42L)
     ?(partition = `Host) ?(sim_jobs = 1) () : job list =
@@ -2108,6 +2197,81 @@ let serverless_bench_summary ?(requests = 2000) () =
     else 1e6 *. Quantiles.quantile s.Serverless.latency 0.99
   in
   (p99 cold, p99 warm, Serverless.hit_rate warm)
+
+(* ------------------------------------------------------------------ *)
+(* serverless-day: ROADMAP item 2's headline row — a full day's worth
+   of host-seconds of open-loop traffic (at bench scale, 7M requests at
+   the calibrated 80 req/s per host across the 4-host fleet, i.e.
+   ~87,500 host-seconds of arrivals) pushed through the fleet cell in
+   one simulation. The fleet prefix — the hosts created and their
+   instance pools synchronously prefilled — is captured once per
+   (partition, sim_jobs) config and the day itself runs as a resumed
+   suffix. Prefilling parks no effect continuation, so the image
+   quiesces — the same argument as the single-host "serverless:warm@"
+   image; [sim_jobs] is in the key for the same reason it is in the
+   scale-fleet key (cache hits must not short-circuit the jobs-matrix
+   determinism tests). *)
+
+let serverless_day_prefix_key ~partition ~sim_jobs hosts =
+  Printf.sprintf "serverless-day:%s/j%d@%d" (partition_name partition)
+    sim_jobs hosts
+
+let serverless_day_image ~partition ~sim_jobs () =
+  let hosts = serverless_fleet_hosts in
+  prefix_image
+    ~key:(serverless_day_prefix_key ~partition ~sim_jobs hosts)
+    (fun () ->
+      let nodes : Vmm.t option array = Array.make hosts None in
+      let body () =
+        fan_out_hosts ~hosts
+          ~part_of:(fun h ->
+            match partition with `Host -> h + 1 | `None -> 0)
+          (fun h ->
+            let host = Vmm.create ~host_id:h () in
+            Serverless.warm_pool host ~target:serverless_pool_target;
+            nodes.(h) <- Some host);
+        Engine.stop ()
+      in
+      let saved =
+        match partition with
+        | `Host ->
+            snd
+              (Engine.run_partitioned_capture ~jobs:sim_jobs ~lookahead
+                 ~partitions:hosts body)
+        | `None -> snd (Engine.run_capture body)
+      in
+      snap_err "serverless day image"
+        (Snap.freeze (saved, Array.map Option.get nodes)))
+
+let serverless_day ~requests ~partition ~sim_jobs ~seed () =
+  let hosts = serverless_fleet_hosts in
+  let per = max 1 (requests / hosts) in
+  let slots : Serverless.stats option array = Array.make hosts None in
+  let t0 = wall () in
+  let bytes = serverless_day_image ~partition ~sim_jobs () in
+  let ((saved : Engine.saved), (nodes : Vmm.t array)) =
+    snap_err "serverless day image" (Snap.thaw bytes)
+  in
+  let prefix_seconds = wall () -. t0 in
+  ignore
+    (Engine.resume ~jobs:sim_jobs saved (fun () ->
+         serverless_fleet_cells ~partition ~per ~seed
+           ~node:(fun h -> nodes.(h))
+           slots;
+         Engine.stop ()));
+  serverless_fleet_finish
+    ~label:(Printf.sprintf "day fleet x%d warmpool/poisson" hosts)
+    ~prefix_seconds slots
+
+let serverless_day_jobs ?(n = 8000) ?(partition = `Host) ?(sim_jobs = 1) () :
+    job list =
+  [
+    ( "serverless-day/fleet",
+      fun () ->
+        serverless_day ~requests:n ~partition ~sim_jobs
+          ~seed:(serverless_cell_seed ~seed:42L 7)
+          () );
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Uniform result API: every experiment is reachable through [all] and
@@ -2224,9 +2388,15 @@ let plans ?n ?partition ?sim_jobs () : (string * plan) list =
       single ~figure:"Sec 3.2" "tinyx" (fun () ->
           piece ~tables:[ tinyx_table () ] ()) );
     ("cluster", cluster_plan ?n ?partition ?sim_jobs ());
+    ( "cluster-scale",
+      mk_plan ~figure:"Cluster at scale" "cluster-scale"
+        (cluster_scale_jobs ?n ?partition ?sim_jobs ()) );
     ( "serverless",
       mk_plan ~figure:"Open-loop serverless" "serverless"
         (serverless_jobs ?n ?partition ?sim_jobs ()) );
+    ( "serverless-day",
+      mk_plan ~figure:"Serverless day" "serverless-day"
+        (serverless_day_jobs ?n ?partition ?sim_jobs ()) );
   ]
 
 let plan ?n ?partition ?sim_jobs name =
@@ -2355,7 +2525,32 @@ let prefixes ?n ?(partition = `Host) ?(sim_jobs = 1) () : prefix list =
       prefix_build = (fun () -> serverless_image serverless_pool_target);
     }
   in
-  scale_prefixes @ [ fleet ] @ rel @ [ drain; serverless_warm ]
+  let scale_drain =
+    let guests = match n with Some v -> v | None -> 2000 in
+    {
+      prefix_key = cluster_scale_prefix_key guests;
+      prefix_describe =
+        Printf.sprintf
+          "spread cluster of %d hosts with %d guests running \
+           (cluster-scale drain prefix)"
+          (cluster_scale_hosts ~guests) guests;
+      prefix_build = (fun () -> cluster_scale_drain_image ~guests);
+    }
+  in
+  let day_fleet =
+    let hosts = serverless_fleet_hosts in
+    {
+      prefix_key = serverless_day_prefix_key ~partition ~sim_jobs hosts;
+      prefix_describe =
+        Printf.sprintf
+          "%d LightVM hosts, function-instance pools prefilled to %d each \
+           (serverless-day fleet prefix, partition %s, %d sim jobs)"
+          hosts serverless_pool_target (partition_name partition) sim_jobs;
+      prefix_build = (fun () -> serverless_day_image ~partition ~sim_jobs ());
+    }
+  in
+  scale_prefixes @ [ fleet ] @ rel
+  @ [ drain; scale_drain; serverless_warm; day_fleet ]
 
 let snapshot_to_file ?n ?partition ?sim_jobs ~key ~path () =
   let avail = prefixes ?n ?partition ?sim_jobs () in
@@ -2501,6 +2696,31 @@ let resume_serverless ~requests bytes =
           in
           Ok (mk_result ~name:"resume" ~notes:p.p_notes p.p_series))
 
+(* "serverless-day:<part>/j<J>@<hosts>": the full-day open-loop fleet
+   cell run as a suffix of the prefilled-fleet image. *)
+let resume_serverless_day ~partition ~sim_jobs ~requests bytes =
+  match
+    (Snap.thaw bytes : (Engine.saved * Vmm.t array, _) Stdlib.result)
+  with
+  | Error e -> Error (Snap.error_to_string e)
+  | Ok (saved, nodes) ->
+      let hosts = Array.length nodes in
+      let per = max 1 (requests / hosts) in
+      let slots : Serverless.stats option array = Array.make hosts None in
+      ignore
+        (Engine.resume ~jobs:sim_jobs saved (fun () ->
+             serverless_fleet_cells ~partition ~per
+               ~seed:(serverless_cell_seed ~seed:42L 7)
+               ~node:(fun h -> nodes.(h))
+               slots;
+             Engine.stop ()));
+      let p =
+        serverless_fleet_finish
+          ~label:(Printf.sprintf "day fleet x%d warmpool/poisson" hosts)
+          ~prefix_seconds:0. slots
+      in
+      Ok (mk_result ~name:"resume" ~notes:p.p_notes p.p_series)
+
 let split_once ~on s =
   match String.index_opt s on with
   | None -> None
@@ -2563,7 +2783,7 @@ let resume_from_file ?n ?spec ?(fault_seed = 42L) ~path () =
               resume_reliability ~mode ~n ~spec ~fault_seed bytes
           | None, _ -> bad ()
           | _, Error m -> Error m)
-      | Some ("cluster", rest) -> (
+      | Some (("cluster" | "cluster-scale"), rest) -> (
           match (split_once ~on:'@' rest, parse_fault_spec spec) with
           | Some ("drain", _), Ok spec -> resume_drain ~spec ~fault_seed bytes
           | _, Error m -> Error m
@@ -2574,6 +2794,27 @@ let resume_from_file ?n ?spec ?(fault_seed = 42L) ~path () =
               let requests = match n with Some v -> v | None -> 2000 in
               resume_serverless ~requests bytes
           | _ -> bad ())
+      | Some ("serverless-day", rest) -> (
+          match (split_once ~on:'/' rest : (string * string) option) with
+          | Some (part, rest) -> (
+              match (partition_of_string part, split_once ~on:'@' rest) with
+              | Ok partition, Some (jobs, hosts)
+                when String.length jobs > 1
+                     && jobs.[0] = 'j'
+                     && int_of_string_opt hosts <> None -> (
+                  match
+                    int_of_string_opt
+                      (String.sub jobs 1 (String.length jobs - 1))
+                  with
+                  | Some sim_jobs ->
+                      let requests =
+                        match n with Some v -> v | None -> 8000
+                      in
+                      resume_serverless_day ~partition ~sim_jobs ~requests
+                        bytes
+                  | None -> bad ())
+              | _ -> bad ())
+          | None -> bad ())
       | _ -> bad ())
 
 (* ------------------------------------------------------------------ *)

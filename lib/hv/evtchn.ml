@@ -103,6 +103,12 @@ let ports_of t ~domid =
 let close_all t ~domid =
   let ports = ports_of t ~domid in
   List.iter (fun port -> ignore (close t ~domid ~port)) ports;
+  (* Domids are never reused, so a destroyed domain's port counter is
+     dead state: without this removal the counter table gains one
+     entry per VM ever created, and a host churning millions of
+     serverless lifecycles drags an ever-growing live set through
+     every major GC cycle. *)
+  Hashtbl.remove t.next_port domid;
   List.length ports
 
 let close_peers_of t ~domid =

@@ -58,12 +58,28 @@ let rec reschedule t core =
       in
       let n = float_of_int (List.length jobs) in
       let dt = min_rem *. n /. t.speed in
-      let tok =
-        Engine.after dt (fun () ->
-            advance t core;
-            reschedule t core)
-      in
-      core.event <- Some tok
+      let now = Engine.now () in
+      if now +. dt <= now then begin
+        (* The leader's residual work is below one ulp of the clock:
+           the absolute [epsilon] threshold stops catching float
+           residue once the clock is large (ulp grows with magnitude),
+           and a timer at [now +. dt = now] would fire at a frozen
+           clock, serve an elapsed time of zero and reschedule itself
+           forever. Finishing the job immediately is within float
+           resolution of finishing it on time. *)
+        List.iter
+          (fun j -> if j.remaining <= min_rem then j.remaining <- 0.)
+          jobs;
+        reschedule t core
+      end
+      else begin
+        let tok =
+          Engine.after dt (fun () ->
+              advance t core;
+              reschedule t core)
+        in
+        core.event <- Some tok
+      end
 
 let consume_async t ~core work =
   if core < 0 || core >= Array.length t.cores then

@@ -1,5 +1,6 @@
 type out_msg = {
   out_time : float;
+  out_src : int; (* source partition index *)
   out_seq : int; (* per-source posting order *)
   out_target : int;
   out_thunk : unit -> unit;
@@ -271,6 +272,7 @@ let post ~partition ~delay thunk =
         eng.outbox <-
           {
             out_time = eng.clock +. delay;
+            out_src = st.cur_idx;
             out_seq = eng.out_seq;
             out_target = partition;
             out_thunk = thunk;
@@ -318,9 +320,7 @@ let sleep delay =
     in
     let wake = eng.clock +. delay in
     let idle =
-      match Heap.peek_time eng.heap with
-      | None -> true
-      | Some t -> t > wake
+      Heap.is_empty eng.heap || Heap.next_time eng.heap > wake
     in
     if
       idle && st.hooks = None
@@ -399,23 +399,24 @@ let run_eng ?until main =
     ~finally:(fun () -> (dls ()).current <- None)
     (fun () ->
       ignore (schedule_at eng 0. (fun () -> exec "main" main));
+      (* Peek ([next_time]) before popping: an event beyond the horizon
+         must stay in the heap, not be popped and dropped — a capture
+         taken from a [~until]-bounded run resumes unbounded and still
+         owes that event. The loop allocates nothing per event:
+         [is_empty]/[next_time]/[pop_payload] replace the option- and
+         pair-returning heap API on this hot path. *)
       let rec loop () =
-        if eng.stopped then ()
-        else
-        (* Peek before popping: an event beyond the horizon must stay
-           in the heap, not be popped and dropped — a capture taken
-           from a [~until]-bounded run resumes unbounded and still owes
-           that event. *)
-        match Heap.peek_time eng.heap with
-        | None -> ()
-        | Some time when time > horizon -> eng.clock <- horizon
-        | Some _ ->
-            (match Heap.pop eng.heap with
-            | None -> assert false
-            | Some (time, thunk) ->
-                eng.clock <- time;
-                thunk ());
+        if eng.stopped || Heap.is_empty eng.heap then ()
+        else begin
+          let time = Heap.next_time eng.heap in
+          if time > horizon then eng.clock <- horizon
+          else begin
+            let thunk = Heap.pop_payload eng.heap in
+            eng.clock <- time;
+            thunk ();
             loop ()
+          end
+        end
       in
       loop ();
       eng)
@@ -445,14 +446,14 @@ let resume_plain sv main =
     ~finally:(fun () -> (dls ()).current <- None)
     (fun () ->
       let rec loop () =
-        if eng.stopped then ()
-        else
-          match Heap.pop eng.heap with
-          | None -> ()
-          | Some (time, thunk) ->
-              eng.clock <- time;
-              thunk ();
-              loop ()
+        if eng.stopped || Heap.is_empty eng.heap then ()
+        else begin
+          let time = Heap.next_time eng.heap in
+          let thunk = Heap.pop_payload eng.heap in
+          eng.clock <- time;
+          thunk ();
+          loop ()
+        end
       in
       loop ();
       eng)
@@ -524,17 +525,16 @@ let run_window ?grow ctx idx wend =
                    end)
       in
       let rec loop () =
-        if eng.stopped then ()
-        else
-          match Heap.peek_time eng.heap with
-          | Some t when t < eng.wend && admit t -> (
-              match Heap.pop eng.heap with
-              | None -> ()
-              | Some (time, thunk) ->
-                  eng.clock <- time;
-                  thunk ();
-                  loop ())
-          | Some _ | None -> ()
+        if eng.stopped || Heap.is_empty eng.heap then ()
+        else begin
+          let t = Heap.next_time eng.heap in
+          if t < eng.wend && admit t then begin
+            let thunk = Heap.pop_payload eng.heap in
+            eng.clock <- t;
+            thunk ();
+            loop ()
+          end
+        end
       in
       loop ())
 
@@ -560,27 +560,71 @@ let drive_rounds ?jobs ~adaptive ctx =
   Fun.protect
     ~finally:(fun () -> Option.iter Pool.shutdown pool)
     (fun () ->
-      (* src partition index is implied by array order; per-source
-         message order by out_seq. *)
-      let compare_msg (t1, s1, q1, _) (t2, s2, q2, _) =
-        match Float.compare t1 t2 with
-        | 0 -> ( match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c)
+      (* Messages carry their source partition and per-source posting
+         order; the sort key (time, src, seq) reads the record fields
+         directly, no key tuples. The batch is gathered into a scratch
+         array reused across barriers — a barrier with no messages (the
+         overwhelmingly common round) allocates nothing. *)
+      let compare_msg a b =
+        match Float.compare a.out_time b.out_time with
+        | 0 -> (
+            match Int.compare a.out_src b.out_src with
+            | 0 -> Int.compare a.out_seq b.out_seq
+            | c -> c)
         | c -> c
       in
+      let dummy_msg =
+        { out_time = 0.; out_src = 0; out_seq = 0; out_target = 0;
+          out_thunk = ignore }
+      in
+      let scratch = ref [||] in
       let merge_outboxes () =
-        let msgs = ref [] in
-        Array.iteri
-          (fun src e ->
-            List.iter
-              (fun m -> msgs := (m.out_time, src, m.out_seq, m) :: !msgs)
-              e.outbox;
-            e.outbox <- [])
-          ctx.engs;
-        List.iter
-          (fun (_, _, _, m) ->
+        let total =
+          Array.fold_left
+            (fun acc e -> acc + List.length e.outbox)
+            0 ctx.engs
+        in
+        if total > 0 then begin
+          if Array.length !scratch < total then
+            scratch :=
+              Array.make (max total (2 * Array.length !scratch)) dummy_msg;
+          let buf = !scratch in
+          let k = ref 0 in
+          Array.iter
+            (fun e ->
+              List.iter
+                (fun m ->
+                  buf.(!k) <- m;
+                  incr k)
+                e.outbox;
+              e.outbox <- [])
+            ctx.engs;
+          (* Sort just the filled prefix. Insertion sort is
+             allocation-free and fast at typical batch sizes; large
+             bursts (mass migrations) pay one temporary array. The key
+             is a total order (src/seq unique), so both sorts agree. *)
+          if total <= 32 then
+            for i = 1 to total - 1 do
+              let m = buf.(i) in
+              let j = ref (i - 1) in
+              while !j >= 0 && compare_msg buf.(!j) m > 0 do
+                buf.(!j + 1) <- buf.(!j);
+                decr j
+              done;
+              buf.(!j + 1) <- m
+            done
+          else begin
+            let tmp = Array.sub buf 0 total in
+            Array.sort compare_msg tmp;
+            Array.blit tmp 0 buf 0 total
+          end;
+          for i = 0 to total - 1 do
+            let m = buf.(i) in
             ignore
-              (schedule_at ctx.engs.(m.out_target) m.out_time m.out_thunk))
-          (List.sort compare_msg !msgs)
+              (schedule_at ctx.engs.(m.out_target) m.out_time m.out_thunk);
+            buf.(i) <- dummy_msg
+          done
+        end
       in
       let rec round () =
         if Array.exists (fun e -> e.stopped) ctx.engs then ()
@@ -588,11 +632,13 @@ let drive_rounds ?jobs ~adaptive ctx =
           let next = ref infinity and imin = ref 0 in
           Array.iteri
             (fun i e ->
-              match Heap.peek_time e.heap with
-              | Some t when t < !next ->
+              if not (Heap.is_empty e.heap) then begin
+                let t = Heap.next_time e.heap in
+                if t < !next then begin
                   next := t;
                   imin := i
-              | _ -> ())
+                end
+              end)
             ctx.engs;
           if !next = infinity then ()
           else begin
@@ -602,10 +648,10 @@ let drive_rounds ?jobs ~adaptive ctx =
             let min2 = ref infinity in
             Array.iteri
               (fun i e ->
-                if i <> !imin then
-                  match Heap.peek_time e.heap with
-                  | Some t when t < !min2 -> min2 := t
-                  | _ -> ())
+                if i <> !imin && not (Heap.is_empty e.heap) then begin
+                  let t = Heap.next_time e.heap in
+                  if t < !min2 then min2 := t
+                end)
               ctx.engs;
             if adaptive && !min2 >= wend then
               (* One partition, one window: no worker handoff. *)
@@ -613,9 +659,9 @@ let drive_rounds ?jobs ~adaptive ctx =
             else begin
               let active = ref [] in
               for idx = n - 1 downto 0 do
-                match Heap.peek_time ctx.engs.(idx).heap with
-                | Some t when t < wend -> active := idx :: !active
-                | _ -> ()
+                let h = ctx.engs.(idx).heap in
+                if (not (Heap.is_empty h)) && Heap.next_time h < wend then
+                  active := idx :: !active
               done;
               match pool with
               | None -> List.iter (fun idx -> run_window ctx idx wend) !active

@@ -1,13 +1,20 @@
-(** Growable binary min-heap keyed by [(time, seq)].
+(** Growable 4-ary index min-heap keyed by [(time, seq)].
 
-    Ties on [time] are broken by the monotonically increasing sequence
-    number assigned at insertion, which makes event ordering — and hence
-    every simulation — fully deterministic. Cancellation is lazy: a
-    cancelled entry stays in the heap and is skipped on [pop] — until
-    cancelled entries outnumber live ones, at which point the heap
-    compacts them away so cancel-heavy runs don't leak slots. Pop order
-    is a pure function of the [(time, seq)] keys, so compaction is
-    invisible to callers. *)
+    The ordering keys live in parallel unboxed arrays (a flat
+    [float array] of times plus an [int array] of sequence numbers);
+    payloads sit in a side table the comparison loops never touch, so a
+    sift is pure scalar-array traffic and allocates nothing. Ties on
+    [time] are broken by the monotonically increasing sequence number
+    assigned at insertion, which makes event ordering — and hence every
+    simulation — fully deterministic. Cancellation is lazy: a cancelled
+    entry stays in the heap and is skipped on [pop] — until cancelled
+    entries outnumber live ones, at which point the heap compacts them
+    away so cancel-heavy runs don't leak slots. Pop order is a pure
+    function of the [(time, seq)] keys, so compaction is invisible to
+    callers. The backing arrays also shrink once occupancy falls to a
+    quarter of capacity (never below a fixed floor), so a long-lived
+    heap drained after a large peak does not retain peak-sized
+    storage. *)
 
 type 'a t
 
@@ -20,13 +27,33 @@ val size : 'a t -> int
 
 val is_empty : 'a t -> bool
 
+val capacity : 'a t -> int
+(** Current length of the backing arrays (grows by doubling, shrinks by
+    halving at quarter occupancy down to a fixed floor). Exposed for
+    tests and diagnostics. *)
+
 val push : 'a t -> time:float -> 'a -> 'a entry
 
 val pop : 'a t -> (float * 'a) option
 (** Smallest live entry by [(time, seq)], or [None] if the heap holds
     only cancelled entries or nothing. *)
 
+val pop_payload : 'a t -> 'a
+(** [pop] for the engine hot path: returns the smallest live entry's
+    payload without allocating the [(time * 'a) option] box. The caller
+    must have checked {!is_empty} (or read {!next_time}) first.
+
+    @raise Invalid_argument on a heap with no live entries. *)
+
 val peek_time : 'a t -> float option
+
+val next_time : 'a t -> float
+(** Allocation-free {!peek_time}: the time of the smallest live entry.
+    The caller must check {!is_empty} first — there is no sentinel
+    value, because [infinity] is a legal event time for a heap user
+    with an unbounded horizon.
+
+    @raise Invalid_argument on a heap with no live entries. *)
 
 val entries : 'a t -> (float * 'a) array
 (** Non-destructive snapshot of the live entries, in pop order (the

@@ -17,7 +17,17 @@ val default_jobs : unit -> int
     scheduling noise. *)
 
 val create : workers:int -> t
-(** Spawn [workers] domains blocked on the queue. *)
+(** Spawn [workers] domains blocked on the queue. Each worker tunes its
+    GC with {!tune_gc} before taking work. *)
+
+val tune_gc : unit -> unit
+(** Raise the calling domain's GC knobs to the simulation profile — a
+    larger minor heap ([4M] words) and a lazier major GC
+    ([space_overhead >= 200]) — so allocation-heavy event loops spend
+    less time collecting scratch that is about to die. Knobs are only
+    ever raised, never lowered; applied automatically on pool workers,
+    and meant to be called once from a driver's main entry point for
+    the sequential path. *)
 
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run ~jobs thunks] executes every thunk and returns their results

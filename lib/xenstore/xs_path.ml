@@ -38,15 +38,28 @@ let specials = [ "@introduceDomain"; "@releaseDomain" ]
    store walk take the pointer fast path before falling back to a real
    compare. The table is domain-local rather than global-with-a-mutex:
    simulations run one per domain (pool workers included), and physical
-   equality only ever needs to hold within a domain. *)
+   equality only ever needs to hold within a domain.
+
+   The table is capped: a long-lived host churning through millions of
+   VM lifecycles interns a fresh domid segment per lifecycle, and an
+   uncapped table grows the GC live set without bound — major-GC
+   marking cost then scales with total VMs ever created, turning a
+   linear workload quadratic (this showed up as the serverless-day row
+   running 5x slower per request than a short row). Interning is an
+   optimisation only ([seg_equal]/[seg_compare] fall back to real
+   string comparison), so dropping the table just costs pointer
+   misses until the steady-state segments re-intern. *)
 let intern_tbl : (string, string) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let intern_cap = 65_536
 
 let intern seg =
   let tbl = Domain.DLS.get intern_tbl in
   match Hashtbl.find_opt tbl seg with
   | Some canonical -> canonical
   | None ->
+      if Hashtbl.length tbl >= intern_cap then Hashtbl.reset tbl;
       Hashtbl.add tbl seg seg;
       seg
 
@@ -80,12 +93,16 @@ let parse s =
 (* Parsing is pure, and clients re-parse the same strings constantly
    (every simulated round trip starts from a string path), so memoize
    successful parses per domain. The cap is a safety valve against a
-   pathological workload filling memory with distinct paths; clearing
-   just costs re-parses. *)
+   workload filling memory with distinct paths — serverless churn does
+   exactly that, one /local/domain/<fresh domid> family per request —
+   and it is sized to cover the concurrent working set (dozens of
+   in-flight lifecycles x ~50 paths each), not to hoard history: every
+   cached dead path is GC live set that every major cycle re-marks.
+   Clearing just costs re-parses. *)
 let memo_tbl : (string, t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
-let memo_cap = 1_000_000
+let memo_cap = 131_072
 
 let of_string s =
   let tbl = Domain.DLS.get memo_tbl in

@@ -58,7 +58,14 @@ type snapshot = {
 
 let adjust_owned t domid delta =
   let cur = Option.value ~default:0 (IMap.find_opt domid t.owned) in
-  t.owned <- IMap.add domid (cur + delta) t.owned
+  let n = cur + delta in
+  (* Drop exhausted owners instead of keeping a [domid -> 0] entry:
+     domids are never reused, so on a host churning millions of VM
+     lifecycles those dead entries would grow the map (and the GC live
+     set, and every snapshot) without bound. [owned_count] reads a
+     missing entry and a zero entry identically. *)
+  t.owned <-
+    (if n = 0 then IMap.remove domid t.owned else IMap.add domid n t.owned)
 
 let owned_count t ~domid =
   Option.value ~default:0 (IMap.find_opt domid t.owned)

@@ -151,35 +151,62 @@ let prop_heap_model =
       let live () =
         List.length (List.filter (fun (_, _, st) -> !st = Live) !entries)
       in
-      List.for_all
-        (fun op ->
-          match op with
-          | Push t ->
-              let e = Heap.push h ~time:t !seq in
-              entries := !entries @ [ ((t, !seq), e, ref Live) ];
-              incr seq;
-              Heap.size h = live ()
-          | Cancel i -> (
-              match !entries with
-              | [] -> Heap.size h = 0
-              | l ->
-                  let _, e, st = List.nth l (i mod List.length l) in
-                  Heap.cancel h e;
-                  (* Cancel of a popped entry must be a no-op. *)
-                  if !st = Live && Heap.cancelled e then st := Gone;
-                  Heap.size h = live ())
-          | Pop -> (
-              let expected =
-                List.filter (fun (_, _, st) -> !st = Live) !entries
-                |> List.sort (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
-              in
-              match (Heap.pop h, expected) with
-              | None, [] -> Heap.size h = 0
-              | Some (t, v), ((et, es), _, st) :: _ ->
-                  st := Gone;
-                  Float.equal t et && v = es && Heap.size h = live ()
-              | Some _, [] | None, _ :: _ -> false))
-        ops)
+      let ops_ok =
+        List.for_all
+          (fun op ->
+            match op with
+            | Push t ->
+                let e = Heap.push h ~time:t !seq in
+                entries := !entries @ [ ((t, !seq), e, ref Live) ];
+                incr seq;
+                Heap.size h = live ()
+            | Cancel i -> (
+                match !entries with
+                | [] -> Heap.size h = 0
+                | l ->
+                    let _, e, st = List.nth l (i mod List.length l) in
+                    Heap.cancel h e;
+                    (* Cancel of a popped entry must be a no-op. *)
+                    if !st = Live && Heap.cancelled e then st := Gone;
+                    Heap.size h = live ())
+            | Pop -> (
+                let expected =
+                  List.filter (fun (_, _, st) -> !st = Live) !entries
+                  |> List.sort (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
+                in
+                match (Heap.pop h, expected) with
+                | None, [] -> Heap.size h = 0
+                | Some (t, v), ((et, es), _, st) :: _ ->
+                    st := Gone;
+                    Float.equal t et && v = es && Heap.size h = live ()
+                | Some _, [] | None, _ :: _ -> false))
+          ops
+      in
+      (* The snapshot contract checkpoint/restore depends on, checked
+         in whatever cancelled/compacted state the op sequence left:
+         [entries] lists exactly the live entries in pop order, and
+         re-pushing the snapshot into a fresh heap (in array order,
+         fresh seqs) reproduces this heap's exact remaining pop
+         order. *)
+      let expected_live =
+        List.filter (fun (_, _, st) -> !st = Live) !entries
+        |> List.sort (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
+        |> List.map (fun ((t, s), _, _) -> (t, s))
+      in
+      let snap = Heap.entries h in
+      let snapshot_ok = Array.to_list snap = expected_live in
+      let h' = Heap.create () in
+      Array.iter (fun (t, v) -> ignore (Heap.push h' ~time:t v)) snap;
+      let pops heap =
+        let rec go acc =
+          match Heap.pop heap with
+          | None -> List.rev acc
+          | Some p -> go (p :: acc)
+        in
+        go []
+      in
+      let replay_ok = pops h' = pops h in
+      ops_ok && snapshot_ok && replay_ok)
 
 let test_heap_compaction_shrinks () =
   (* Push many, cancel all but one: the backing array must not keep a
@@ -196,6 +223,34 @@ let test_heap_compaction_shrinks () =
     "survivor pops" (Some (5000., "keeper")) (Heap.pop h);
   Alcotest.(check (option (pair (float 1e-9) string)))
     "then empty" None (Heap.pop h)
+
+let test_heap_capacity_shrinks () =
+  (* Grow-to-peak then drain: the backing arrays must give the peak
+     storage back (halving at quarter occupancy) instead of holding it
+     for the heap's lifetime, and must stop at the fixed floor. *)
+  let h = Heap.create () in
+  for i = 1 to 100_000 do
+    ignore (Heap.push h ~time:(float_of_int i) i)
+  done;
+  let peak_cap = Heap.capacity h in
+  Alcotest.(check bool)
+    "peak capacity covers the population" true (peak_cap >= 100_000);
+  for _ = 1 to 99_900 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check int) "100 live entries left" 100 (Heap.size h);
+  Alcotest.(check int) "drained capacity back at the floor" 1024
+    (Heap.capacity h);
+  (* The survivors still pop in order after all that resizing. *)
+  let rec drain prev =
+    match Heap.pop h with
+    | None -> ()
+    | Some (t, _) ->
+        Alcotest.(check bool) "pop order preserved" true (t >= prev);
+        drain t
+  in
+  drain neg_infinity;
+  Alcotest.(check int) "floor retained when empty" 1024 (Heap.capacity h)
 
 let suites =
   [
@@ -220,5 +275,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_heap_model;
         Alcotest.test_case "cancel-heavy compaction" `Quick
           test_heap_compaction_shrinks;
+        Alcotest.test_case "capacity shrinks after drain" `Quick
+          test_heap_capacity_shrinks;
       ] );
   ]
